@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the three base clusterers on a common workload,
+//! quantifying the cost of producing one base partition of the supervision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_clustering::{AffinityPropagation, DensityPeaks, KMeans};
+use sls_datasets::SyntheticBlobs;
+
+fn workload() -> sls_datasets::Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    SyntheticBlobs::new(150, 32, 3).separation(3.0).generate(&mut rng)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let ds = workload();
+    c.bench_function("clustering/kmeans_150x32_k3", |bench| {
+        bench.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            black_box(KMeans::new(3).fit(ds.features(), &mut rng).unwrap())
+        })
+    });
+}
+
+fn bench_density_peaks(c: &mut Criterion) {
+    let ds = workload();
+    c.bench_function("clustering/density_peaks_150x32_k3", |bench| {
+        bench.iter(|| black_box(DensityPeaks::new(3).fit(ds.features()).unwrap()))
+    });
+}
+
+fn bench_affinity_propagation(c: &mut Criterion) {
+    let ds = workload();
+    c.bench_function("clustering/affinity_propagation_150x32", |bench| {
+        bench.iter(|| black_box(AffinityPropagation::default().fit(ds.features()).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_density_peaks, bench_affinity_propagation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for multi-clustering integration (alignment +
+//! unanimous voting + local cluster extraction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sls_consensus::{integrate_partitions, LocalSupervisionBuilder, VotingPolicy};
+
+fn partitions(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let truth: Vec<usize> = (0..n).map(|i| i % k).collect();
+    (0..3)
+        .map(|_| {
+            truth
+                .iter()
+                .map(|&l| if rng.gen::<f64>() < 0.2 { rng.gen_range(0..k) } else { (l + 1) % k })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_unanimous_vote(c: &mut Criterion) {
+    let parts = partitions(1000, 3);
+    c.bench_function("consensus/unanimous_vote_1000x3", |bench| {
+        bench.iter(|| black_box(integrate_partitions(&parts, VotingPolicy::Unanimous).unwrap()))
+    });
+}
+
+fn bench_supervision_build(c: &mut Criterion) {
+    let parts = partitions(1000, 3);
+    c.bench_function("consensus/build_supervision_1000x3", |bench| {
+        bench.iter(|| {
+            black_box(
+                LocalSupervisionBuilder::new(3)
+                    .build_from_partitions(&parts)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_unanimous_vote, bench_supervision_build);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks for the linear-algebra substrate: the matrix
+//! products dominating CD training time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_linalg::{pairwise_distances, Matrix, MatrixRandomExt};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = Matrix::random_normal(128, 256, 0.0, 1.0, &mut rng);
+    let b = Matrix::random_normal(256, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("linalg/matmul_128x256x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    c.bench_function("linalg/matmul_transpose_left_128x256x64", |bench| {
+        let h = Matrix::random_normal(128, 64, 0.0, 1.0, &mut rng);
+        bench.iter(|| black_box(a.matmul_transpose_left(&h).unwrap()))
+    });
+}
+
+fn bench_pairwise_distances(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let data = Matrix::random_normal(200, 64, 0.0, 1.0, &mut rng);
+    c.bench_function("linalg/pairwise_distances_200x64", |bench| {
+        bench.iter(|| black_box(pairwise_distances(&data)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_pairwise_distances);
+criterion_main!(benches);

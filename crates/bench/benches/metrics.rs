@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the evaluation metrics (contingency table,
+//! Hungarian accuracy, pairwise indices).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sls_metrics::{clustering_accuracy, EvaluationReport};
+
+fn labels(n: usize, k: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let truth: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let predicted: Vec<usize> = truth
+        .iter()
+        .map(|&l| if rng.gen::<f64>() < 0.3 { rng.gen_range(0..k) } else { l })
+        .collect();
+    (predicted, truth)
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let (predicted, truth) = labels(1000, 3, 1);
+    c.bench_function("metrics/accuracy_1000x3", |bench| {
+        bench.iter(|| black_box(clustering_accuracy(&predicted, &truth).unwrap()))
+    });
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let (predicted, truth) = labels(1000, 3, 2);
+    c.bench_function("metrics/full_report_1000x3", |bench| {
+        bench.iter(|| black_box(EvaluationReport::evaluate(&predicted, &truth).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_accuracy, bench_full_report);
+criterion_main!(benches);

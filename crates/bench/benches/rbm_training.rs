@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the energy models: one CD epoch vs one sls epoch
+//! (the incremental cost of the constrict/disperse gradients), plus feature
+//! extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_consensus::{LocalSupervision, VotingPolicy};
+use sls_datasets::{standardize_columns, SyntheticBlobs};
+use sls_rbm_core::{BoltzmannMachine, CdTrainer, Grbm, SlsConfig, SlsGrbm, TrainConfig};
+
+fn setup() -> (sls_linalg::Matrix, LocalSupervision) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let ds = SyntheticBlobs::new(200, 64, 3).separation(3.0).generate(&mut rng);
+    let data = standardize_columns(ds.features()).unwrap();
+    let consensus: Vec<Option<usize>> = ds.labels().iter().map(|&l| Some(l)).collect();
+    let supervision = LocalSupervision::from_consensus(&consensus, VotingPolicy::Unanimous).unwrap();
+    (data, supervision)
+}
+
+fn one_epoch_config() -> TrainConfig {
+    TrainConfig::default()
+        .with_epochs(1)
+        .with_learning_rate(1e-3)
+        .with_batch_size(50)
+}
+
+fn bench_cd_epoch(c: &mut Criterion) {
+    let (data, _) = setup();
+    c.bench_function("rbm/grbm_cd_epoch_200x64_h32", |bench| {
+        bench.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut model = Grbm::new(data.cols(), 32, &mut rng);
+            CdTrainer::new(one_epoch_config())
+                .unwrap()
+                .train(&mut model, &data, &mut rng)
+                .unwrap();
+            black_box(model)
+        })
+    });
+}
+
+fn bench_sls_epoch(c: &mut Criterion) {
+    let (data, supervision) = setup();
+    c.bench_function("rbm/sls_grbm_epoch_200x64_h32", |bench| {
+        bench.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut model = SlsGrbm::new(data.cols(), 32, &mut rng);
+            model
+                .train(&data, &supervision, one_epoch_config(), SlsConfig::paper_grbm(), &mut rng)
+                .unwrap();
+            black_box(model)
+        })
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let (data, _) = setup();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let model = Grbm::new(data.cols(), 32, &mut rng);
+    c.bench_function("rbm/hidden_features_200x64_h32", |bench| {
+        bench.iter(|| black_box(model.hidden_probabilities(&data).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_cd_epoch, bench_sls_epoch, bench_feature_extraction);
+criterion_main!(benches);

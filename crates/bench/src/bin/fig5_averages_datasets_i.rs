@@ -1,0 +1,17 @@
+//! Reproduces Fig. 5: average accuracy, purity and FMI over datasets I for
+//! each of the nine algorithms.
+
+use sls_bench::{metric_table, run_datasets_i, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_i(scale, 2023);
+    for metric in [MetricKind::Accuracy, MetricKind::Purity, MetricKind::Fmi] {
+        let table = metric_table(&results, metric, "");
+        println!("Fig. 5 panel: average {} over datasets I", metric.name());
+        for (name, avg) in table.columns.iter().zip(&table.averages) {
+            println!("  {name:<18} {avg:.4}");
+        }
+        println!();
+    }
+}

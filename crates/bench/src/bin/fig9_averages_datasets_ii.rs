@@ -1,0 +1,17 @@
+//! Reproduces Fig. 9: average accuracy, Rand index and FMI over datasets II
+//! for each of the nine algorithms.
+
+use sls_bench::{metric_table, run_datasets_ii, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_ii(scale, 2023);
+    for metric in [MetricKind::Accuracy, MetricKind::RandIndex, MetricKind::Fmi] {
+        let table = metric_table(&results, metric, "");
+        println!("Fig. 9 panel: average {} over datasets II", metric.name());
+        for (name, avg) in table.columns.iter().zip(&table.averages) {
+            println!("  {name:<18} {avg:.4}");
+        }
+        println!();
+    }
+}

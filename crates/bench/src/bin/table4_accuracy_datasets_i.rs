@@ -1,0 +1,17 @@
+//! Reproduces Table IV (clustering accuracy on datasets I) and the series of
+//! Fig. 2. Scale is controlled by the `SLS_SCALE` environment variable.
+
+use sls_bench::{figure_series, metric_table, run_datasets_i, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_i(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::Accuracy,
+        &format!("Table IV: accuracy on datasets I ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::Accuracy);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 2 series: accuracy vs dataset index"));
+}

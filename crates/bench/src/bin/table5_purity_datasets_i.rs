@@ -1,0 +1,16 @@
+//! Reproduces Table V (purity on datasets I) and the series of Fig. 3.
+
+use sls_bench::{figure_series, metric_table, run_datasets_i, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_i(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::Purity,
+        &format!("Table V: purity on datasets I ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::Purity);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 3 series: purity vs dataset index"));
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table VI (Fowlkes–Mallows index on datasets I) and the series
+//! of Fig. 4.
+
+use sls_bench::{figure_series, metric_table, run_datasets_i, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_i(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::Fmi,
+        &format!("Table VI: Fowlkes-Mallows index on datasets I ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::Fmi);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 4 series: FMI vs dataset index"));
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table VII (clustering accuracy on datasets II) and the series
+//! of Fig. 6.
+
+use sls_bench::{figure_series, metric_table, run_datasets_ii, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_ii(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::Accuracy,
+        &format!("Table VII: accuracy on datasets II ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::Accuracy);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 6 series: accuracy vs dataset index"));
+}

@@ -1,0 +1,17 @@
+//! Reproduces Table VIII (Rand index on datasets II) and the series of
+//! Fig. 7.
+
+use sls_bench::{figure_series, metric_table, run_datasets_ii, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_ii(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::RandIndex,
+        &format!("Table VIII: Rand index on datasets II ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::RandIndex);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 7 series: Rand index vs dataset index"));
+}

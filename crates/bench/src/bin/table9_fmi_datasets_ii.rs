@@ -1,0 +1,17 @@
+//! Reproduces Table IX (Fowlkes–Mallows index on datasets II) and the series
+//! of Fig. 8.
+
+use sls_bench::{figure_series, metric_table, run_datasets_ii, ExperimentScale, MetricKind};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let results = run_datasets_ii(scale, 2023);
+    let table = metric_table(
+        &results,
+        MetricKind::Fmi,
+        &format!("Table IX: Fowlkes-Mallows index on datasets II ({scale:?} scale)"),
+    );
+    println!("{}", table.render_text());
+    let series = figure_series(&results, MetricKind::Fmi);
+    println!("{}", sls_bench::report::render_figure(&series, "Fig. 8 series: FMI vs dataset index"));
+}

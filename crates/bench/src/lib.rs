@@ -1,0 +1,39 @@
+//! # sls-bench
+//!
+//! Experiment harness that regenerates every table and figure of the paper's
+//! evaluation section, plus the repository's extra ablations.
+//!
+//! * [`experiments`] runs the full pipeline grid (3 clusterers × 3 feature
+//!   spaces × all datasets of a family) and returns structured results.
+//! * [`report`] renders those results as the paper's tables (one row per
+//!   dataset, one column per algorithm) and figure series, and persists them
+//!   as JSON under `results/`.
+//!
+//! Every binary in `src/bin/` is a thin wrapper: `table4_accuracy_datasets_i`
+//! prints Table IV, `fig5_averages_datasets_i` prints the three panels of
+//! Fig. 5, `reproduce_all` runs everything, and the `ablation_*` binaries
+//! cover the design-choice sweeps listed in DESIGN.md.
+//!
+//! ## Scale control
+//!
+//! The paper-scale datasets (≈900 instances × ≈900 features, nine of them,
+//! with O(n²) clusterers run dozens of times) take a while on a laptop, so
+//! the harness honours the `SLS_SCALE` environment variable:
+//!
+//! | value | meaning |
+//! |-------|---------|
+//! | `full` | exact Table II / III shapes |
+//! | `reduced` (default) | instances and features capped (≈300 × 128) — same qualitative behaviour, minutes instead of hours |
+//! | `smoke` | tiny shapes for CI smoke tests |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    run_datasets_i, run_datasets_ii, AlgorithmId, ClustererId, ExperimentScale, FamilyResults,
+    FeatureSpace, PipelineResult,
+};
+pub use report::{figure_series, metric_table, MetricKind, MetricTable};

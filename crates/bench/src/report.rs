@@ -1,0 +1,293 @@
+//! Rendering of experiment results as the paper's tables and figure series.
+
+use crate::experiments::{AlgorithmId, FamilyResults};
+use serde::{Deserialize, Serialize};
+use sls_metrics::EvaluationReport;
+use std::path::Path;
+
+/// Which metric a table or figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Clustering accuracy (Tables IV and VII, Figs. 2 and 6).
+    Accuracy,
+    /// Purity (Table V, Fig. 3).
+    Purity,
+    /// Rand index (Table VIII, Fig. 7).
+    RandIndex,
+    /// Fowlkes–Mallows index (Tables VI and IX, Figs. 4 and 8).
+    Fmi,
+    /// Normalised mutual information (extra ablation metric).
+    Nmi,
+}
+
+impl MetricKind {
+    /// Human-readable metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Accuracy => "Accuracy",
+            MetricKind::Purity => "Purity",
+            MetricKind::RandIndex => "Rand index",
+            MetricKind::Fmi => "Fowlkes-Mallows index",
+            MetricKind::Nmi => "NMI",
+        }
+    }
+
+    /// Extracts the metric from an evaluation report.
+    pub fn extract(self, report: &EvaluationReport) -> f64 {
+        match self {
+            MetricKind::Accuracy => report.accuracy,
+            MetricKind::Purity => report.purity,
+            MetricKind::RandIndex => report.rand_index,
+            MetricKind::Fmi => report.fmi,
+            MetricKind::Nmi => report.nmi,
+        }
+    }
+}
+
+/// One of the paper's tables: a dataset-by-algorithm matrix of a metric,
+/// plus the per-algorithm averages the paper quotes in the text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricTable {
+    /// Table caption.
+    pub title: String,
+    /// Metric reported by the cells.
+    pub metric: MetricKind,
+    /// Column headers (algorithm names), paper order.
+    pub columns: Vec<String>,
+    /// Row labels (dataset codes), paper order.
+    pub rows: Vec<String>,
+    /// `cells[row][column]`.
+    pub cells: Vec<Vec<f64>>,
+    /// Per-column averages across datasets.
+    pub averages: Vec<f64>,
+}
+
+impl MetricTable {
+    /// Value at `(dataset_code, column_name)`, if present.
+    pub fn cell(&self, dataset_code: &str, column_name: &str) -> Option<f64> {
+        let row = self.rows.iter().position(|r| r == dataset_code)?;
+        let column = self.columns.iter().position(|c| c == column_name)?;
+        Some(self.cells[row][column])
+    }
+
+    /// Average of the named column.
+    pub fn column_average(&self, column_name: &str) -> Option<f64> {
+        let column = self.columns.iter().position(|c| c == column_name)?;
+        Some(self.averages[column])
+    }
+
+    /// Renders the table as aligned plain text (the format printed by the
+    /// reproduction binaries and recorded in EXPERIMENTS.md).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let width = 14usize;
+        out.push_str(&format!("{:<10}", "Dataset"));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>width$}"));
+        }
+        out.push('\n');
+        for (row_label, row) in self.rows.iter().zip(&self.cells) {
+            out.push_str(&format!("{row_label:<10}"));
+            for v in row {
+                out.push_str(&format!("{v:>width$.4}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<10}", "Average"));
+        for v in &self.averages {
+            out.push_str(&format!("{v:>width$.4}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Builds one of the paper's tables from a family's results.
+pub fn metric_table(results: &FamilyResults, metric: MetricKind, title: &str) -> MetricTable {
+    let columns_ids = AlgorithmId::table_columns();
+    let columns: Vec<String> = columns_ids
+        .iter()
+        .map(|a| a.display_name(&results.model_name))
+        .collect();
+    let rows = results.dataset_codes.clone();
+    let mut cells = Vec::with_capacity(rows.len());
+    for code in &rows {
+        let row: Vec<f64> = columns_ids
+            .iter()
+            .map(|a| {
+                results
+                    .get(code, *a)
+                    .map(|r| metric.extract(r))
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        cells.push(row);
+    }
+    let averages: Vec<f64> = columns_ids
+        .iter()
+        .map(|a| results.average(*a, |r| metric.extract(r)))
+        .collect();
+    MetricTable {
+        title: title.to_string(),
+        metric,
+        columns,
+        rows,
+        cells,
+        averages,
+    }
+}
+
+/// One curve of a figure: the metric of a single algorithm across datasets
+/// (the x-axis is the dataset index, exactly like Figs. 2–4 and 6–8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Algorithm name (legend entry).
+    pub algorithm: String,
+    /// `(dataset_index, value)` points, in x order.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Builds the figure series (one per algorithm) for a metric.
+pub fn figure_series(results: &FamilyResults, metric: MetricKind) -> Vec<FigureSeries> {
+    AlgorithmId::table_columns()
+        .into_iter()
+        .map(|a| {
+            let mut points: Vec<(usize, f64)> = results
+                .results
+                .iter()
+                .filter(|r| r.algorithm == a)
+                .map(|r| (r.dataset_index, metric.extract(&r.report)))
+                .collect();
+            points.sort_by_key(|&(i, _)| i);
+            FigureSeries {
+                algorithm: a.display_name(&results.model_name),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Renders figure series as plain text (legend entry followed by its points).
+pub fn render_figure(series: &[FigureSeries], title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for s in series {
+        out.push_str(&format!("  {:<18}", s.algorithm));
+        for (x, y) in &s.points {
+            out.push_str(&format!(" ({x}, {y:.4})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Persists a serialisable report as pretty JSON under `results/`.
+///
+/// # Errors
+///
+/// Returns a string describing the I/O or serialisation failure.
+pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), String> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::PipelineResult;
+
+    fn toy_results() -> FamilyResults {
+        let mut results = Vec::new();
+        for (index, code) in [(1usize, "A"), (2, "B")] {
+            for (value, algorithm) in AlgorithmId::table_columns().iter().enumerate() {
+                // Distinct, predictable accuracies per column.
+                let predicted: Vec<usize> = (0..10).map(|i| i % 2).collect();
+                let truth: Vec<usize> = (0..10)
+                    .map(|i| if i < value { 1 - (i % 2) } else { i % 2 })
+                    .collect();
+                let report = EvaluationReport::evaluate(&predicted, &truth).unwrap();
+                results.push(PipelineResult {
+                    dataset_code: code.to_string(),
+                    dataset_index: index,
+                    algorithm: *algorithm,
+                    report,
+                });
+            }
+        }
+        FamilyResults {
+            family: "test".into(),
+            model_name: "GRBM".into(),
+            dataset_codes: vec!["A".into(), "B".into()],
+            results,
+            scale: crate::ExperimentScale::Smoke,
+        }
+    }
+
+    #[test]
+    fn metric_extraction_matches_report_fields() {
+        let r = EvaluationReport::evaluate(&[0, 0, 1, 1], &[0, 1, 1, 1]).unwrap();
+        assert_eq!(MetricKind::Accuracy.extract(&r), r.accuracy);
+        assert_eq!(MetricKind::Purity.extract(&r), r.purity);
+        assert_eq!(MetricKind::RandIndex.extract(&r), r.rand_index);
+        assert_eq!(MetricKind::Fmi.extract(&r), r.fmi);
+        assert_eq!(MetricKind::Nmi.extract(&r), r.nmi);
+        assert_eq!(MetricKind::Accuracy.name(), "Accuracy");
+    }
+
+    #[test]
+    fn table_has_paper_shape() {
+        let table = metric_table(&toy_results(), MetricKind::Accuracy, "Table IV");
+        assert_eq!(table.columns.len(), 9);
+        assert_eq!(table.rows, vec!["A", "B"]);
+        assert_eq!(table.cells.len(), 2);
+        assert_eq!(table.cells[0].len(), 9);
+        assert_eq!(table.averages.len(), 9);
+        assert!(table.cell("A", "DP").is_some());
+        assert!(table.cell("A", "DP+slsGRBM").is_some());
+        assert!(table.cell("Z", "DP").is_none());
+        assert!(table.column_average("AP+GRBM").is_some());
+        assert!(table.column_average("nope").is_none());
+    }
+
+    #[test]
+    fn render_text_contains_headers_rows_and_average() {
+        let table = metric_table(&toy_results(), MetricKind::Fmi, "Table VI: FMI");
+        let text = table.render_text();
+        assert!(text.contains("Table VI"));
+        assert!(text.contains("DP+slsGRBM"));
+        assert!(text.contains("Average"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn figure_series_are_sorted_by_dataset_index() {
+        let series = figure_series(&toy_results(), MetricKind::Accuracy);
+        assert_eq!(series.len(), 9);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points[0].0 < s.points[1].0);
+        }
+        let text = render_figure(&series, "Fig. 2");
+        assert!(text.contains("Fig. 2"));
+        assert!(text.contains("AP+slsGRBM"));
+    }
+
+    #[test]
+    fn save_json_round_trips_through_disk() {
+        let table = metric_table(&toy_results(), MetricKind::Accuracy, "t");
+        let dir = std::env::temp_dir().join("sls_bench_report_test");
+        let path = dir.join("table.json");
+        save_json(&table, &path).unwrap();
+        let loaded: MetricTable =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded, table);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

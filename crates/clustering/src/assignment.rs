@@ -1,0 +1,205 @@
+//! The result of running a clustering algorithm.
+
+use serde::{Deserialize, Serialize};
+use sls_linalg::Matrix;
+use std::collections::BTreeMap;
+
+/// A hard assignment of every instance to exactly one cluster, together with
+/// the cluster centres in feature space.
+///
+/// Centres are always materialised (as the mean of the members) even for
+/// algorithms that do not use centres internally (density peaks, affinity
+/// propagation), because the consensus layer and the sls update rules need
+/// cluster centres `O_k` in visible space (Eqs. 25–27 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterAssignment {
+    labels: Vec<usize>,
+    centers: Matrix,
+    algorithm: String,
+}
+
+impl ClusterAssignment {
+    /// Creates an assignment from labels, centres and the producing
+    /// algorithm's name. Labels must index rows of `centers`.
+    pub fn new(labels: Vec<usize>, centers: Matrix, algorithm: impl Into<String>) -> Self {
+        debug_assert!(
+            labels.iter().all(|&l| l < centers.rows().max(1)),
+            "labels must index centre rows"
+        );
+        Self {
+            labels,
+            centers,
+            algorithm: algorithm.into(),
+        }
+    }
+
+    /// Recomputes centres as the per-cluster means of `data` and builds the
+    /// assignment. Clusters that end up empty keep a zero centre.
+    pub fn from_labels(labels: Vec<usize>, data: &Matrix, algorithm: impl Into<String>) -> Self {
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut centers = Matrix::zeros(k, data.cols());
+        let mut counts = vec![0usize; k];
+        for (i, &l) in labels.iter().enumerate() {
+            counts[l] += 1;
+            let row = data.row(i);
+            let c = centers.row_mut(l);
+            for (cj, &xj) in c.iter_mut().zip(row) {
+                *cj += xj;
+            }
+        }
+        for (l, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let c = centers.row_mut(l);
+                for cj in c.iter_mut() {
+                    *cj /= count as f64;
+                }
+            }
+        }
+        Self {
+            labels,
+            centers,
+            algorithm: algorithm.into(),
+        }
+    }
+
+    /// Cluster label of every instance.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Cluster centres, one row per cluster.
+    pub fn centers(&self) -> &Matrix {
+        &self.centers
+    }
+
+    /// Name of the algorithm that produced this assignment.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Number of instances.
+    pub fn n_instances(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of clusters (centre rows).
+    pub fn n_clusters(&self) -> usize {
+        self.centers.rows()
+    }
+
+    /// Number of *non-empty* clusters.
+    pub fn n_occupied_clusters(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Indices of the members of each cluster, keyed by cluster label.
+    pub fn members(&self) -> BTreeMap<usize, Vec<usize>> {
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            map.entry(l).or_default().push(i);
+        }
+        map
+    }
+
+    /// Sizes of each cluster, keyed by cluster label.
+    pub fn cluster_sizes(&self) -> BTreeMap<usize, usize> {
+        self.members()
+            .into_iter()
+            .map(|(l, m)| (l, m.len()))
+            .collect()
+    }
+
+    /// Within-cluster sum of squared distances to the centre (the k-means
+    /// objective), computed against `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different number of rows than there are labels.
+    pub fn inertia(&self, data: &Matrix) -> f64 {
+        assert_eq!(data.rows(), self.labels.len(), "data/labels mismatch");
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                sls_linalg::squared_euclidean_distance(data.row(i), self.centers.row(l))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 2.0],
+            vec![10.0, 10.0],
+            vec![10.0, 12.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_labels_computes_mean_centres() {
+        let a = ClusterAssignment::from_labels(vec![0, 0, 1, 1], &data(), "test");
+        assert_eq!(a.n_clusters(), 2);
+        assert_eq!(a.centers().row(0), &[0.0, 1.0]);
+        assert_eq!(a.centers().row(1), &[10.0, 11.0]);
+        assert_eq!(a.algorithm(), "test");
+    }
+
+    #[test]
+    fn from_labels_with_empty_cluster_keeps_zero_centre() {
+        // Label 1 unused: cluster 1 exists (max label 2) but is empty.
+        let a = ClusterAssignment::from_labels(vec![0, 0, 2, 2], &data(), "test");
+        assert_eq!(a.n_clusters(), 3);
+        assert_eq!(a.n_occupied_clusters(), 2);
+        assert_eq!(a.centers().row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn members_and_sizes() {
+        let a = ClusterAssignment::from_labels(vec![1, 0, 1, 1], &data(), "test");
+        let members = a.members();
+        assert_eq!(members[&0], vec![1]);
+        assert_eq!(members[&1], vec![0, 2, 3]);
+        assert_eq!(a.cluster_sizes()[&1], 3);
+        assert_eq!(a.n_instances(), 4);
+    }
+
+    #[test]
+    fn inertia_is_zero_for_singletons_at_centres() {
+        let d = data();
+        let a = ClusterAssignment::from_labels(vec![0, 1, 2, 3], &d, "test");
+        assert!(a.inertia(&d) < 1e-12);
+    }
+
+    #[test]
+    fn inertia_matches_hand_computation() {
+        let d = data();
+        let a = ClusterAssignment::from_labels(vec![0, 0, 1, 1], &d, "test");
+        // Cluster 0 centre (0,1): distances^2 = 1 + 1; cluster 1 centre
+        // (10,11): 1 + 1.
+        assert!((a.inertia(&d) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn inertia_panics_on_shape_mismatch() {
+        let a = ClusterAssignment::from_labels(vec![0, 0], &data().slice_rows(0, 2).unwrap(), "t");
+        a.inertia(&data());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = ClusterAssignment::from_labels(vec![0, 0, 1, 1], &data(), "test");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ClusterAssignment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the clustering algorithms.
+
+use std::fmt;
+
+/// Errors raised by the clustering algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusteringError {
+    /// The data matrix has no rows.
+    EmptyData,
+    /// More clusters were requested than there are instances.
+    TooManyClusters {
+        /// Requested number of clusters.
+        requested: usize,
+        /// Number of instances available.
+        instances: usize,
+    },
+    /// A zero cluster count was requested.
+    ZeroClusters,
+    /// An invalid hyper-parameter value was supplied.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+    /// Propagated linear-algebra error.
+    Linalg(sls_linalg::LinalgError),
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::EmptyData => write!(f, "cannot cluster an empty data matrix"),
+            ClusteringError::TooManyClusters {
+                requested,
+                instances,
+            } => write!(
+                f,
+                "requested {requested} clusters but only {instances} instances are available"
+            ),
+            ClusteringError::ZeroClusters => write!(f, "the number of clusters must be at least 1"),
+            ClusteringError::InvalidParameter { name, message } => {
+                write!(f, "invalid value for parameter '{name}': {message}")
+            }
+            ClusteringError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusteringError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusteringError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sls_linalg::LinalgError> for ClusteringError {
+    fn from(e: sls_linalg::LinalgError) -> Self {
+        ClusteringError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClusteringError::EmptyData.to_string().contains("empty"));
+        assert!(ClusteringError::TooManyClusters {
+            requested: 5,
+            instances: 3
+        }
+        .to_string()
+        .contains("5 clusters"));
+        assert!(ClusteringError::ZeroClusters.to_string().contains("at least 1"));
+        assert!(ClusteringError::InvalidParameter {
+            name: "damping",
+            message: "must be in [0.5, 1)".into()
+        }
+        .to_string()
+        .contains("damping"));
+    }
+
+    #[test]
+    fn linalg_conversion() {
+        let e: ClusteringError = sls_linalg::LinalgError::Empty { op: "x" }.into();
+        assert!(matches!(e, ClusteringError::Linalg(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

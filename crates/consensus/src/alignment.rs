@@ -1,0 +1,161 @@
+//! Label-space alignment between partitions.
+//!
+//! Cluster identifiers are arbitrary: k-means' cluster `0` and density
+//! peaks' cluster `2` may describe the same group of instances. Before the
+//! voting strategy can ask "do all clusterings agree on this instance?", all
+//! partitions are re-labelled into the label space of a *reference* partition
+//! by solving a maximum-agreement assignment (Hungarian algorithm on the
+//! contingency table between the two partitions).
+
+use crate::{ConsensusError, Result};
+use sls_metrics::{hungarian_max_assignment, ContingencyTable};
+
+/// Relabels `partition` so its cluster identifiers agree as much as possible
+/// with `reference`. Clusters that cannot be matched (when `partition` has
+/// more clusters than `reference`) keep fresh identifiers beyond the
+/// reference's range, so no two source clusters are merged by alignment.
+///
+/// # Errors
+///
+/// Returns an error if the partitions are empty or of different length.
+pub fn align_partition(reference: &[usize], partition: &[usize]) -> Result<Vec<usize>> {
+    let table = ContingencyTable::from_labels(partition, reference)?;
+    let weights: Vec<Vec<f64>> = table
+        .counts()
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f64).collect())
+        .collect();
+    let assignment = hungarian_max_assignment(&weights)?;
+
+    // Map each source cluster id -> target reference id (or a fresh id).
+    let source_ids = table.cluster_ids();
+    let target_ids = table.class_ids();
+    let max_reference_id = reference.iter().copied().max().unwrap_or(0);
+    let mut next_fresh = max_reference_id + 1;
+    let mut mapping = std::collections::BTreeMap::new();
+    for (row, maybe_col) in assignment.iter().enumerate() {
+        let source = source_ids[row];
+        match maybe_col {
+            Some(col) => {
+                mapping.insert(source, target_ids[*col]);
+            }
+            None => {
+                mapping.insert(source, next_fresh);
+                next_fresh += 1;
+            }
+        }
+    }
+    Ok(partition.iter().map(|l| mapping[l]).collect())
+}
+
+/// Aligns every partition to the first one (the reference), returning the
+/// re-labelled partitions with the reference first and unchanged.
+///
+/// # Errors
+///
+/// * [`ConsensusError::NoPartitions`] if `partitions` is empty.
+/// * [`ConsensusError::PartitionLengthMismatch`] if lengths differ.
+/// * Propagates alignment errors from the metric layer.
+pub fn align_partitions(partitions: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
+    let Some(reference) = partitions.first() else {
+        return Err(ConsensusError::NoPartitions);
+    };
+    for (idx, p) in partitions.iter().enumerate() {
+        if p.len() != reference.len() {
+            return Err(ConsensusError::PartitionLengthMismatch {
+                expected: reference.len(),
+                partition: idx,
+                found: p.len(),
+            });
+        }
+    }
+    let mut aligned = Vec::with_capacity(partitions.len());
+    aligned.push(reference.clone());
+    for p in &partitions[1..] {
+        aligned.push(align_partition(reference, p)?);
+    }
+    Ok(aligned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permuted_labels_are_mapped_back() {
+        let reference = vec![0, 0, 1, 1, 2, 2];
+        let permuted = vec![2, 2, 0, 0, 1, 1];
+        let aligned = align_partition(&reference, &permuted).unwrap();
+        assert_eq!(aligned, reference);
+    }
+
+    #[test]
+    fn identical_partitions_are_unchanged() {
+        let p = vec![1, 0, 2, 1, 0];
+        assert_eq!(align_partition(&p, &p).unwrap(), p);
+    }
+
+    #[test]
+    fn partial_agreement_maximises_matches() {
+        let reference = vec![0, 0, 0, 1, 1, 1];
+        // Partition agrees except for one instance, with swapped ids.
+        let partition = vec![1, 1, 0, 0, 0, 0];
+        let aligned = align_partition(&reference, &partition).unwrap();
+        // After alignment the majority of instances must agree.
+        let agreement = aligned
+            .iter()
+            .zip(&reference)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert_eq!(agreement, 5);
+    }
+
+    #[test]
+    fn surplus_clusters_get_fresh_ids() {
+        let reference = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // Three clusters in the partition, two in the reference.
+        let partition = vec![0, 0, 2, 2, 1, 1, 1, 1];
+        let aligned = align_partition(&reference, &partition).unwrap();
+        // The two matched clusters map onto 0 and 1; the surplus cluster gets
+        // an id outside the reference's range (>= 2) and stays distinct.
+        let distinct: std::collections::BTreeSet<usize> = aligned.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+        assert!(aligned.iter().any(|&l| l >= 2));
+        // No merging: instances 2,3 still share a label distinct from 0,1.
+        assert_eq!(aligned[2], aligned[3]);
+        assert_ne!(aligned[2], aligned[0]);
+    }
+
+    #[test]
+    fn align_partitions_checks_lengths_and_emptiness() {
+        assert!(matches!(
+            align_partitions(&[]),
+            Err(ConsensusError::NoPartitions)
+        ));
+        let err = align_partitions(&[vec![0, 1], vec![0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ConsensusError::PartitionLengthMismatch {
+                partition: 1,
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn align_partitions_aligns_everything_to_first() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![1, 1, 0, 0];
+        let c = vec![5, 5, 9, 9];
+        let aligned = align_partitions(&[a.clone(), b, c]).unwrap();
+        assert_eq!(aligned[0], a);
+        assert_eq!(aligned[1], a);
+        assert_eq!(aligned[2], a);
+    }
+
+    #[test]
+    fn alignment_of_empty_partitions_errors() {
+        assert!(align_partition(&[], &[]).is_err());
+    }
+}

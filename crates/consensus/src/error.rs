@@ -1,0 +1,97 @@
+//! Error type for multi-clustering integration.
+
+use std::fmt;
+
+/// Errors raised while integrating clusterings into local supervision.
+#[derive(Debug)]
+pub enum ConsensusError {
+    /// Fewer than one base partition was supplied.
+    NoPartitions,
+    /// The partitions do not all cover the same number of instances.
+    PartitionLengthMismatch {
+        /// Length of the first partition (the reference).
+        expected: usize,
+        /// Index of the offending partition.
+        partition: usize,
+        /// Its length.
+        found: usize,
+    },
+    /// After voting, no instance survived — the supervision would be empty.
+    EmptySupervision,
+    /// A base clusterer failed.
+    Clustering(sls_clustering::ClusteringError),
+    /// A metric computation (alignment) failed.
+    Metrics(sls_metrics::MetricsError),
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::NoPartitions => write!(f, "at least one base partition is required"),
+            ConsensusError::PartitionLengthMismatch {
+                expected,
+                partition,
+                found,
+            } => write!(
+                f,
+                "partition {partition} has {found} labels, expected {expected}"
+            ),
+            ConsensusError::EmptySupervision => {
+                write!(f, "no instance survived the voting strategy; supervision is empty")
+            }
+            ConsensusError::Clustering(e) => write!(f, "base clustering failed: {e}"),
+            ConsensusError::Metrics(e) => write!(f, "alignment failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConsensusError::Clustering(e) => Some(e),
+            ConsensusError::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sls_clustering::ClusteringError> for ConsensusError {
+    fn from(e: sls_clustering::ClusteringError) -> Self {
+        ConsensusError::Clustering(e)
+    }
+}
+
+impl From<sls_metrics::MetricsError> for ConsensusError {
+    fn from(e: sls_metrics::MetricsError) -> Self {
+        ConsensusError::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ConsensusError::NoPartitions.to_string().contains("at least one"));
+        assert!(ConsensusError::PartitionLengthMismatch {
+            expected: 10,
+            partition: 2,
+            found: 8
+        }
+        .to_string()
+        .contains("partition 2"));
+        assert!(ConsensusError::EmptySupervision.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let c: ConsensusError = sls_clustering::ClusteringError::EmptyData.into();
+        assert!(matches!(c, ConsensusError::Clustering(_)));
+        let m: ConsensusError = sls_metrics::MetricsError::EmptyLabels.into();
+        assert!(matches!(m, ConsensusError::Metrics(_)));
+        use std::error::Error;
+        assert!(c.source().is_some());
+        assert!(ConsensusError::NoPartitions.source().is_none());
+    }
+}

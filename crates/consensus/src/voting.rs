@@ -1,0 +1,179 @@
+//! Voting strategies over aligned partitions.
+//!
+//! The paper uses **unanimous voting**: an instance contributes to the local
+//! supervision only when every base clustering assigns it to the same aligned
+//! cluster. This trades coverage for precision — the surviving "local
+//! credible clusters" are small but trustworthy, which is what makes them
+//! safe to use as pseudo-supervision inside CD learning. Majority voting and
+//! single-clusterer selection are provided for the ablation study.
+
+use crate::{alignment::align_partitions, ConsensusError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the aligned base partitions are combined into local supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VotingPolicy {
+    /// Keep an instance only if **all** partitions agree on its (aligned)
+    /// cluster. This is the paper's strategy.
+    Unanimous,
+    /// Keep an instance if **more than half** of the partitions agree; the
+    /// instance joins the majority cluster.
+    Majority,
+    /// Ignore all partitions except the one at this index (no integration);
+    /// used as an ablation baseline.
+    Single(usize),
+}
+
+impl Default for VotingPolicy {
+    fn default() -> Self {
+        VotingPolicy::Unanimous
+    }
+}
+
+/// Integrates base partitions into per-instance consensus labels.
+///
+/// Returns a vector with one entry per instance: `Some(cluster)` if the
+/// instance survived the vote, `None` otherwise. Cluster identifiers live in
+/// the label space of the first (reference) partition.
+///
+/// # Errors
+///
+/// * [`ConsensusError::NoPartitions`] if `partitions` is empty.
+/// * [`ConsensusError::PartitionLengthMismatch`] if the partitions differ in
+///   length.
+/// * For [`VotingPolicy::Single`], an out-of-range index is reported as
+///   [`ConsensusError::NoPartitions`].
+pub fn integrate_partitions(
+    partitions: &[Vec<usize>],
+    policy: VotingPolicy,
+) -> Result<Vec<Option<usize>>> {
+    if partitions.is_empty() {
+        return Err(ConsensusError::NoPartitions);
+    }
+    if let VotingPolicy::Single(index) = policy {
+        let partition = partitions.get(index).ok_or(ConsensusError::NoPartitions)?;
+        return Ok(partition.iter().map(|&l| Some(l)).collect());
+    }
+
+    let aligned = align_partitions(partitions)?;
+    let n = aligned[0].len();
+    let m = aligned.len();
+    let mut consensus = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+        for partition in &aligned {
+            *votes.entry(partition[i]).or_insert(0) += 1;
+        }
+        let (&winner, &count) = votes
+            .iter()
+            .max_by_key(|&(_, &count)| count)
+            .expect("at least one vote per instance");
+        let keep = match policy {
+            VotingPolicy::Unanimous => count == m,
+            VotingPolicy::Majority => 2 * count > m,
+            VotingPolicy::Single(_) => unreachable!("handled above"),
+        };
+        consensus.push(if keep { Some(winner) } else { None });
+    }
+    Ok(consensus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partitions() -> Vec<Vec<usize>> {
+        // Reference, an identical partition with permuted ids, and one that
+        // disagrees on instances 2 and 5.
+        vec![
+            vec![0, 0, 0, 1, 1, 1],
+            vec![1, 1, 1, 0, 0, 0],
+            vec![0, 0, 1, 1, 1, 0],
+        ]
+    }
+
+    #[test]
+    fn unanimous_keeps_only_full_agreement() {
+        let consensus = integrate_partitions(&partitions(), VotingPolicy::Unanimous).unwrap();
+        assert_eq!(
+            consensus,
+            vec![Some(0), Some(0), None, Some(1), Some(1), None]
+        );
+    }
+
+    #[test]
+    fn majority_keeps_more_instances_than_unanimous() {
+        let unanimous = integrate_partitions(&partitions(), VotingPolicy::Unanimous).unwrap();
+        let majority = integrate_partitions(&partitions(), VotingPolicy::Majority).unwrap();
+        let unanimous_count = unanimous.iter().flatten().count();
+        let majority_count = majority.iter().flatten().count();
+        assert!(majority_count >= unanimous_count);
+        // With 3 partitions and 2 agreeing everywhere, majority covers all.
+        assert_eq!(majority_count, 6);
+        assert_eq!(majority[2], Some(0));
+    }
+
+    #[test]
+    fn single_policy_passes_through_unaligned_partition() {
+        let consensus = integrate_partitions(&partitions(), VotingPolicy::Single(1)).unwrap();
+        assert_eq!(
+            consensus,
+            vec![Some(1), Some(1), Some(1), Some(0), Some(0), Some(0)]
+        );
+        assert!(matches!(
+            integrate_partitions(&partitions(), VotingPolicy::Single(9)),
+            Err(ConsensusError::NoPartitions)
+        ));
+    }
+
+    #[test]
+    fn identical_partitions_give_full_coverage() {
+        let p = vec![vec![0, 1, 2, 0], vec![0, 1, 2, 0], vec![2, 0, 1, 2]];
+        let consensus = integrate_partitions(&p, VotingPolicy::Unanimous).unwrap();
+        assert!(consensus.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn single_partition_unanimously_agrees_with_itself() {
+        let p = vec![vec![0, 1, 0, 1]];
+        let consensus = integrate_partitions(&p, VotingPolicy::Unanimous).unwrap();
+        assert_eq!(consensus, vec![Some(0), Some(1), Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(
+            integrate_partitions(&[], VotingPolicy::Unanimous),
+            Err(ConsensusError::NoPartitions)
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let p = vec![vec![0, 1], vec![0, 1, 2]];
+        assert!(matches!(
+            integrate_partitions(&p, VotingPolicy::Unanimous),
+            Err(ConsensusError::PartitionLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn totally_disagreeing_partitions_yield_no_consensus() {
+        // Three partitions that place every instance differently once
+        // aligned: agreement never reaches unanimity on instance 1.
+        let p = vec![
+            vec![0, 0, 1, 1],
+            vec![0, 1, 1, 0],
+            vec![0, 1, 0, 1],
+        ];
+        let consensus = integrate_partitions(&p, VotingPolicy::Unanimous).unwrap();
+        assert_eq!(consensus[0], Some(0));
+        assert!(consensus[1].is_none() || consensus[2].is_none() || consensus[3].is_none());
+    }
+
+    #[test]
+    fn default_policy_is_unanimous() {
+        assert_eq!(VotingPolicy::default(), VotingPolicy::Unanimous);
+    }
+}

@@ -1,0 +1,438 @@
+//! Contrastive-divergence (CD-k) training for the plain RBM / GRBM baselines.
+//!
+//! The update rules are Eqs. 10–12 of the paper, with the standard practical
+//! additions of mini-batches, momentum and L2 weight decay (Hinton's
+//! "Practical Guide to Training RBMs"). The positive statistics use hidden
+//! *probabilities*; the Gibbs chain uses hidden *samples* for the downward
+//! pass and probabilities for the final upward pass, which is the customary
+//! low-variance CD-1 estimator.
+
+use crate::model::BoltzmannMachine;
+use crate::{RbmError, Result, TrainConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sls_linalg::{Matrix, MatrixRandomExt};
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean squared reconstruction error over the full dataset at the end of
+    /// the epoch.
+    pub reconstruction_error: f64,
+}
+
+/// History of a training run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainingHistory {
+    /// Reconstruction error after the final epoch, if any epoch ran.
+    pub fn final_error(&self) -> Option<f64> {
+        self.epochs.last().map(|e| e.reconstruction_error)
+    }
+
+    /// Reconstruction error after the first epoch, if any epoch ran.
+    pub fn initial_error(&self) -> Option<f64> {
+        self.epochs.first().map(|e| e.reconstruction_error)
+    }
+
+    /// `true` if the final error is no worse than the initial error.
+    pub fn improved(&self) -> bool {
+        match (self.initial_error(), self.final_error()) {
+            (Some(first), Some(last)) => last <= first,
+            _ => false,
+        }
+    }
+}
+
+/// The CD gradient of one mini-batch, plus the intermediate quantities the
+/// sls trainer reuses (hidden probabilities and the reconstruction).
+#[derive(Debug, Clone)]
+pub(crate) struct CdBatchGradients {
+    /// Gradient on the weights (`n_visible x n_hidden`), already averaged
+    /// over the batch: `<v h>_data - <v h>_recon`.
+    pub dw: Matrix,
+    /// Gradient on the visible biases.
+    pub da: Vec<f64>,
+    /// Gradient on the hidden biases.
+    pub db: Vec<f64>,
+    /// Hidden probabilities driven by the data (`H_data`).
+    pub hidden_data: Matrix,
+    /// Reconstructed visible batch (`V_recon`).
+    pub visible_recon: Matrix,
+    /// Hidden probabilities driven by the reconstruction (`H_recon`).
+    pub hidden_recon: Matrix,
+}
+
+/// Computes the CD-k gradients for one mini-batch without touching the model
+/// parameters.
+pub(crate) fn cd_batch_gradients<M: BoltzmannMachine>(
+    model: &M,
+    batch: &Matrix,
+    cd_steps: usize,
+    rng: &mut impl Rng,
+) -> Result<CdBatchGradients> {
+    let n = batch.rows() as f64;
+    let hidden_data = model.hidden_probabilities(batch)?;
+
+    // Gibbs chain: sample the hidden layer, reconstruct, repeat.
+    let mut visible_recon = batch.clone();
+    let mut hidden_probs = hidden_data.clone();
+    for _ in 0..cd_steps.max(1) {
+        let hidden_sample = Matrix::sample_bernoulli(&hidden_probs, rng);
+        visible_recon = model.reconstruct_visible(&hidden_sample)?;
+        hidden_probs = model.hidden_probabilities(&visible_recon)?;
+    }
+    let hidden_recon = hidden_probs;
+
+    // <v h>_data - <v h>_recon, averaged over the batch.
+    let positive = batch.matmul_transpose_left(&hidden_data)?;
+    let negative = visible_recon.matmul_transpose_left(&hidden_recon)?;
+    let dw = positive.sub(&negative)?.scale(1.0 / n);
+
+    let da: Vec<f64> = batch
+        .column_means()
+        .iter()
+        .zip(visible_recon.column_means())
+        .map(|(&d, r)| d - r)
+        .collect();
+    let db: Vec<f64> = hidden_data
+        .column_means()
+        .iter()
+        .zip(hidden_recon.column_means())
+        .map(|(&d, r)| d - r)
+        .collect();
+
+    Ok(CdBatchGradients {
+        dw,
+        da,
+        db,
+        hidden_data,
+        visible_recon,
+        hidden_recon,
+    })
+}
+
+/// Momentum buffers for the three parameter groups.
+#[derive(Debug, Clone)]
+pub(crate) struct Velocity {
+    pub w: Matrix,
+    pub a: Vec<f64>,
+    pub b: Vec<f64>,
+}
+
+impl Velocity {
+    pub(crate) fn zeros(n_visible: usize, n_hidden: usize) -> Self {
+        Self {
+            w: Matrix::zeros(n_visible, n_hidden),
+            a: vec![0.0; n_visible],
+            b: vec![0.0; n_hidden],
+        }
+    }
+}
+
+/// Applies one momentum-smoothed update with the given gradients (already
+/// scaled by the learning rate by the caller).
+pub(crate) fn apply_update<M: BoltzmannMachine>(
+    model: &mut M,
+    velocity: &mut Velocity,
+    momentum: f64,
+    step_w: &Matrix,
+    step_a: &[f64],
+    step_b: &[f64],
+) -> Result<()> {
+    velocity.w = velocity.w.scale(momentum).add(step_w)?;
+    for (v, s) in velocity.a.iter_mut().zip(step_a) {
+        *v = momentum * *v + s;
+    }
+    for (v, s) in velocity.b.iter_mut().zip(step_b) {
+        *v = momentum * *v + s;
+    }
+    let params = model.params_mut();
+    params.weights = params.weights.add(&velocity.w)?;
+    for (p, v) in params.visible_bias.iter_mut().zip(&velocity.a) {
+        *p += v;
+    }
+    for (p, v) in params.hidden_bias.iter_mut().zip(&velocity.b) {
+        *p += v;
+    }
+    Ok(())
+}
+
+/// Shuffles (or not) the row order for one epoch.
+pub(crate) fn epoch_order(n: usize, shuffle: bool, rng: &mut impl Rng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if shuffle {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+    }
+    order
+}
+
+/// Plain contrastive-divergence trainer for [`crate::Rbm`] and
+/// [`crate::Grbm`].
+#[derive(Debug, Clone)]
+pub struct CdTrainer {
+    config: TrainConfig,
+}
+
+impl CdTrainer {
+    /// Creates a trainer after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: TrainConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `data` and returns the per-epoch history.
+    ///
+    /// # Errors
+    ///
+    /// * [`RbmError::EmptyData`] / [`RbmError::VisibleSizeMismatch`] for bad
+    ///   input shapes.
+    /// * [`RbmError::Diverged`] if parameters become non-finite.
+    pub fn train<M: BoltzmannMachine>(
+        &self,
+        model: &mut M,
+        data: &Matrix,
+        rng: &mut impl Rng,
+    ) -> Result<TrainingHistory> {
+        model.params().check_data(data)?;
+        let (n_visible, n_hidden) = (model.params().n_visible(), model.params().n_hidden());
+        let mut velocity = Velocity::zeros(n_visible, n_hidden);
+        let mut history = TrainingHistory::default();
+        let lr = self.config.learning_rate;
+
+        for epoch in 0..self.config.epochs {
+            let order = epoch_order(data.rows(), self.config.shuffle, rng);
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch = data.select_rows(chunk)?;
+                let grads = cd_batch_gradients(model, &batch, self.config.cd_steps, rng)?;
+                // ε(<vh>_data - <vh>_recon) - ε·λ·w  (weight decay)
+                let decay = model.params().weights.scale(-self.config.weight_decay);
+                let step_w = grads.dw.add(&decay)?.scale(lr);
+                let step_a: Vec<f64> = grads.da.iter().map(|g| lr * g).collect();
+                let step_b: Vec<f64> = grads.db.iter().map(|g| lr * g).collect();
+                apply_update(
+                    model,
+                    &mut velocity,
+                    self.config.momentum,
+                    &step_w,
+                    &step_a,
+                    &step_b,
+                )?;
+            }
+            if !model.params().is_finite() {
+                return Err(RbmError::Diverged { epoch });
+            }
+            history.epochs.push(EpochStats {
+                epoch,
+                reconstruction_error: model.reconstruction_error(data)?,
+            });
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Grbm, Rbm};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_linalg::MatrixRandomExt;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(100)
+    }
+
+    /// Binary toy data with two clear prototypes.
+    fn binary_prototype_data(rng: &mut impl Rng) -> Matrix {
+        let proto_a = [1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let proto_b = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let proto = if i % 2 == 0 { proto_a } else { proto_b };
+            let row: Vec<f64> = proto
+                .iter()
+                .map(|&p| {
+                    if rng.gen::<f64>() < 0.05 {
+                        1.0 - p
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            rows.push(row);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn trainer_rejects_invalid_config() {
+        assert!(CdTrainer::new(TrainConfig::default().with_epochs(0)).is_err());
+        assert!(CdTrainer::new(TrainConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn rbm_training_reduces_reconstruction_error() {
+        let mut r = rng();
+        let data = binary_prototype_data(&mut r);
+        let mut rbm = Rbm::new(6, 4, &mut r);
+        let before = rbm.reconstruction_error(&data).unwrap();
+        let config = TrainConfig::quick().with_epochs(30).with_learning_rate(0.1);
+        let history = CdTrainer::new(config).unwrap().train(&mut rbm, &data, &mut r).unwrap();
+        let after = rbm.reconstruction_error(&data).unwrap();
+        assert!(
+            after < before,
+            "reconstruction error did not improve: {before} -> {after}"
+        );
+        assert_eq!(history.epochs.len(), 30);
+        assert!(history.improved());
+    }
+
+    #[test]
+    fn grbm_training_reduces_reconstruction_error() {
+        let mut r = rng();
+        // Two Gaussian prototypes in 5 dimensions (already standardised-ish).
+        let mut rows = Vec::new();
+        for i in 0..80 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let row: Vec<f64> = (0..5)
+                .map(|_| sign + 0.3 * (r.gen::<f64>() - 0.5))
+                .collect();
+            rows.push(row);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let mut grbm = Grbm::new(5, 3, &mut r);
+        let before = grbm.reconstruction_error(&data).unwrap();
+        let config = TrainConfig::quick().with_epochs(40).with_learning_rate(0.01);
+        CdTrainer::new(config).unwrap().train(&mut grbm, &data, &mut r).unwrap();
+        let after = grbm.reconstruction_error(&data).unwrap();
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn history_records_every_epoch_in_order() {
+        let mut r = rng();
+        let data = Matrix::random_bernoulli(20, 4, 0.5, &mut r);
+        let mut rbm = Rbm::new(4, 2, &mut r);
+        let history = CdTrainer::new(TrainConfig::quick().with_epochs(7))
+            .unwrap()
+            .train(&mut rbm, &data, &mut r)
+            .unwrap();
+        assert_eq!(history.epochs.len(), 7);
+        for (i, e) in history.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert!(e.reconstruction_error.is_finite());
+        }
+        assert!(history.final_error().is_some());
+        assert!(history.initial_error().is_some());
+    }
+
+    #[test]
+    fn training_rejects_mismatched_data() {
+        let mut r = rng();
+        let mut rbm = Rbm::new(4, 2, &mut r);
+        let wrong = Matrix::zeros(5, 6);
+        assert!(matches!(
+            CdTrainer::new(TrainConfig::quick())
+                .unwrap()
+                .train(&mut rbm, &wrong, &mut r),
+            Err(RbmError::VisibleSizeMismatch { .. })
+        ));
+        let empty = Matrix::zeros(0, 4);
+        assert!(matches!(
+            CdTrainer::new(TrainConfig::quick())
+                .unwrap()
+                .train(&mut rbm, &empty, &mut r),
+            Err(RbmError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn excessive_learning_rate_is_reported_as_divergence() {
+        let mut r = rng();
+        let data = Matrix::random_normal(30, 4, 0.0, 1.0, &mut r).scale(1e3);
+        let mut grbm = Grbm::new(4, 3, &mut r);
+        let config = TrainConfig::quick().with_learning_rate(1e12).with_epochs(50);
+        let result = CdTrainer::new(config).unwrap().train(&mut grbm, &data, &mut r);
+        // Either it diverges (expected) or the reconstruction error is
+        // finite; what must never happen is a silent NaN model.
+        match result {
+            Err(RbmError::Diverged { .. }) => {}
+            Ok(_) => assert!(grbm.params().is_finite()),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn cd_gradients_have_expected_shapes() {
+        let mut r = rng();
+        let rbm = Rbm::new(6, 4, &mut r);
+        let batch = Matrix::random_bernoulli(10, 6, 0.5, &mut r);
+        let grads = cd_batch_gradients(&rbm, &batch, 1, &mut r).unwrap();
+        assert_eq!(grads.dw.shape(), (6, 4));
+        assert_eq!(grads.da.len(), 6);
+        assert_eq!(grads.db.len(), 4);
+        assert_eq!(grads.hidden_data.shape(), (10, 4));
+        assert_eq!(grads.visible_recon.shape(), (10, 6));
+        assert_eq!(grads.hidden_recon.shape(), (10, 4));
+    }
+
+    #[test]
+    fn cd_gradient_is_zero_when_reconstruction_is_perfect() {
+        // With weights = 0 and visible bias matching the data statistics on a
+        // constant dataset, the reconstruction equals the data and the CD
+        // gradient on the weights vanishes in expectation. Use a fully
+        // deterministic setup: all-ones data, huge positive visible bias.
+        let mut r = rng();
+        let mut rbm = Rbm::new(3, 2, &mut r);
+        rbm.params_mut().weights = Matrix::zeros(3, 2);
+        rbm.params_mut().visible_bias = vec![50.0, 50.0, 50.0];
+        let data = Matrix::filled(8, 3, 1.0);
+        let grads = cd_batch_gradients(&rbm, &data, 1, &mut r).unwrap();
+        assert!(grads.dw.frobenius_norm() < 1e-9);
+        assert!(grads.da.iter().all(|x| x.abs() < 1e-9));
+        assert!(grads.db.iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation() {
+        let mut r = rng();
+        let order = epoch_order(50, true, &mut r);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let unshuffled = epoch_order(5, false, &mut r);
+        assert_eq!(unshuffled, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut r = rng();
+        let mut rbm = Rbm::new(2, 2, &mut r);
+        rbm.params_mut().weights = Matrix::zeros(2, 2);
+        let mut velocity = Velocity::zeros(2, 2);
+        let step = Matrix::filled(2, 2, 1.0);
+        apply_update(&mut rbm, &mut velocity, 0.5, &step, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        apply_update(&mut rbm, &mut velocity, 0.5, &step, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        // First update: +1, second: +1.5 (momentum carries half of the first).
+        assert!((rbm.params().weights[(0, 0)] - 2.5).abs() < 1e-12);
+    }
+}

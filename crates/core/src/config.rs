@@ -1,0 +1,202 @@
+//! Training hyper-parameters shared by the plain CD trainer and the sls
+//! trainer.
+
+use crate::{RbmError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of contrastive-divergence training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate ε of Eqs. 10–12. The paper uses `1e-4` for slsGRBM and
+    /// `1e-5` for slsRBM.
+    pub learning_rate: f64,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of Gibbs steps per update (CD-k). The paper uses CD-1.
+    pub cd_steps: usize,
+    /// L2 weight decay applied to the connection weights.
+    pub weight_decay: f64,
+    /// Momentum coefficient on all parameter updates.
+    pub momentum: f64,
+    /// Whether to shuffle instances between epochs.
+    pub shuffle: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 1e-3,
+            epochs: 20,
+            batch_size: 64,
+            cd_steps: 1,
+            weight_decay: 1e-4,
+            momentum: 0.5,
+            shuffle: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The configuration the paper reports for the slsGRBM experiments
+    /// (learning rate `1e-4`, CD-1).
+    pub fn paper_grbm() -> Self {
+        Self {
+            learning_rate: 1e-4,
+            epochs: 30,
+            batch_size: 64,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration the paper reports for the slsRBM experiments
+    /// (learning rate `1e-5`, CD-1).
+    pub fn paper_rbm() -> Self {
+        Self {
+            learning_rate: 1e-5,
+            epochs: 30,
+            batch_size: 64,
+            ..Self::default()
+        }
+    }
+
+    /// A small configuration for tests and quick demos.
+    pub fn quick() -> Self {
+        Self {
+            learning_rate: 0.05,
+            epochs: 5,
+            batch_size: 32,
+            weight_decay: 0.0,
+            momentum: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the learning rate.
+    pub fn with_learning_rate(mut self, learning_rate: f64) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Overrides the number of epochs.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Overrides the mini-batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Overrides the number of CD steps.
+    pub fn with_cd_steps(mut self, cd_steps: usize) -> Self {
+        self.cd_steps = cd_steps;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::InvalidConfig`] for non-positive learning rates,
+    /// zero epochs/batch/CD steps, negative weight decay or a momentum
+    /// outside `[0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(RbmError::InvalidConfig {
+                name: "learning_rate",
+                message: format!("must be positive and finite, got {}", self.learning_rate),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(RbmError::InvalidConfig {
+                name: "epochs",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(RbmError::InvalidConfig {
+                name: "batch_size",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.cd_steps == 0 {
+            return Err(RbmError::InvalidConfig {
+                name: "cd_steps",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.weight_decay < 0.0 {
+            return Err(RbmError::InvalidConfig {
+                name: "weight_decay",
+                message: "must be non-negative".to_string(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(RbmError::InvalidConfig {
+                name: "momentum",
+                message: format!("must be in [0, 1), got {}", self.momentum),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(TrainConfig::default().validate().is_ok());
+        assert!(TrainConfig::paper_grbm().validate().is_ok());
+        assert!(TrainConfig::paper_rbm().validate().is_ok());
+        assert!(TrainConfig::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_configs_use_reported_learning_rates() {
+        assert_eq!(TrainConfig::paper_grbm().learning_rate, 1e-4);
+        assert_eq!(TrainConfig::paper_rbm().learning_rate, 1e-5);
+        assert_eq!(TrainConfig::paper_grbm().cd_steps, 1);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = TrainConfig::default()
+            .with_learning_rate(0.5)
+            .with_epochs(3)
+            .with_batch_size(16)
+            .with_cd_steps(2);
+        assert_eq!(c.learning_rate, 0.5);
+        assert_eq!(c.epochs, 3);
+        assert_eq!(c.batch_size, 16);
+        assert_eq!(c.cd_steps, 2);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        assert!(TrainConfig::default().with_learning_rate(0.0).validate().is_err());
+        assert!(TrainConfig::default().with_learning_rate(f64::NAN).validate().is_err());
+        assert!(TrainConfig::default().with_epochs(0).validate().is_err());
+        assert!(TrainConfig::default().with_batch_size(0).validate().is_err());
+        assert!(TrainConfig::default().with_cd_steps(0).validate().is_err());
+        let mut c = TrainConfig::default();
+        c.weight_decay = -1.0;
+        assert!(c.validate().is_err());
+        c = TrainConfig::default();
+        c.momentum = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = TrainConfig::paper_grbm();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

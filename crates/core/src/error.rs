@@ -1,0 +1,156 @@
+//! Error type for model construction, training and persistence.
+
+use std::fmt;
+
+/// Errors raised by the RBM family.
+#[derive(Debug)]
+pub enum RbmError {
+    /// The data fed to the model has the wrong number of columns.
+    VisibleSizeMismatch {
+        /// Columns of the data supplied.
+        data: usize,
+        /// Visible units of the model.
+        model: usize,
+    },
+    /// The training data is empty.
+    EmptyData,
+    /// An invalid hyper-parameter value was supplied.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+    /// Training produced a non-finite parameter (diverged).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// The supervision refers to instance indices outside the data.
+    SupervisionOutOfRange {
+        /// Largest index referenced by the supervision.
+        index: usize,
+        /// Number of instances in the data.
+        instances: usize,
+    },
+    /// Propagated linear-algebra error.
+    Linalg(sls_linalg::LinalgError),
+    /// Propagated consensus error (supervision construction failed).
+    Consensus(sls_consensus::ConsensusError),
+    /// Propagated clustering error (base clusterers failed).
+    Clustering(sls_clustering::ClusteringError),
+    /// Model persistence failed.
+    Io(std::io::Error),
+    /// Model (de)serialisation failed.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for RbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbmError::VisibleSizeMismatch { data, model } => write!(
+                f,
+                "data has {data} features but the model has {model} visible units"
+            ),
+            RbmError::EmptyData => write!(f, "training data must contain at least one instance"),
+            RbmError::InvalidConfig { name, message } => {
+                write!(f, "invalid value for '{name}': {message}")
+            }
+            RbmError::Diverged { epoch } => {
+                write!(f, "training diverged (non-finite parameters) at epoch {epoch}")
+            }
+            RbmError::SupervisionOutOfRange { index, instances } => write!(
+                f,
+                "supervision references instance {index} but the data has only {instances} instances"
+            ),
+            RbmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            RbmError::Consensus(e) => write!(f, "supervision construction failed: {e}"),
+            RbmError::Clustering(e) => write!(f, "clustering failed: {e}"),
+            RbmError::Io(e) => write!(f, "I/O error: {e}"),
+            RbmError::Serde(e) => write!(f, "serialisation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RbmError::Linalg(e) => Some(e),
+            RbmError::Consensus(e) => Some(e),
+            RbmError::Clustering(e) => Some(e),
+            RbmError::Io(e) => Some(e),
+            RbmError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sls_linalg::LinalgError> for RbmError {
+    fn from(e: sls_linalg::LinalgError) -> Self {
+        RbmError::Linalg(e)
+    }
+}
+
+impl From<sls_consensus::ConsensusError> for RbmError {
+    fn from(e: sls_consensus::ConsensusError) -> Self {
+        RbmError::Consensus(e)
+    }
+}
+
+impl From<sls_clustering::ClusteringError> for RbmError {
+    fn from(e: sls_clustering::ClusteringError) -> Self {
+        RbmError::Clustering(e)
+    }
+}
+
+impl From<std::io::Error> for RbmError {
+    fn from(e: std::io::Error) -> Self {
+        RbmError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for RbmError {
+    fn from(e: serde_json::Error) -> Self {
+        RbmError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RbmError::VisibleSizeMismatch { data: 4, model: 8 }
+            .to_string()
+            .contains("4 features"));
+        assert!(RbmError::EmptyData.to_string().contains("at least one"));
+        assert!(RbmError::InvalidConfig {
+            name: "learning_rate",
+            message: "must be positive".into()
+        }
+        .to_string()
+        .contains("learning_rate"));
+        assert!(RbmError::Diverged { epoch: 7 }.to_string().contains("epoch 7"));
+        assert!(RbmError::SupervisionOutOfRange {
+            index: 10,
+            instances: 5
+        }
+        .to_string()
+        .contains("instance 10"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        use std::error::Error;
+        let e: RbmError = sls_linalg::LinalgError::Empty { op: "x" }.into();
+        assert!(e.source().is_some());
+        let e: RbmError = sls_consensus::ConsensusError::NoPartitions.into();
+        assert!(e.source().is_some());
+        let e: RbmError = sls_clustering::ClusteringError::EmptyData.into();
+        assert!(e.source().is_some());
+        let e: RbmError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(e.source().is_some());
+        assert!(RbmError::EmptyData.source().is_none());
+    }
+}

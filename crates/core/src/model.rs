@@ -1,0 +1,234 @@
+//! Shared parameter container and the [`BoltzmannMachine`] trait.
+
+use crate::{RbmError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sls_linalg::{Matrix, MatrixRandomExt};
+
+/// Kind of visible layer a model exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisibleKind {
+    /// Binary (Bernoulli) visible units reconstructed through a sigmoid.
+    Binary,
+    /// Gaussian linear visible units with unit variance, reconstructed
+    /// linearly (Section III-B of the paper).
+    Gaussian,
+}
+
+/// Parameters shared by every model in the RBM family: a weight matrix
+/// (`n_visible x n_hidden`), visible biases `a` and hidden biases `b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RbmParams {
+    /// Symmetric connection weights `w_ij`, one row per visible unit.
+    pub weights: Matrix,
+    /// Visible-layer biases `a_i`.
+    pub visible_bias: Vec<f64>,
+    /// Hidden-layer biases `b_j`.
+    pub hidden_bias: Vec<f64>,
+}
+
+impl RbmParams {
+    /// Initialises parameters with small zero-mean Gaussian weights
+    /// (`std = 0.01`, Hinton's practical recommendation) and zero biases.
+    pub fn init(n_visible: usize, n_hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weights: Matrix::random_normal(n_visible, n_hidden, 0.0, 0.01, rng),
+            visible_bias: vec![0.0; n_visible],
+            hidden_bias: vec![0.0; n_hidden],
+        }
+    }
+
+    /// Number of visible units.
+    pub fn n_visible(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of hidden units.
+    pub fn n_hidden(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// `true` if every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.weights.is_finite()
+            && self.visible_bias.iter().all(|x| x.is_finite())
+            && self.hidden_bias.iter().all(|x| x.is_finite())
+    }
+
+    /// Checks that a data matrix is compatible with the visible layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::VisibleSizeMismatch`] or [`RbmError::EmptyData`].
+    pub fn check_data(&self, data: &Matrix) -> Result<()> {
+        if data.rows() == 0 {
+            return Err(RbmError::EmptyData);
+        }
+        if data.cols() != self.n_visible() {
+            return Err(RbmError::VisibleSizeMismatch {
+                data: data.cols(),
+                model: self.n_visible(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Behaviour common to the binary RBM and the Gaussian-visible GRBM.
+///
+/// The hidden layer is binary in both models, so `p(h_j = 1 | v)` is always a
+/// sigmoid (Eq. 2); models differ only in how the visible layer is
+/// reconstructed from hidden activity (Eq. 3 vs. Eq. 5).
+pub trait BoltzmannMachine {
+    /// Immutable access to the parameters.
+    fn params(&self) -> &RbmParams;
+
+    /// Mutable access to the parameters.
+    fn params_mut(&mut self) -> &mut RbmParams;
+
+    /// Which kind of visible layer this model has.
+    fn visible_kind(&self) -> VisibleKind;
+
+    /// Hidden unit activation probabilities `p(h_j = 1 | v)` for each row of
+    /// `visible` — the hidden features used for clustering.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `visible` has the wrong width or no rows.
+    fn hidden_probabilities(&self, visible: &Matrix) -> Result<Matrix> {
+        let params = self.params();
+        params.check_data(visible)?;
+        let pre = visible
+            .matmul(&params.weights)?
+            .add_row_broadcast(&params.hidden_bias)?;
+        Ok(pre.map(sigmoid))
+    }
+
+    /// Samples a binary hidden state from the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`BoltzmannMachine::hidden_probabilities`].
+    fn sample_hidden(&self, visible: &Matrix, rng: &mut impl Rng) -> Result<Matrix>
+    where
+        Self: Sized,
+    {
+        let probs = self.hidden_probabilities(visible)?;
+        Ok(Matrix::sample_bernoulli(&probs, rng))
+    }
+
+    /// Reconstructs the visible layer from hidden activities.
+    ///
+    /// For binary models this is `σ(a + h Wᵀ)`; for Gaussian models it is the
+    /// linear mean `a + h Wᵀ` (unit-variance, noise-free reconstruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `hidden` has the wrong width.
+    fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix>;
+
+    /// One full Gibbs round trip `v -> h -> v̂` returning the reconstruction,
+    /// using hidden *samples* for the downward pass (CD-1 convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the individual passes.
+    fn reconstruct(&self, visible: &Matrix, rng: &mut impl Rng) -> Result<Matrix>
+    where
+        Self: Sized,
+    {
+        let hidden = self.sample_hidden(visible, rng)?;
+        self.reconstruct_visible(&hidden)
+    }
+
+    /// Mean squared reconstruction error of one deterministic round trip
+    /// (hidden probabilities instead of samples), a convenient progress
+    /// metric for training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    fn reconstruction_error(&self, visible: &Matrix) -> Result<f64> {
+        let hidden = self.hidden_probabilities(visible)?;
+        let recon = self.reconstruct_visible(&hidden)?;
+        let diff = visible.sub(&recon)?;
+        Ok(diff.as_slice().iter().map(|x| x * x).sum::<f64>() / diff.len() as f64)
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn init_shapes_and_scale() {
+        let p = RbmParams::init(20, 8, &mut rng());
+        assert_eq!(p.n_visible(), 20);
+        assert_eq!(p.n_hidden(), 8);
+        assert_eq!(p.visible_bias.len(), 20);
+        assert_eq!(p.hidden_bias.len(), 8);
+        assert!(p.is_finite());
+        // Weights are small.
+        assert!(p.weights.max().unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn check_data_validates() {
+        let p = RbmParams::init(4, 2, &mut rng());
+        assert!(p.check_data(&Matrix::zeros(3, 4)).is_ok());
+        assert!(matches!(
+            p.check_data(&Matrix::zeros(3, 5)),
+            Err(RbmError::VisibleSizeMismatch { data: 5, model: 4 })
+        ));
+        assert!(matches!(
+            p.check_data(&Matrix::zeros(0, 4)),
+            Err(RbmError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut p = RbmParams::init(3, 3, &mut rng());
+        assert!(p.is_finite());
+        p.hidden_bias[1] = f64::NAN;
+        assert!(!p.is_finite());
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        // Symmetry: σ(-x) = 1 - σ(x).
+        for x in [-3.0, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RbmParams::init(5, 3, &mut rng());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RbmParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

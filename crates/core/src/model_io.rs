@@ -1,0 +1,72 @@
+//! Model persistence: save and load [`RbmParams`] as JSON.
+//!
+//! JSON keeps the snapshots human-inspectable and avoids any additional
+//! binary-format dependency; the matrices involved (≤ ~900 × 64) stay well
+//! within comfortable JSON sizes.
+
+use crate::{RbmParams, Result};
+use std::path::Path;
+
+/// Serialises parameters to a JSON file, creating parent directories if
+/// needed.
+///
+/// # Errors
+///
+/// Returns I/O or serialisation errors.
+pub fn save_params_json(params: &RbmParams, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(params)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads parameters from a JSON file produced by [`save_params_json`].
+///
+/// # Errors
+///
+/// Returns I/O or deserialisation errors.
+pub fn load_params_json(path: impl AsRef<Path>) -> Result<RbmParams> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RbmParams;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = RbmParams::init(7, 3, &mut rng);
+        let dir = std::env::temp_dir().join("sls_rbm_model_io_test");
+        let path = dir.join("nested").join("model.json");
+        save_params_json(&params, &path).unwrap();
+        let loaded = load_params_json(&path).unwrap();
+        assert_eq!(loaded, params);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_missing_file_errors() {
+        assert!(load_params_json("/nonexistent/not_a_model.json").is_err());
+    }
+
+    #[test]
+    fn loading_corrupt_json_errors() {
+        let dir = std::env::temp_dir().join("sls_rbm_model_io_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json }").unwrap();
+        let err = load_params_json(&path).unwrap_err();
+        assert!(matches!(err, crate::RbmError::Serde(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

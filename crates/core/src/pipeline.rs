@@ -1,0 +1,397 @@
+//! End-to-end pipelines reproducing the paper's experimental protocol.
+//!
+//! Every experiment in Section V follows the same stages:
+//!
+//! 1. **Preprocess** — standardise real-valued data for the Gaussian models,
+//!    binarise data for the binary models.
+//! 2. **Self-learning supervision** (sls models only) — run DP, K-means and
+//!    AP on the preprocessed data and integrate them by unanimous voting.
+//! 3. **Train** the energy model (plain CD for the baselines, the sls
+//!    objective for slsRBM / slsGRBM).
+//! 4. **Extract** hidden features; a downstream clusterer (chosen by the
+//!    caller / the experiment harness) then clusters them.
+//!
+//! The pipeline types bundle stages 1–4 behind a single `run` call.
+
+use crate::model::BoltzmannMachine;
+use crate::sls::{SlsConfig, SlsGrbm, SlsRbm};
+use crate::{CdTrainer, Grbm, Rbm, Result, TrainConfig, TrainingHistory};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sls_clustering::{AffinityPropagation, Clusterer, DensityPeaks, KMeans};
+use sls_consensus::{LocalSupervisionBuilder, SupervisionSummary, VotingPolicy};
+use sls_linalg::Matrix;
+
+/// How the input data is prepared before it reaches the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preprocessing {
+    /// Column-wise standardisation (zero mean, unit variance); the right
+    /// choice for Gaussian-visible models.
+    Standardize,
+    /// Median binarisation per column; the right choice for binary-visible
+    /// models on real-valued inputs.
+    BinarizeMedian,
+    /// Use the data as-is (it is already binary / already standardised).
+    None,
+}
+
+/// Configuration shared by all four pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlsPipelineConfig {
+    /// Number of hidden units of the energy model.
+    pub n_hidden: usize,
+    /// Number of clusters the base clusterers target (the paper uses the
+    /// ground-truth class count) and that downstream evaluation uses.
+    pub n_clusters: usize,
+    /// CD training hyper-parameters.
+    pub train: TrainConfig,
+    /// sls hyper-parameters (ignored by the baseline pipelines).
+    pub sls: SlsConfig,
+    /// Voting policy used to integrate the base clusterings.
+    pub voting: VotingPolicy,
+    /// Preprocessing applied before training.
+    pub preprocessing: Preprocessing,
+}
+
+impl SlsPipelineConfig {
+    /// Paper settings for the MSRA-MM experiments (slsGRBM, η = 0.4,
+    /// learning rate 1e-4, standardised inputs).
+    pub fn paper_grbm(n_clusters: usize) -> Self {
+        Self {
+            n_hidden: 64,
+            n_clusters,
+            train: TrainConfig::paper_grbm(),
+            sls: SlsConfig::paper_grbm(),
+            voting: VotingPolicy::Unanimous,
+            preprocessing: Preprocessing::Standardize,
+        }
+    }
+
+    /// Paper settings for the UCI experiments (slsRBM, η = 0.5, learning
+    /// rate 1e-5, median-binarised inputs).
+    pub fn paper_rbm(n_clusters: usize) -> Self {
+        Self {
+            n_hidden: 32,
+            n_clusters,
+            train: TrainConfig::paper_rbm(),
+            sls: SlsConfig::paper_rbm(),
+            voting: VotingPolicy::Unanimous,
+            preprocessing: Preprocessing::BinarizeMedian,
+        }
+    }
+
+    /// A small, fast configuration for demos and tests.
+    pub fn quick_demo() -> Self {
+        Self {
+            n_hidden: 12,
+            n_clusters: 3,
+            train: TrainConfig::default()
+                .with_learning_rate(5e-3)
+                .with_epochs(15)
+                .with_batch_size(32),
+            sls: SlsConfig::new(0.5).with_supervision_learning_rate(0.2),
+            voting: VotingPolicy::Unanimous,
+            preprocessing: Preprocessing::Standardize,
+        }
+    }
+
+    /// Overrides the hidden-layer width.
+    pub fn with_hidden(mut self, n_hidden: usize) -> Self {
+        self.n_hidden = n_hidden;
+        self
+    }
+
+    /// Overrides the cluster count.
+    pub fn with_clusters(mut self, n_clusters: usize) -> Self {
+        self.n_clusters = n_clusters;
+        self
+    }
+
+    /// Overrides the training configuration.
+    pub fn with_train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Overrides the sls configuration.
+    pub fn with_sls(mut self, sls: SlsConfig) -> Self {
+        self.sls = sls;
+        self
+    }
+
+    /// Overrides the voting policy.
+    pub fn with_voting(mut self, voting: VotingPolicy) -> Self {
+        self.voting = voting;
+        self
+    }
+
+    /// Overrides the preprocessing step.
+    pub fn with_preprocessing(mut self, preprocessing: Preprocessing) -> Self {
+        self.preprocessing = preprocessing;
+        self
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Hidden-layer features, one row per instance — the representation the
+    /// paper clusters.
+    pub hidden_features: Matrix,
+    /// The preprocessed data actually fed to the model.
+    pub preprocessed: Matrix,
+    /// Per-epoch training history.
+    pub history: TrainingHistory,
+    /// Summary of the self-learning supervision (`None` for the baseline
+    /// pipelines that do not build one).
+    pub supervision: Option<SupervisionSummary>,
+}
+
+fn preprocess(data: &Matrix, preprocessing: Preprocessing) -> Result<Matrix> {
+    Ok(match preprocessing {
+        Preprocessing::Standardize => sls_datasets::standardize_columns(data)
+            .map_err(|e| crate::RbmError::InvalidConfig {
+                name: "preprocessing",
+                message: e.to_string(),
+            })?,
+        Preprocessing::BinarizeMedian => sls_datasets::binarize_median(data),
+        Preprocessing::None => data.clone(),
+    })
+}
+
+/// The paper's base clusterers (DP, K-means, AP) targeting `k` clusters.
+fn base_clusterers(k: usize) -> Vec<Box<dyn Clusterer>> {
+    vec![
+        Box::new(DensityPeaks::new(k)),
+        Box::new(KMeans::new(k)),
+        Box::new(AffinityPropagation::default().with_target_clusters(k)),
+    ]
+}
+
+macro_rules! sls_pipeline {
+    ($(#[$doc:meta])* $name:ident, $model:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            config: SlsPipelineConfig,
+        }
+
+        impl $name {
+            /// Creates the pipeline with the given configuration.
+            pub fn new(config: SlsPipelineConfig) -> Self {
+                Self { config }
+            }
+
+            /// The active configuration.
+            pub fn config(&self) -> &SlsPipelineConfig {
+                &self.config
+            }
+
+            /// Runs preprocessing, supervision construction, training and
+            /// feature extraction on `data` (one row per instance).
+            ///
+            /// # Errors
+            ///
+            /// Propagates preprocessing, clustering, supervision and training
+            /// errors.
+            pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
+                let preprocessed = preprocess(data, self.config.preprocessing)?;
+                let clusterers = base_clusterers(self.config.n_clusters);
+                let supervision = LocalSupervisionBuilder::new(self.config.n_clusters)
+                    .with_policy(self.config.voting)
+                    .build_with_clusterers(&clusterers, &preprocessed, rng)?;
+                let mut model =
+                    <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
+                let history = model.train(
+                    &preprocessed,
+                    &supervision,
+                    self.config.train,
+                    self.config.sls,
+                    rng,
+                )?;
+                let hidden_features = model.hidden_features(&preprocessed)?;
+                Ok(PipelineOutcome {
+                    hidden_features,
+                    preprocessed,
+                    history,
+                    supervision: Some(supervision.summary()),
+                })
+            }
+        }
+    };
+}
+
+macro_rules! baseline_pipeline {
+    ($(#[$doc:meta])* $name:ident, $model:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            config: SlsPipelineConfig,
+        }
+
+        impl $name {
+            /// Creates the pipeline with the given configuration (the `sls`
+            /// and `voting` fields are ignored).
+            pub fn new(config: SlsPipelineConfig) -> Self {
+                Self { config }
+            }
+
+            /// The active configuration.
+            pub fn config(&self) -> &SlsPipelineConfig {
+                &self.config
+            }
+
+            /// Runs preprocessing, plain CD training and feature extraction.
+            ///
+            /// # Errors
+            ///
+            /// Propagates preprocessing and training errors.
+            pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
+                let preprocessed = preprocess(data, self.config.preprocessing)?;
+                let mut model =
+                    <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
+                let history =
+                    CdTrainer::new(self.config.train)?.train(&mut model, &preprocessed, rng)?;
+                let hidden_features = model.hidden_probabilities(&preprocessed)?;
+                Ok(PipelineOutcome {
+                    hidden_features,
+                    preprocessed,
+                    history,
+                    supervision: None,
+                })
+            }
+        }
+    };
+}
+
+sls_pipeline!(
+    /// Full slsGRBM pipeline: standardise → multi-clustering supervision →
+    /// sls training of a Gaussian-visible model → hidden features.
+    SlsGrbmPipeline,
+    SlsGrbm
+);
+
+sls_pipeline!(
+    /// Full slsRBM pipeline: binarise → multi-clustering supervision → sls
+    /// training of a binary model → hidden features.
+    SlsRbmPipeline,
+    SlsRbm
+);
+
+baseline_pipeline!(
+    /// Baseline GRBM pipeline (plain CD, no supervision), the `X+GRBM`
+    /// columns of Tables IV–VI.
+    GrbmPipeline,
+    Grbm
+);
+
+baseline_pipeline!(
+    /// Baseline RBM pipeline (plain CD, no supervision), the `X+RBM` columns
+    /// of Tables VII–IX.
+    RbmPipeline,
+    Rbm
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_datasets::SyntheticBlobs;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(808)
+    }
+
+    fn dataset() -> sls_datasets::Dataset {
+        SyntheticBlobs::new(60, 6, 3).separation(6.0).generate(&mut rng())
+    }
+
+    #[test]
+    fn config_builders_override_fields() {
+        let c = SlsPipelineConfig::quick_demo()
+            .with_hidden(5)
+            .with_clusters(4)
+            .with_voting(VotingPolicy::Majority)
+            .with_preprocessing(Preprocessing::None)
+            .with_train(TrainConfig::quick().with_epochs(1))
+            .with_sls(SlsConfig::new(0.9));
+        assert_eq!(c.n_hidden, 5);
+        assert_eq!(c.n_clusters, 4);
+        assert_eq!(c.voting, VotingPolicy::Majority);
+        assert_eq!(c.preprocessing, Preprocessing::None);
+        assert_eq!(c.train.epochs, 1);
+        assert_eq!(c.sls.eta, 0.9);
+    }
+
+    #[test]
+    fn paper_configs_use_paper_hyperparameters() {
+        let g = SlsPipelineConfig::paper_grbm(3);
+        assert_eq!(g.train.learning_rate, 1e-4);
+        assert_eq!(g.sls.eta, 0.4);
+        assert_eq!(g.preprocessing, Preprocessing::Standardize);
+        let r = SlsPipelineConfig::paper_rbm(2);
+        assert_eq!(r.train.learning_rate, 1e-5);
+        assert_eq!(r.sls.eta, 0.5);
+        assert_eq!(r.preprocessing, Preprocessing::BinarizeMedian);
+    }
+
+    #[test]
+    fn sls_grbm_pipeline_produces_features_and_supervision() {
+        let ds = dataset();
+        let outcome = SlsGrbmPipeline::new(SlsPipelineConfig::quick_demo())
+            .run(ds.features(), &mut rng())
+            .unwrap();
+        assert_eq!(outcome.hidden_features.rows(), 60);
+        assert_eq!(outcome.hidden_features.cols(), 12);
+        assert!(outcome.supervision.is_some());
+        assert!(outcome.supervision.unwrap().coverage > 0.0);
+        assert!(outcome.hidden_features.is_finite());
+    }
+
+    #[test]
+    fn sls_rbm_pipeline_binarizes_and_runs() {
+        let ds = dataset();
+        let config = SlsPipelineConfig::quick_demo()
+            .with_preprocessing(Preprocessing::BinarizeMedian);
+        let outcome = SlsRbmPipeline::new(config).run(ds.features(), &mut rng()).unwrap();
+        // Preprocessed data must be binary.
+        assert!(outcome
+            .preprocessed
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0 || x == 1.0));
+        assert_eq!(outcome.hidden_features.rows(), 60);
+    }
+
+    #[test]
+    fn baseline_pipelines_have_no_supervision() {
+        let ds = dataset();
+        let outcome = GrbmPipeline::new(SlsPipelineConfig::quick_demo())
+            .run(ds.features(), &mut rng())
+            .unwrap();
+        assert!(outcome.supervision.is_none());
+        let config = SlsPipelineConfig::quick_demo()
+            .with_preprocessing(Preprocessing::BinarizeMedian);
+        let outcome = RbmPipeline::new(config).run(ds.features(), &mut rng()).unwrap();
+        assert!(outcome.supervision.is_none());
+        assert_eq!(outcome.hidden_features.rows(), 60);
+    }
+
+    #[test]
+    fn pipeline_with_invalid_train_config_errors() {
+        let ds = dataset();
+        let config = SlsPipelineConfig::quick_demo().with_train(TrainConfig::quick().with_epochs(0));
+        assert!(SlsGrbmPipeline::new(config).run(ds.features(), &mut rng()).is_err());
+        assert!(GrbmPipeline::new(config).run(ds.features(), &mut rng()).is_err());
+    }
+
+    #[test]
+    fn config_accessors_round_trip() {
+        let config = SlsPipelineConfig::quick_demo();
+        assert_eq!(SlsGrbmPipeline::new(config).config(), &config);
+        assert_eq!(SlsRbmPipeline::new(config).config(), &config);
+        assert_eq!(GrbmPipeline::new(config).config(), &config);
+        assert_eq!(RbmPipeline::new(config).config(), &config);
+    }
+}

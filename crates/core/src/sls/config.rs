@@ -1,0 +1,124 @@
+//! Configuration of the self-learning local supervision term.
+
+use crate::{RbmError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the sls objective (Eq. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlsConfig {
+    /// Scale coefficient η ∈ (0, 1) balancing the CD likelihood term (weight
+    /// η) against the constrict/disperse term (weight 1-η). The paper uses
+    /// 0.4 for slsGRBM and 0.5 for slsRBM.
+    pub eta: f64,
+    /// Learning rate applied to the supervision gradient. `None` reuses the
+    /// CD learning rate ε, which matches the paper's single-learning-rate
+    /// formulation.
+    pub supervision_learning_rate: Option<f64>,
+}
+
+impl Default for SlsConfig {
+    fn default() -> Self {
+        Self {
+            eta: 0.5,
+            supervision_learning_rate: None,
+        }
+    }
+}
+
+impl SlsConfig {
+    /// Creates a config with the given η.
+    pub fn new(eta: f64) -> Self {
+        Self {
+            eta,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's slsGRBM setting (η = 0.4).
+    pub fn paper_grbm() -> Self {
+        Self::new(0.4)
+    }
+
+    /// The paper's slsRBM setting (η = 0.5).
+    pub fn paper_rbm() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Overrides the supervision learning rate.
+    pub fn with_supervision_learning_rate(mut self, lr: f64) -> Self {
+        self.supervision_learning_rate = Some(lr);
+        self
+    }
+
+    /// Resolves the supervision learning rate given the CD learning rate.
+    pub fn resolve_supervision_lr(&self, cd_learning_rate: f64) -> f64 {
+        self.supervision_learning_rate.unwrap_or(cd_learning_rate)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::InvalidConfig`] if η is outside `(0, 1)` or the
+    /// supervision learning rate is not positive.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.eta > 0.0 && self.eta < 1.0) {
+            return Err(RbmError::InvalidConfig {
+                name: "eta",
+                message: format!("must be in (0, 1), got {}", self.eta),
+            });
+        }
+        if let Some(lr) = self.supervision_learning_rate {
+            if !(lr > 0.0 && lr.is_finite()) {
+                return Err(RbmError::InvalidConfig {
+                    name: "supervision_learning_rate",
+                    message: format!("must be positive and finite, got {lr}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_section_v() {
+        assert_eq!(SlsConfig::paper_grbm().eta, 0.4);
+        assert_eq!(SlsConfig::paper_rbm().eta, 0.5);
+        assert!(SlsConfig::paper_grbm().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_eta() {
+        assert!(SlsConfig::new(0.0).validate().is_err());
+        assert!(SlsConfig::new(1.0).validate().is_err());
+        assert!(SlsConfig::new(-0.2).validate().is_err());
+        assert!(SlsConfig::new(0.7).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_supervision_lr() {
+        assert!(SlsConfig::new(0.5)
+            .with_supervision_learning_rate(0.0)
+            .validate()
+            .is_err());
+        assert!(SlsConfig::new(0.5)
+            .with_supervision_learning_rate(1e-3)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn supervision_lr_defaults_to_cd_lr() {
+        assert_eq!(SlsConfig::new(0.5).resolve_supervision_lr(0.01), 0.01);
+        assert_eq!(
+            SlsConfig::new(0.5)
+                .with_supervision_learning_rate(0.5)
+                .resolve_supervision_lr(0.01),
+            0.5
+        );
+    }
+}

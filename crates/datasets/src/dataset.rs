@@ -1,0 +1,234 @@
+//! The [`Dataset`] container: features + ground-truth labels + spec.
+
+use crate::{DataFamily, DatasetError, DatasetSpec, Result};
+use sls_linalg::Matrix;
+
+/// A dataset: an `n x d` feature matrix, `n` ground-truth class labels and a
+/// descriptive [`DatasetSpec`].
+///
+/// Ground-truth labels are used **only for evaluation** — the models and the
+/// self-learning supervision never see them, which is what makes the paper's
+/// method unsupervised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    spec: DatasetSpec,
+    features: Matrix,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating that shapes are consistent.
+    ///
+    /// # Errors
+    ///
+    /// * [`DatasetError::EmptyDataset`] if there are no rows or columns.
+    /// * [`DatasetError::LabelLengthMismatch`] if `labels.len()` differs from
+    ///   the number of feature rows.
+    pub fn new(spec: DatasetSpec, features: Matrix, labels: Vec<usize>) -> Result<Self> {
+        if features.rows() == 0 || features.cols() == 0 {
+            return Err(DatasetError::EmptyDataset);
+        }
+        if features.rows() != labels.len() {
+            return Err(DatasetError::LabelLengthMismatch {
+                instances: features.rows(),
+                labels: labels.len(),
+            });
+        }
+        Ok(Self {
+            spec,
+            features,
+            labels,
+        })
+    }
+
+    /// Dataset descriptor.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Feature matrix (`instances x features`).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Ground-truth class labels, one per instance.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of instances.
+    pub fn n_instances(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of distinct classes present in the labels.
+    pub fn n_classes(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Per-class instance counts, indexed by sorted distinct label.
+    pub fn class_counts(&self) -> Vec<(usize, usize)> {
+        let mut sorted: Vec<usize> = self.labels.clone();
+        sorted.sort_unstable();
+        let mut counts = Vec::new();
+        for l in sorted {
+            match counts.last_mut() {
+                Some((label, count)) if *label == l => *count += 1,
+                _ => counts.push((l, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Returns a copy with the feature matrix replaced (labels and spec are
+    /// kept). Used to swap raw features for learned hidden features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LabelLengthMismatch`] if the new matrix has a
+    /// different number of rows.
+    pub fn with_features(&self, features: Matrix) -> Result<Self> {
+        if features.rows() != self.labels.len() {
+            return Err(DatasetError::LabelLengthMismatch {
+                instances: features.rows(),
+                labels: self.labels.len(),
+            });
+        }
+        Ok(Self {
+            spec: self.spec.clone(),
+            features,
+            labels: self.labels.clone(),
+        })
+    }
+
+    /// Returns the subset of the dataset given by `indices` (rows and labels
+    /// are selected together, preserving alignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self> {
+        let features = self.features.select_rows(indices)?;
+        let labels = indices
+            .iter()
+            .map(|&i| {
+                self.labels.get(i).copied().ok_or(DatasetError::Linalg(
+                    sls_linalg::LinalgError::IndexOutOfBounds {
+                        axis: "row",
+                        index: i,
+                        len: self.labels.len(),
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            spec: self.spec.clone(),
+            features,
+            labels,
+        })
+    }
+
+    /// Convenience constructor for ad-hoc synthetic data in examples/tests.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Dataset::new`].
+    pub fn from_parts(
+        name: &str,
+        features: Matrix,
+        labels: Vec<usize>,
+    ) -> Result<Self> {
+        let spec = DatasetSpec::new(
+            name,
+            name,
+            DataFamily::Synthetic,
+            features.rows(),
+            features.cols(),
+            {
+                let mut s: Vec<usize> = labels.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len()
+            },
+        );
+        Self::new(spec, features, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.2, 0.0],
+            vec![5.0, 5.1],
+            vec![5.2, 4.9],
+        ])
+        .unwrap();
+        Dataset::from_parts("toy", features, vec![0, 0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let features = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let spec = DatasetSpec::new("x", "x", DataFamily::Synthetic, 2, 1, 2);
+        assert!(Dataset::new(spec.clone(), features.clone(), vec![0, 1]).is_ok());
+        assert!(matches!(
+            Dataset::new(spec.clone(), features.clone(), vec![0]),
+            Err(DatasetError::LabelLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(spec, Matrix::zeros(0, 0), vec![]),
+            Err(DatasetError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn accessors_and_counts() {
+        let d = toy();
+        assert_eq!(d.n_instances(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.class_counts(), vec![(0, 2), (1, 2)]);
+        assert_eq!(d.labels(), &[0, 0, 1, 1]);
+        assert_eq!(d.spec().family, DataFamily::Synthetic);
+    }
+
+    #[test]
+    fn with_features_swaps_matrix() {
+        let d = toy();
+        let hidden = Matrix::zeros(4, 8);
+        let swapped = d.with_features(hidden).unwrap();
+        assert_eq!(swapped.n_features(), 8);
+        assert_eq!(swapped.labels(), d.labels());
+        assert!(d.with_features(Matrix::zeros(3, 8)).is_err());
+    }
+
+    #[test]
+    fn subset_keeps_alignment() {
+        let d = toy();
+        let s = d.subset(&[2, 0]).unwrap();
+        assert_eq!(s.n_instances(), 2);
+        assert_eq!(s.labels(), &[1, 0]);
+        assert_eq!(s.features().row(0), d.features().row(2));
+        assert!(d.subset(&[10]).is_err());
+    }
+
+    #[test]
+    fn class_counts_with_unbalanced_labels() {
+        let features = Matrix::zeros(5, 2);
+        let d = Dataset::from_parts("unbal", features, vec![2, 2, 2, 7, 7]).unwrap();
+        assert_eq!(d.class_counts(), vec![(2, 3), (7, 2)]);
+        assert_eq!(d.n_classes(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for dataset construction and loading.
+
+use std::fmt;
+
+/// Errors raised while building or loading datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Feature matrix and label vector disagree on the number of instances.
+    LabelLengthMismatch {
+        /// Rows in the feature matrix.
+        instances: usize,
+        /// Entries in the label vector.
+        labels: usize,
+    },
+    /// A dataset with zero instances or zero features was requested.
+    EmptyDataset,
+    /// A CSV line could not be parsed.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The CSV file declared an inconsistent number of columns.
+    CsvRaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Found column count.
+        found: usize,
+    },
+    /// Underlying I/O failure while reading a file.
+    Io(std::io::Error),
+    /// Propagated linear-algebra error.
+    Linalg(sls_linalg::LinalgError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LabelLengthMismatch { instances, labels } => write!(
+                f,
+                "label vector has {labels} entries but the feature matrix has {instances} rows"
+            ),
+            DatasetError::EmptyDataset => write!(f, "dataset must have at least one instance and one feature"),
+            DatasetError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            DatasetError::CsvRaggedRow {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "CSV line {line} has {found} columns, expected {expected}"
+            ),
+            DatasetError::Io(e) => write!(f, "I/O error: {e}"),
+            DatasetError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+impl From<sls_linalg::LinalgError> for DatasetError {
+    fn from(e: sls_linalg::LinalgError) -> Self {
+        DatasetError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DatasetError::LabelLengthMismatch {
+            instances: 10,
+            labels: 9
+        }
+        .to_string()
+        .contains("9 entries"));
+        assert!(DatasetError::EmptyDataset.to_string().contains("at least one"));
+        assert!(DatasetError::CsvParse {
+            line: 3,
+            message: "bad float".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(DatasetError::CsvRaggedRow {
+            line: 2,
+            expected: 4,
+            found: 3
+        }
+        .to_string()
+        .contains("expected 4"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let io: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        let la: DatasetError = sls_linalg::LinalgError::Empty { op: "x" }.into();
+        assert!(la.to_string().contains("linear algebra"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+        assert!(la.source().is_some());
+        assert!(DatasetError::EmptyDataset.source().is_none());
+    }
+}

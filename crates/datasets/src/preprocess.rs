@@ -1,0 +1,129 @@
+//! Feature preprocessing shared by the experiment pipelines.
+//!
+//! * Real-valued data fed to the Gaussian-visible models is standardised
+//!   column-wise (the GRBM assumes unit-variance visible units).
+//! * Data fed to the binary-visible models must be binary; the paper uses
+//!   binary visible units for the UCI experiments, so the loaders binarise
+//!   features either by thresholding at the column median or by treating the
+//!   min-max-normalised value as a Bernoulli probability.
+
+use crate::Result;
+use rand::Rng;
+use sls_linalg::{Matrix, Standardizer};
+
+/// Standardises every column to zero mean and unit variance.
+///
+/// Constant columns are centred but left unscaled.
+///
+/// # Errors
+///
+/// Returns an error if the matrix has no rows.
+pub fn standardize_columns(data: &Matrix) -> Result<Matrix> {
+    let (_, out) = Standardizer::fit_transform(data)?;
+    Ok(out)
+}
+
+/// Binarises a matrix by thresholding every column at its median: entries
+/// strictly above the median become `1.0`, the rest `0.0`.
+///
+/// Median thresholding keeps each binary column balanced, which prevents the
+/// binary RBM's hidden units from saturating on skewed features.
+pub fn binarize_median(data: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(data.rows(), data.cols());
+    for j in 0..data.cols() {
+        let mut col = data.column(j);
+        col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in dataset columns"));
+        let median = if col.is_empty() {
+            0.0
+        } else if col.len() % 2 == 1 {
+            col[col.len() / 2]
+        } else {
+            0.5 * (col[col.len() / 2 - 1] + col[col.len() / 2])
+        };
+        for i in 0..data.rows() {
+            out[(i, j)] = if data[(i, j)] > median { 1.0 } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Binarises a matrix stochastically: values are min-max normalised to
+/// `[0, 1]` and then used as Bernoulli success probabilities.
+///
+/// This is the standard trick for feeding continuous data to a binary RBM
+/// while preserving gradient information in expectation.
+pub fn binarize_bernoulli(data: &Matrix, rng: &mut impl Rng) -> Matrix {
+    let probs = data.min_max_normalize();
+    probs.map(|p| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_columns() {
+        let s = standardize_columns(&data()).unwrap();
+        for m in s.column_means() {
+            assert!(m.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardize_empty_errors() {
+        assert!(standardize_columns(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn binarize_median_is_binary_and_balanced() {
+        let b = binarize_median(&data());
+        assert!(b.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+        // With 4 distinct values per column, exactly 2 exceed the median.
+        for j in 0..2 {
+            let ones: f64 = b.column(j).iter().sum();
+            assert_eq!(ones, 2.0);
+        }
+    }
+
+    #[test]
+    fn binarize_median_handles_constant_column() {
+        let constant = Matrix::filled(5, 2, 3.0);
+        let b = binarize_median(&constant);
+        // Nothing is strictly above the median of a constant column.
+        assert_eq!(b.sum(), 0.0);
+    }
+
+    #[test]
+    fn binarize_bernoulli_is_binary_and_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ramp = Matrix::from_fn(200, 10, |i, _| i as f64);
+        let b = binarize_bernoulli(&ramp, &mut rng);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+        // Rows near the top of the ramp should be mostly ones, near the
+        // bottom mostly zeros.
+        let low: f64 = b.row(2).iter().sum();
+        let high: f64 = b.row(197).iter().sum();
+        assert!(high > low);
+    }
+
+    #[test]
+    fn binarize_bernoulli_extremes_are_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let extremes = Matrix::from_rows(&[vec![0.0, 1000.0]]).unwrap();
+        let b = binarize_bernoulli(&extremes, &mut rng);
+        assert_eq!(b[(0, 0)], 0.0);
+        assert_eq!(b[(0, 1)], 1.0);
+    }
+}

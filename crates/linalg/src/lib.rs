@@ -1,0 +1,56 @@
+//! # sls-linalg
+//!
+//! Dense linear-algebra substrate for the `sls-rbm` workspace.
+//!
+//! The paper's models (RBM, GRBM and their self-learning local supervision
+//! variants) only need a small, predictable subset of linear algebra:
+//! row-major dense matrices, matrix products (including the transposed
+//! variants used by contrastive divergence), element-wise maps, per-column
+//! statistics and pairwise distances. This crate implements exactly that
+//! subset from scratch so the rest of the workspace has no dependency on an
+//! external numerics stack.
+//!
+//! ## Design notes
+//!
+//! * [`Matrix`] is a row-major `Vec<f64>` with explicit `rows`/`cols`; rows
+//!   are the natural unit of work for mini-batch training, so row views are
+//!   cheap slices.
+//! * All fallible constructors return [`LinalgError`] instead of panicking;
+//!   panics are reserved for out-of-bounds indexing, which mirrors the
+//!   standard library's slice behaviour.
+//! * Randomized constructors take an explicit `&mut impl Rng` so experiments
+//!   are reproducible end to end from a single seed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sls_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c, a);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod matrix;
+mod norms;
+mod ops;
+mod random;
+mod stats;
+mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use norms::{euclidean_distance, pairwise_distances, squared_euclidean_distance};
+pub use random::MatrixRandomExt;
+pub use stats::{ColumnStats, Standardizer};
+pub use vector::{
+    add_assign, axpy, dot, l1_norm, l2_norm, linf_norm, mean, scale, scale_assign, sub, variance,
+};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,126 @@
+//! Distances between instances and pairwise distance matrices.
+//!
+//! Density peaks and affinity propagation both consume a full pairwise
+//! distance (or similarity) matrix; k-means needs point-to-centre distances.
+//! These helpers centralise that logic so every clusterer measures distance
+//! identically.
+
+use crate::{vector, Matrix};
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn squared_euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean_distance(a, b).sqrt()
+}
+
+/// Full symmetric pairwise Euclidean distance matrix of the rows of `data`.
+///
+/// The result is an `n x n` matrix with zeros on the diagonal.
+pub fn pairwise_distances(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = euclidean_distance(data.row(i), data.row(j));
+            d[(i, j)] = dist;
+            d[(j, i)] = dist;
+        }
+    }
+    d
+}
+
+impl Matrix {
+    /// Index of the row of `self` closest (in Euclidean distance) to `point`.
+    ///
+    /// Returns `None` if the matrix has no rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.cols()`.
+    pub fn nearest_row(&self, point: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, row) in self.row_iter().enumerate() {
+            let d = squared_euclidean_distance(row, point);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Euclidean norm of each row.
+    pub fn row_norms(&self) -> Vec<f64> {
+        self.row_iter().map(vector::l2_norm).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_basic() {
+        assert_eq!(squared_euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn distance_length_mismatch_panics() {
+        euclidean_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
+        let data =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap();
+        let d = pairwise_distances(&data);
+        assert_eq!(d.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        assert_eq!(d[(0, 1)], 5.0);
+        assert_eq!(d[(0, 2)], 10.0);
+        assert_eq!(d[(1, 2)], 5.0);
+    }
+
+    #[test]
+    fn nearest_row_finds_closest_centre() {
+        let centres = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        assert_eq!(centres.nearest_row(&[1.0, 1.0]), Some(0));
+        assert_eq!(centres.nearest_row(&[9.0, 8.0]), Some(1));
+        assert_eq!(Matrix::zeros(0, 2).nearest_row(&[1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn nearest_row_ties_prefer_first() {
+        let centres = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+        assert_eq!(centres.nearest_row(&[0.0]), Some(0));
+    }
+
+    #[test]
+    fn row_norms_per_row() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        assert_eq!(m.row_norms(), vec![5.0, 0.0]);
+    }
+}

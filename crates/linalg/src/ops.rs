@@ -1,0 +1,397 @@
+//! Matrix-level arithmetic: products, transposed products, broadcasting and
+//! element-wise combinations.
+//!
+//! Contrastive divergence needs three product shapes per mini-batch:
+//! `V · W` (visible → hidden pre-activations), `H · Wᵀ` (hidden → visible
+//! reconstruction) and `Vᵀ · H` (the positive/negative statistics
+//! `<v_i h_j>`). [`Matrix::matmul_transpose_right`] and
+//! [`Matrix::matmul_transpose_left`] compute the latter two without
+//! materialising the transpose.
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Standard matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, k, m) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        // i-k-j loop order keeps the inner loop contiguous over `other`'s rows
+        // and `out`'s rows, which is the cache-friendly order for row-major
+        // storage.
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for j in 0..m {
+                    out_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with the right operand transposed: `self · otherᵀ`.
+    ///
+    /// Both operands must have the same number of columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_right(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols() != other.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_right",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for j in 0..m {
+                out_row[j] = crate::vector::dot(a_row, other.row(j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product with the left operand transposed: `selfᵀ · other`.
+    ///
+    /// Both operands must have the same number of rows. This is the shape of
+    /// the CD statistics `Vᵀ H` (a `n_visible x n_hidden` matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != other.rows()`.
+    pub fn matmul_transpose_left(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_left",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (k, n, m) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate().take(n) {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for j in 0..m {
+                    out_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    /// Combines two equally-shaped matrices element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// `self += alpha * other`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_assign(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_scaled_assign",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha`, returning a new matrix.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        self.map(|x| alpha * x)
+    }
+
+    /// Adds `row` to every row of `self` (broadcasting along the row axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `row.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, row: &[f64]) -> Result<Matrix> {
+        if row.len() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_row_broadcast",
+                left: self.shape(),
+                right: (1, row.len()),
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            crate::vector::add_assign(out.row_mut(i), row);
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        Ok(self.row_iter().map(|r| crate::vector::dot(r, x)).collect())
+    }
+
+    /// Vector-matrix product `xᵀ · self` (row vector times matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.rows()`.
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vecmat",
+                left: (1, x.len()),
+                right: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols()];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            crate::vector::axpy(xi, self.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Outer product `a ⊗ b` of two vectors, as an `a.len() x b.len()` matrix.
+    pub fn outer(a: &[f64], b: &[f64]) -> Matrix {
+        Matrix::from_fn(a.len(), b.len(), |i, j| a[i] * b[j])
+    }
+
+    /// Column sums as a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols()];
+        for row in self.row_iter() {
+            crate::vector::add_assign(&mut sums, row);
+        }
+        sums
+    }
+
+    /// Column means as a vector of length `cols`; zeros if there are no rows.
+    pub fn column_means(&self) -> Vec<f64> {
+        if self.rows() == 0 {
+            return vec![0.0; self.cols()];
+        }
+        let mut sums = self.column_sums();
+        crate::vector::scale_assign(1.0 / self.rows() as f64, &mut sums);
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![10.0, 11.0, 12.0]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let c = a().matmul(&b()).unwrap();
+        let expected = Matrix::from_rows(&[
+            vec![27.0, 30.0, 33.0],
+            vec![61.0, 68.0, 75.0],
+            vec![95.0, 106.0, 117.0],
+        ])
+        .unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        assert!(a().matmul(&a()).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = a();
+        assert_eq!(m.matmul(&Matrix::identity(2)).unwrap(), m);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let m = a();
+        let n = b();
+        // m (3x2), n (2x3): m · n == m.matmul_transpose_right(nᵀ)
+        let direct = m.matmul(&n).unwrap();
+        let via_tr = m.matmul_transpose_right(&n.transpose()).unwrap();
+        assert!(direct.approx_eq(&via_tr, 1e-12));
+
+        // mᵀ · m == m.matmul_transpose_left(m)
+        let gram = m.transpose().matmul(&m).unwrap();
+        let via_tl = m.matmul_transpose_left(&m).unwrap();
+        assert!(gram.approx_eq(&via_tl, 1e-12));
+    }
+
+    #[test]
+    fn transposed_products_shape_errors() {
+        assert!(a().matmul_transpose_right(&b()).is_err());
+        assert!(a().matmul_transpose_left(&b()).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let m = a();
+        let sum = m.add(&m).unwrap();
+        assert_eq!(sum[(2, 1)], 12.0);
+        let diff = m.sub(&m).unwrap();
+        assert_eq!(diff.sum(), 0.0);
+        let prod = m.hadamard(&m).unwrap();
+        assert_eq!(prod[(1, 0)], 9.0);
+        assert!(m.add(&b()).is_err());
+    }
+
+    #[test]
+    fn add_scaled_assign_accumulates() {
+        let mut m = a();
+        let other = a();
+        m.add_scaled_assign(0.5, &other).unwrap();
+        assert_eq!(m[(0, 0)], 1.5);
+        assert!(m.add_scaled_assign(1.0, &b()).is_err());
+    }
+
+    #[test]
+    fn scale_returns_new() {
+        let m = a().scale(10.0);
+        assert_eq!(m[(0, 1)], 20.0);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let m = a().add_row_broadcast(&[100.0, 200.0]).unwrap();
+        assert_eq!(m[(0, 0)], 101.0);
+        assert_eq!(m[(2, 1)], 206.0);
+        assert!(a().add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let m = a();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0, 11.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0, 1.0]).unwrap(), vec![9.0, 12.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn outer_product() {
+        let o = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn column_sums_and_means() {
+        let m = a();
+        assert_eq!(m.column_sums(), vec![9.0, 12.0]);
+        assert_eq!(m.column_means(), vec![3.0, 4.0]);
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(empty.column_means(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_skips_zero_entries_correctly() {
+        // Regression guard for the `a_ip == 0.0` fast path: zeros must not
+        // change the result.
+        let sparse = Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
+        let c = sparse.matmul(&b()).unwrap();
+        let dense_equiv = Matrix::from_rows(&[vec![20.0, 22.0, 24.0], vec![21.0, 24.0, 27.0]])
+            .unwrap();
+        assert_eq!(c, dense_equiv);
+    }
+}

@@ -1,0 +1,133 @@
+//! Random matrix constructors.
+//!
+//! Every stochastic routine in the workspace takes an explicit random number
+//! generator so experiments can be reproduced from a single seed. The
+//! constructors here mirror the initialisation schemes used by the paper's
+//! training procedure: small zero-mean Gaussian weights, uniform noise and
+//! Bernoulli sampling of binary units.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Extension trait adding seeded random constructors to [`Matrix`].
+pub trait MatrixRandomExt: Sized {
+    /// Matrix with entries drawn independently from `N(mean, std^2)`.
+    fn random_normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Self;
+
+    /// Matrix with entries drawn independently from `U[low, high)`.
+    fn random_uniform(rows: usize, cols: usize, low: f64, high: f64, rng: &mut impl Rng) -> Self;
+
+    /// Binary matrix whose entries are `1.0` with probability `p`.
+    fn random_bernoulli(rows: usize, cols: usize, p: f64, rng: &mut impl Rng) -> Self;
+
+    /// Samples a binary matrix from a matrix of per-entry probabilities.
+    ///
+    /// This is the Gibbs sampling step of CD learning: each probability is
+    /// compared with an independent uniform draw.
+    fn sample_bernoulli(probabilities: &Matrix, rng: &mut impl Rng) -> Self;
+
+    /// Adds independent `N(0, std^2)` noise to every element of `base`.
+    fn with_gaussian_noise(base: &Matrix, std: f64, rng: &mut impl Rng) -> Self;
+}
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// `rand` 0.8 without `rand_distr` has no normal distribution, so we roll the
+/// classic two-uniform transform; the second variate of the pair is discarded
+/// to keep the call site simple (weight initialisation is not a hot path).
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl MatrixRandomExt for Matrix {
+    fn random_normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
+    }
+
+    fn random_uniform(rows: usize, cols: usize, low: f64, high: f64, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
+    }
+
+    fn random_bernoulli(rows: usize, cols: usize, p: f64, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+    }
+
+    fn sample_bernoulli(probabilities: &Matrix, rng: &mut impl Rng) -> Self {
+        probabilities.map(|p| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+    }
+
+    fn with_gaussian_noise(base: &Matrix, std: f64, rng: &mut impl Rng) -> Self {
+        base.map(|x| x + std * standard_normal(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let m = Matrix::random_normal(200, 200, 1.5, 0.5, &mut r);
+        let mean = m.mean();
+        assert!((mean - 1.5).abs() < 0.02, "mean {mean}");
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / m.len() as f64;
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        let m = Matrix::random_uniform(50, 50, -2.0, 3.0, &mut r);
+        assert!(m.min().unwrap() >= -2.0);
+        assert!(m.max().unwrap() < 3.0);
+        // Mean should be near the midpoint 0.5.
+        assert!((m.mean() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut r = rng();
+        let m = Matrix::random_bernoulli(100, 100, 0.3, &mut r);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+        assert!((m.mean() - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_bernoulli_respects_extremes() {
+        let mut r = rng();
+        let probs = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let s = Matrix::sample_bernoulli(&probs, &mut r);
+        assert_eq!(s, Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap());
+    }
+
+    #[test]
+    fn gaussian_noise_centres_on_base() {
+        let mut r = rng();
+        let base = Matrix::filled(100, 100, 2.0);
+        let noisy = Matrix::with_gaussian_noise(&base, 0.1, &mut r);
+        assert!((noisy.mean() - 2.0).abs() < 0.01);
+        assert_ne!(noisy, base);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = Matrix::random_normal(5, 5, 0.0, 1.0, &mut rng());
+        let b = Matrix::random_normal(5, 5, 0.0, 1.0, &mut rng());
+        assert_eq!(a, b);
+    }
+}

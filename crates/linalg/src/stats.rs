@@ -1,0 +1,235 @@
+//! Per-column statistics and feature standardisation.
+//!
+//! The GRBM assumes unit-variance Gaussian visible units (Section III-B of
+//! the paper), so real-valued inputs are standardised column-wise before
+//! training. [`Standardizer`] is fit on a training matrix and can then be
+//! applied to any matrix with the same number of columns, including the
+//! reconstructed visible layer.
+
+use crate::{LinalgError, Matrix, Result};
+use serde::{Deserialize, Serialize};
+
+/// Per-column mean and standard deviation of a data matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (population, i.e. divided by `n`).
+    pub stds: Vec<f64>,
+}
+
+impl ColumnStats {
+    /// Computes column means and standard deviations of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix has no rows.
+    pub fn compute(data: &Matrix) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(LinalgError::Empty { op: "ColumnStats::compute" });
+        }
+        let n = data.rows() as f64;
+        let means = data.column_means();
+        let mut stds = vec![0.0; data.cols()];
+        for row in data.row_iter() {
+            for (j, (&x, &m)) in row.iter().zip(&means).enumerate() {
+                stds[j] += (x - m) * (x - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        Ok(Self { means, stds })
+    }
+}
+
+/// Column-wise standardiser: `x -> (x - mean) / std`.
+///
+/// Columns with zero variance are passed through centred but unscaled to
+/// avoid dividing by zero (their standard deviation is treated as `1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    stats: ColumnStats,
+}
+
+impl Standardizer {
+    /// Fits the standardiser on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix has no rows.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        Ok(Self {
+            stats: ColumnStats::compute(data)?,
+        })
+    }
+
+    /// Column statistics captured at fit time.
+    pub fn stats(&self) -> &ColumnStats {
+        &self.stats
+    }
+
+    /// Applies the transformation to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
+    /// from the fitted data.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.stats.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Standardizer::transform",
+                left: data.shape(),
+                right: (1, self.stats.means.len()),
+            });
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                let std = if self.stats.stds[j] > 0.0 {
+                    self.stats.stds[j]
+                } else {
+                    1.0
+                };
+                *x = (*x - self.stats.means[j]) / std;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts the transformation (used to map reconstructions back to the
+    /// original feature scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
+    /// from the fitted data.
+    pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.stats.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "Standardizer::inverse_transform",
+                left: data.shape(),
+                right: (1, self.stats.means.len()),
+            });
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, x) in row.iter_mut().enumerate() {
+                let std = if self.stats.stds[j] > 0.0 {
+                    self.stats.stds[j]
+                } else {
+                    1.0
+                };
+                *x = *x * std + self.stats.means[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit on `data` and transform it in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix has no rows.
+    pub fn fit_transform(data: &Matrix) -> Result<(Self, Matrix)> {
+        let s = Self::fit(data)?;
+        let t = s.transform(data)?;
+        Ok((s, t))
+    }
+}
+
+impl Matrix {
+    /// Rescales every element into `[0, 1]` using the global min and max.
+    ///
+    /// A constant matrix maps to all zeros. This is the preprocessing used
+    /// before Bernoulli binarisation for the binary-visible slsRBM.
+    pub fn min_max_normalize(&self) -> Matrix {
+        let (Some(min), Some(max)) = (self.min(), self.max()) else {
+            return self.clone();
+        };
+        let range = max - min;
+        if range == 0.0 {
+            return Matrix::zeros(self.rows(), self.cols());
+        }
+        self.map(|x| (x - min) / range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0, 5.0],
+            vec![3.0, 10.0, 7.0],
+            vec![5.0, 10.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn column_stats_values() {
+        let s = ColumnStats::compute(&data()).unwrap();
+        assert_eq!(s.means, vec![3.0, 10.0, 7.0]);
+        let expected_std = (8.0_f64 / 3.0).sqrt();
+        assert!((s.stds[0] - expected_std).abs() < 1e-12);
+        assert_eq!(s.stds[1], 0.0);
+    }
+
+    #[test]
+    fn column_stats_empty_errors() {
+        assert!(ColumnStats::compute(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let (_, t) = Standardizer::fit_transform(&data()).unwrap();
+        let means = t.column_means();
+        for m in means {
+            assert!(m.abs() < 1e-12);
+        }
+        // Column 0 should have unit population variance.
+        let col: Vec<f64> = t.column(0);
+        let var = crate::vector::variance(&col);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_handles_constant_column() {
+        let (_, t) = Standardizer::fit_transform(&data()).unwrap();
+        // Constant column becomes zeros, not NaN.
+        assert!(t.column(1).iter().all(|&x| x == 0.0));
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn standardizer_inverse_round_trips() {
+        let d = data();
+        let (s, t) = Standardizer::fit_transform(&d).unwrap();
+        let back = s.inverse_transform(&t).unwrap();
+        assert!(back.approx_eq(&d, 1e-9));
+    }
+
+    #[test]
+    fn standardizer_shape_errors() {
+        let s = Standardizer::fit(&data()).unwrap();
+        let wrong = Matrix::zeros(2, 5);
+        assert!(s.transform(&wrong).is_err());
+        assert!(s.inverse_transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn min_max_normalize_bounds() {
+        let m = Matrix::from_rows(&[vec![-2.0, 0.0], vec![2.0, 6.0]]).unwrap();
+        let n = m.min_max_normalize();
+        assert_eq!(n.min(), Some(0.0));
+        assert_eq!(n.max(), Some(1.0));
+        assert!((n[(0, 1)] - 0.25).abs() < 1e-12);
+        // Constant matrix maps to zeros.
+        let c = Matrix::filled(2, 2, 3.0).min_max_normalize();
+        assert_eq!(c.sum(), 0.0);
+    }
+}

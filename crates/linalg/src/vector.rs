@@ -1,0 +1,157 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! The RBM update rules operate on individual rows (visible vectors, hidden
+//! activations, cluster centres); these helpers keep that code readable
+//! without allocating intermediate matrices.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Manhattan (L1) norm.
+#[inline]
+pub fn l1_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Maximum-absolute-value (L∞) norm.
+#[inline]
+pub fn linf_norm(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a += b`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `y += alpha * x` (the BLAS axpy primitive).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Returns `alpha * a` as a new vector.
+pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|x| alpha * x).collect()
+}
+
+/// Scales `a` by `alpha` in place.
+pub fn scale_assign(alpha: f64, a: &mut [f64]) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance (divides by `n`); `0.0` for an empty slice.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l1_norm(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(linf_norm(&[-1.0, 2.0, -3.0]), 3.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_and_add_assign() {
+        let d = sub(&[5.0, 7.0], &[2.0, 3.0]);
+        assert_eq!(d, vec![3.0, 4.0]);
+        let mut a = vec![1.0, 1.0];
+        add_assign(&mut a, &[2.0, 3.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn scale_variants() {
+        assert_eq!(scale(3.0, &[1.0, -2.0]), vec![3.0, -6.0]);
+        let mut v = vec![1.0, -2.0];
+        scale_assign(-1.0, &mut v);
+        assert_eq!(v, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(variance(&[]), 0.0);
+        // Var([1,2,3,4]) with population normalisation = 1.25
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-12);
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check algebraic identities (associativity with identity, transpose
+//! involution, distance axioms, standardisation invariants) on randomly
+//! generated matrices rather than hand-picked examples.
+
+use proptest::prelude::*;
+use sls_linalg::{euclidean_distance, pairwise_distances, Matrix, Standardizer};
+
+/// Strategy producing a matrix with the given bounds on shape and values in
+/// [-10, 10].
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Two matrices with compatible shapes for multiplication (n x k, k x m).
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..6usize, 1..6usize, 1..6usize).prop_flat_map(|(n, k, m)| {
+        let a = proptest::collection::vec(-5.0..5.0f64, n * k)
+            .prop_map(move |d| Matrix::from_vec(n, k, d).unwrap());
+        let b = proptest::collection::vec(-5.0..5.0f64, k * m)
+            .prop_map(move |d| Matrix::from_vec(k, m, d).unwrap());
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix_strategy(8, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn identity_is_neutral(m in matrix_strategy(8, 8)) {
+        let i = Matrix::identity(m.cols());
+        let prod = m.matmul(&i).unwrap();
+        prop_assert!(prod.approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn matmul_transpose_right_agrees_with_explicit((a, b) in matmul_pair()) {
+        let direct = a.matmul(&b).unwrap();
+        let via = a.matmul_transpose_right(&b.transpose()).unwrap();
+        prop_assert!(direct.approx_eq(&via, 1e-9));
+    }
+
+    #[test]
+    fn matmul_transpose_left_agrees_with_explicit((a, b) in matmul_pair()) {
+        // aᵀ has shape (k, n); multiply aᵀ·a via both paths.
+        let gram = a.transpose().matmul(&a).unwrap();
+        let via = a.matmul_transpose_left(&a).unwrap();
+        prop_assert!(gram.approx_eq(&via, 1e-9));
+        // Keep `b` used so the pair strategy stays meaningful.
+        prop_assert_eq!(b.rows(), a.cols());
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product((a, b) in matmul_pair()) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(m in matrix_strategy(8, 8)) {
+        let other = m.map(|x| x * 0.5 + 1.0);
+        let back = m.add(&other).unwrap().sub(&other).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn scale_is_linear_in_sum(m in matrix_strategy(8, 8), alpha in -3.0..3.0f64) {
+        let scaled_sum = m.scale(alpha).sum();
+        prop_assert!((scaled_sum - alpha * m.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_axioms(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..12),
+        b in proptest::collection::vec(-10.0..10.0f64, 1..12),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let dab = euclidean_distance(a, b);
+        let dba = euclidean_distance(b, a);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(euclidean_distance(a, a) < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_distance_triangle_inequality(m in matrix_strategy(6, 4)) {
+        let d = pairwise_distances(&m);
+        let n = m.rows();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standardized_columns_have_zero_mean(m in matrix_strategy(10, 6)) {
+        prop_assume!(m.rows() >= 2);
+        let (_, t) = Standardizer::fit_transform(&m).unwrap();
+        for j in 0..t.cols() {
+            let col = t.column(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_inverse_round_trips(m in matrix_strategy(10, 6)) {
+        prop_assume!(m.rows() >= 2);
+        let (s, t) = Standardizer::fit_transform(&m).unwrap();
+        let back = s.inverse_transform(&t).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-7));
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in matrix_strategy(10, 6)) {
+        let indices: Vec<usize> = (0..m.rows()).rev().collect();
+        let s = m.select_rows(&indices).unwrap();
+        for (pos, &orig) in indices.iter().enumerate() {
+            prop_assert_eq!(s.row(pos), m.row(orig));
+        }
+    }
+
+    #[test]
+    fn min_max_normalize_is_bounded(m in matrix_strategy(8, 8)) {
+        let n = m.min_max_normalize();
+        prop_assert!(n.min().unwrap() >= -1e-12);
+        prop_assert!(n.max().unwrap() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Clustering accuracy (Eq. 36) and the optimal cluster→class mapping.
+
+use crate::{ContingencyTable, Result};
+
+/// Clustering accuracy: the fraction of instances whose predicted cluster,
+/// after the optimal one-to-one mapping of clusters to ground-truth classes,
+/// matches the true class.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn clustering_accuracy(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?.accuracy())
+}
+
+/// Computes the optimal mapping from predicted cluster identifiers to
+/// ground-truth class identifiers (the `map(·)` function of Eq. 36).
+///
+/// Clusters that cannot be matched (because there are more clusters than
+/// classes) are absent from the result.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn optimal_label_mapping(
+    predicted: &[usize],
+    truth: &[usize],
+) -> Result<std::collections::BTreeMap<usize, usize>> {
+    let table = ContingencyTable::from_labels(predicted, truth)?;
+    let weights: Vec<Vec<f64>> = table
+        .counts()
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f64).collect())
+        .collect();
+    let assignment = crate::hungarian::hungarian_max_assignment(&weights)?;
+    let mut mapping = std::collections::BTreeMap::new();
+    for (i, maybe_j) in assignment.iter().enumerate() {
+        if let Some(j) = maybe_j {
+            mapping.insert(table.cluster_ids()[i], table.class_ids()[*j]);
+        }
+    }
+    Ok(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_identity() {
+        let labels = [0, 1, 2, 0, 1, 2];
+        assert_eq!(clustering_accuracy(&labels, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_permuted_labels() {
+        let predicted = [1, 2, 0, 1, 2, 0];
+        let truth = [0, 1, 2, 0, 1, 2];
+        assert_eq!(clustering_accuracy(&predicted, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_partial() {
+        let predicted = [0, 0, 0, 1, 1, 1];
+        let truth = [0, 0, 1, 1, 1, 1];
+        // Optimal map: 0->0, 1->1 giving 5/6 correct.
+        assert!((clustering_accuracy(&predicted, &truth).unwrap() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_recovers_permutation() {
+        let predicted = [10, 10, 20, 20, 30, 30];
+        let truth = [2, 2, 0, 0, 1, 1];
+        let m = optimal_label_mapping(&predicted, &truth).unwrap();
+        assert_eq!(m[&10], 2);
+        assert_eq!(m[&20], 0);
+        assert_eq!(m[&30], 1);
+    }
+
+    #[test]
+    fn mapping_with_surplus_clusters_skips_some() {
+        let predicted = [0, 1, 2, 3];
+        let truth = [0, 0, 1, 1];
+        let m = optimal_label_mapping(&predicted, &truth).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn accuracy_errors_on_bad_input() {
+        assert!(clustering_accuracy(&[], &[]).is_err());
+        assert!(clustering_accuracy(&[0, 1], &[0]).is_err());
+        assert!(optimal_label_mapping(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn accuracy_never_below_largest_class_share_with_one_cluster() {
+        // A single predicted cluster maps to the majority class.
+        let predicted = [0; 10];
+        let truth = [0, 0, 0, 0, 0, 0, 1, 1, 1, 2];
+        assert!((clustering_accuracy(&predicted, &truth).unwrap() - 0.6).abs() < 1e-12);
+    }
+}

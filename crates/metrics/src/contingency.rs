@@ -1,0 +1,316 @@
+//! Contingency table between a predicted partition and ground-truth classes.
+//!
+//! Every external metric in this crate is a function of the contingency
+//! table, so computing it once per evaluation avoids repeated O(n) passes
+//! over the label vectors and guarantees all metrics describe the same
+//! clustering.
+
+use crate::pair_counts::PairCounts;
+use crate::{MetricsError, Result};
+use std::collections::BTreeMap;
+
+/// Cross-tabulation `n[i][j]` = number of instances assigned to predicted
+/// cluster `i` whose ground-truth class is `j`.
+///
+/// Cluster and class identifiers are remapped to dense `0..k` indices in
+/// sorted order of the original labels, so arbitrary (non-contiguous) label
+/// values are accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<usize>>,
+    cluster_ids: Vec<usize>,
+    class_ids: Vec<usize>,
+    total: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table from parallel label slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::EmptyLabels`] for empty input and
+    /// [`MetricsError::LengthMismatch`] if the slices differ in length.
+    pub fn from_labels(predicted: &[usize], truth: &[usize]) -> Result<Self> {
+        if predicted.len() != truth.len() {
+            return Err(MetricsError::LengthMismatch {
+                predicted: predicted.len(),
+                truth: truth.len(),
+            });
+        }
+        if predicted.is_empty() {
+            return Err(MetricsError::EmptyLabels);
+        }
+        let cluster_index = dense_index(predicted);
+        let class_index = dense_index(truth);
+        let mut counts = vec![vec![0usize; class_index.len()]; cluster_index.len()];
+        for (&p, &t) in predicted.iter().zip(truth) {
+            counts[cluster_index[&p]][class_index[&t]] += 1;
+        }
+        Ok(Self {
+            counts,
+            cluster_ids: cluster_index.keys().copied().collect(),
+            class_ids: class_index.keys().copied().collect(),
+            total: predicted.len(),
+        })
+    }
+
+    /// Number of predicted clusters (rows).
+    pub fn n_clusters(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of ground-truth classes (columns).
+    pub fn n_classes(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Raw counts matrix (`clusters x classes`).
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// Original identifiers of the predicted clusters, in row order.
+    pub fn cluster_ids(&self) -> &[usize] {
+        &self.cluster_ids
+    }
+
+    /// Original identifiers of the ground-truth classes, in column order.
+    pub fn class_ids(&self) -> &[usize] {
+        &self.class_ids
+    }
+
+    /// Row sums (cluster sizes).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column sums (class sizes).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sums = vec![0usize; self.n_classes()];
+        for row in &self.counts {
+            for (j, &c) in row.iter().enumerate() {
+                sums[j] += c;
+            }
+        }
+        sums
+    }
+
+    /// Clustering accuracy under the optimal (Hungarian) cluster→class map.
+    pub fn accuracy(&self) -> f64 {
+        let cost: Vec<Vec<f64>> = self
+            .counts
+            .iter()
+            .map(|row| row.iter().map(|&c| c as f64).collect())
+            .collect();
+        let assignment = crate::hungarian::hungarian_max_assignment(&cost)
+            .expect("contingency table is rectangular by construction");
+        let matched: f64 = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &j)| j.map(|j| self.counts[i][j] as f64))
+            .sum();
+        matched / self.total as f64
+    }
+
+    /// Cluster purity (Eq. 38 of the paper).
+    pub fn purity(&self) -> f64 {
+        let dominant: usize = self
+            .counts
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(0))
+            .sum();
+        dominant as f64 / self.total as f64
+    }
+
+    /// Pairwise agreement counts (TP/FP/FN/TN) between the two partitions.
+    pub fn pair_counts(&self) -> PairCounts {
+        PairCounts::from_contingency(self)
+    }
+
+    /// Adjusted Rand index (Hubert & Arabie correction for chance).
+    pub fn adjusted_rand_index(&self) -> f64 {
+        let n = self.total as f64;
+        let sum_comb_nij: f64 = self
+            .counts
+            .iter()
+            .flatten()
+            .map(|&c| comb2(c as f64))
+            .sum();
+        let sum_comb_a: f64 = self
+            .cluster_sizes()
+            .iter()
+            .map(|&a| comb2(a as f64))
+            .sum();
+        let sum_comb_b: f64 = self.class_sizes().iter().map(|&b| comb2(b as f64)).sum();
+        let expected = sum_comb_a * sum_comb_b / comb2(n);
+        let max_index = 0.5 * (sum_comb_a + sum_comb_b);
+        if (max_index - expected).abs() < f64::EPSILON {
+            // Both partitions are trivial (single cluster or all singletons);
+            // define ARI as 1 when they are identical in pair structure.
+            return if (sum_comb_nij - expected).abs() < f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        (sum_comb_nij - expected) / (max_index - expected)
+    }
+
+    /// Normalised mutual information with arithmetic-mean normalisation.
+    pub fn normalized_mutual_information(&self) -> f64 {
+        let n = self.total as f64;
+        let cluster_sizes = self.cluster_sizes();
+        let class_sizes = self.class_sizes();
+        let mut mi = 0.0;
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let nij = c as f64;
+                let pij = nij / n;
+                let pi = cluster_sizes[i] as f64 / n;
+                let pj = class_sizes[j] as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+        let h_cluster = entropy(&cluster_sizes, n);
+        let h_class = entropy(&class_sizes, n);
+        let denom = 0.5 * (h_cluster + h_class);
+        if denom == 0.0 {
+            // Both partitions have a single group: identical by definition.
+            1.0
+        } else {
+            (mi / denom).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// `C(x, 2)` as a float.
+fn comb2(x: f64) -> f64 {
+    x * (x - 1.0) / 2.0
+}
+
+fn entropy(sizes: &[usize], n: f64) -> f64 {
+    sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Maps arbitrary label values to dense indices in sorted order.
+fn dense_index(labels: &[usize]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    for &l in labels {
+        let next = map.len();
+        map.entry(l).or_insert(next);
+    }
+    // Re-densify in sorted key order for deterministic row/column layout.
+    let keys: Vec<usize> = map.keys().copied().collect();
+    keys.into_iter()
+        .enumerate()
+        .map(|(idx, key)| (key, idx))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counts_with_sparse_labels() {
+        // Predicted labels 10/20, classes 5/7 — non-contiguous values.
+        let predicted = [10, 10, 20, 20, 20];
+        let truth = [5, 7, 7, 7, 5];
+        let t = ContingencyTable::from_labels(&predicted, &truth).unwrap();
+        assert_eq!(t.n_clusters(), 2);
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.cluster_ids(), &[10, 20]);
+        assert_eq!(t.class_ids(), &[5, 7]);
+        assert_eq!(t.counts()[0], vec![1, 1]);
+        assert_eq!(t.counts()[1], vec![1, 2]);
+        assert_eq!(t.cluster_sizes(), vec![2, 3]);
+        assert_eq!(t.class_sizes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn rejects_mismatched_and_empty() {
+        assert!(matches!(
+            ContingencyTable::from_labels(&[0], &[0, 1]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ContingencyTable::from_labels(&[], &[]),
+            Err(MetricsError::EmptyLabels)
+        ));
+    }
+
+    #[test]
+    fn accuracy_uses_optimal_mapping() {
+        // Clusters are a pure relabelling of classes: accuracy must be 1.
+        let predicted = [1, 1, 0, 0, 2, 2];
+        let truth = [0, 0, 2, 2, 1, 1];
+        let t = ContingencyTable::from_labels(&predicted, &truth).unwrap();
+        assert_eq!(t.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_with_more_clusters_than_classes() {
+        // 3 clusters, 2 classes: the best 1-1 matching covers two clusters.
+        let predicted = [0, 0, 1, 1, 2, 2];
+        let truth = [0, 0, 0, 0, 1, 1];
+        let t = ContingencyTable::from_labels(&predicted, &truth).unwrap();
+        assert!((t.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_counts_dominant_classes() {
+        let predicted = [0, 0, 0, 1, 1, 1];
+        let truth = [0, 0, 1, 1, 1, 0];
+        let t = ContingencyTable::from_labels(&predicted, &truth).unwrap();
+        assert!((t.purity() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_zero_for_random_like_and_one_for_identical() {
+        let truth = [0, 0, 1, 1];
+        let identical = ContingencyTable::from_labels(&truth, &truth).unwrap();
+        assert!((identical.adjusted_rand_index() - 1.0).abs() < 1e-12);
+
+        // A single cluster against a two-class truth has expected-level
+        // agreement, so ARI should be 0.
+        let single = ContingencyTable::from_labels(&[0, 0, 0, 0], &truth).unwrap();
+        assert!(single.adjusted_rand_index().abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_boundary_cases() {
+        let truth = [0, 0, 1, 1];
+        let identical = ContingencyTable::from_labels(&truth, &truth).unwrap();
+        assert!((identical.normalized_mutual_information() - 1.0).abs() < 1e-12);
+
+        let independent = ContingencyTable::from_labels(&[0, 1, 0, 1], &truth).unwrap();
+        assert!(independent.normalized_mutual_information() < 1e-12);
+
+        let trivial = ContingencyTable::from_labels(&[0, 0, 0, 0], &[0, 0, 0, 0]).unwrap();
+        assert_eq!(trivial.normalized_mutual_information(), 1.0);
+    }
+
+    #[test]
+    fn dense_index_is_sorted_and_dense() {
+        let idx = dense_index(&[7, 3, 7, 9]);
+        assert_eq!(idx[&3], 0);
+        assert_eq!(idx[&7], 1);
+        assert_eq!(idx[&9], 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for metric computation.
+
+use std::fmt;
+
+/// Errors raised when evaluating clusterings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The two label slices have different lengths.
+    LengthMismatch {
+        /// Length of the predicted labels.
+        predicted: usize,
+        /// Length of the ground-truth labels.
+        truth: usize,
+    },
+    /// An empty label slice was supplied.
+    EmptyLabels,
+    /// The cost matrix passed to the Hungarian solver was not rectangular.
+    RaggedCostMatrix {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { predicted, truth } => write!(
+                f,
+                "label length mismatch: {predicted} predicted vs {truth} ground-truth"
+            ),
+            MetricsError::EmptyLabels => write!(f, "cannot evaluate empty label sets"),
+            MetricsError::RaggedCostMatrix { row } => {
+                write!(f, "cost matrix row {row} has a different length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MetricsError::LengthMismatch {
+            predicted: 3,
+            truth: 5
+        }
+        .to_string()
+        .contains("3 predicted"));
+        assert!(MetricsError::EmptyLabels.to_string().contains("empty"));
+        assert!(MetricsError::RaggedCostMatrix { row: 2 }
+            .to_string()
+            .contains("row 2"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Fowlkes–Mallows index (Eq. 39).
+
+use crate::{ContingencyTable, Result};
+
+/// Fowlkes–Mallows index: `sqrt(TP/(TP+FP) * TP/(TP+FN))` over instance
+/// pairs, i.e. the geometric mean of pairwise precision and recall.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn fowlkes_mallows_index(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?
+        .pair_counts()
+        .fowlkes_mallows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = [0, 1, 0, 1, 2];
+        assert_eq!(fowlkes_mallows_index(&labels, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn singletons_against_one_class_score_zero() {
+        let predicted = [0, 1, 2, 3];
+        let truth = [0, 0, 0, 0];
+        assert_eq!(fowlkes_mallows_index(&predicted, &truth).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_value_matches_manual_computation() {
+        let truth = [0, 0, 0, 1, 1, 1];
+        let predicted = [0, 0, 1, 1, 1, 1];
+        // From the contingency [[2,0],[1,3]]: TP=4, FP=3, FN=2.
+        // precision = 4/7, recall = 4/6, FMI = sqrt(4/7 * 4/6).
+        let expected = (4.0_f64 / 7.0 * 4.0 / 6.0).sqrt();
+        assert!((fowlkes_mallows_index(&predicted, &truth).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmi_is_symmetric_under_role_swap() {
+        let a = [0, 0, 1, 1, 2, 2, 0];
+        let b = [1, 1, 1, 0, 0, 2, 2];
+        let ab = fowlkes_mallows_index(&a, &b).unwrap();
+        let ba = fowlkes_mallows_index(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        assert!(fowlkes_mallows_index(&[], &[]).is_err());
+        assert!(fowlkes_mallows_index(&[0, 1], &[0]).is_err());
+    }
+
+    #[test]
+    fn fmi_between_zero_and_one() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..30);
+            let p: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let t: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let fmi = fowlkes_mallows_index(&p, &t).unwrap();
+            assert!((0.0..=1.0).contains(&fmi));
+        }
+    }
+}

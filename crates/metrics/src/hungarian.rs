@@ -1,0 +1,266 @@
+//! Hungarian (Kuhn–Munkres) algorithm for optimal assignment.
+//!
+//! Clustering accuracy (Eq. 36) requires mapping each predicted cluster to a
+//! distinct ground-truth class so that the number of correctly mapped
+//! instances is maximised — exactly a maximum-weight bipartite matching on
+//! the contingency table. We implement the O(n³) Jonker-style shortest
+//! augmenting path formulation on a padded square cost matrix.
+
+use crate::{MetricsError, Result};
+
+/// Solves the **maximum**-weight assignment problem.
+///
+/// `weights[i][j]` is the benefit of assigning row `i` to column `j`. The
+/// matrix may be rectangular; rows beyond the number of columns (or vice
+/// versa) simply stay unassigned. Returns, for each row, `Some(column)` if it
+/// was matched to a real column and `None` otherwise.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::RaggedCostMatrix`] if the rows are not all the
+/// same length.
+pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Result<Vec<Option<usize>>> {
+    if weights.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n_rows = weights.len();
+    let n_cols = weights[0].len();
+    for (i, row) in weights.iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(MetricsError::RaggedCostMatrix { row: i });
+        }
+    }
+    if n_cols == 0 {
+        return Ok(vec![None; n_rows]);
+    }
+
+    // Convert to a square minimisation problem: cost = max_weight - weight,
+    // padded with zeros (equivalently max_weight benefit for dummy cells,
+    // but constant shifts per matrix do not change the argmin).
+    let n = n_rows.max(n_cols);
+    let max_w = weights
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n_rows && j < n_cols {
+            max_w - weights[i][j]
+        } else {
+            // Dummy rows/columns cost nothing so they absorb the surplus.
+            0.0
+        }
+    };
+
+    // Shortest-augmenting-path Hungarian algorithm (1-indexed internals).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n_rows];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= n_rows && j <= n_cols {
+            assignment[i - 1] = Some(j - 1);
+        }
+    }
+    Ok(assignment)
+}
+
+/// Total weight of an assignment returned by [`hungarian_max_assignment`].
+#[cfg(test)]
+pub(crate) fn assignment_weight(weights: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &j)| j.map(|j| weights[i][j]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force maximum assignment for small matrices, used as the oracle.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let n_rows = weights.len();
+        let n_cols = weights[0].len();
+        let cols: Vec<usize> = (0..n_cols).collect();
+        let mut best = f64::NEG_INFINITY;
+        permute(&cols, &mut Vec::new(), &mut |perm| {
+            let score: f64 = perm
+                .iter()
+                .take(n_rows)
+                .enumerate()
+                .map(|(i, &j)| weights[i][j])
+                .sum();
+            if score > best {
+                best = score;
+            }
+        });
+        // If there are more rows than columns, also consider which rows stay
+        // unmatched — with non-negative weights the permutation bound above
+        // is only exact for n_rows <= n_cols, which the tests respect.
+        best
+    }
+
+    fn permute(rest: &[usize], acc: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        if rest.is_empty() {
+            f(acc);
+            return;
+        }
+        for (idx, &x) in rest.iter().enumerate() {
+            let mut next: Vec<usize> = rest.to_vec();
+            next.remove(idx);
+            acc.push(x);
+            permute(&next, acc, f);
+            acc.pop();
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hungarian_max_assignment(&[]).unwrap(), Vec::<Option<usize>>::new());
+        let no_cols = vec![vec![], vec![]];
+        assert_eq!(
+            hungarian_max_assignment(&no_cols).unwrap(),
+            vec![None, None]
+        );
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let w = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            hungarian_max_assignment(&w),
+            Err(MetricsError::RaggedCostMatrix { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn square_known_optimum() {
+        let w = vec![
+            vec![7.0, 5.0, 11.0],
+            vec![5.0, 4.0, 1.0],
+            vec![9.0, 3.0, 2.0],
+        ];
+        let a = hungarian_max_assignment(&w).unwrap();
+        let score = assignment_weight(&w, &a);
+        assert_eq!(score, brute_force(&w));
+        assert_eq!(score, 11.0 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn assignment_is_a_matching() {
+        let w = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![2.0, 4.0, 1.0, 3.0],
+            vec![3.0, 1.0, 4.0, 2.0],
+        ];
+        let a = hungarian_max_assignment(&w).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for j in a.iter().flatten() {
+            assert!(seen.insert(*j), "column {j} assigned twice");
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(assignment_weight(&w, &a), brute_force(&w));
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        // 2 rows, 4 columns: both rows must be matched to distinct columns.
+        let w = vec![vec![1.0, 9.0, 2.0, 3.0], vec![8.0, 9.0, 1.0, 1.0]];
+        let a = hungarian_max_assignment(&w).unwrap();
+        assert_eq!(assignment_weight(&w, &a), 17.0);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn rectangular_tall_matrix() {
+        // 3 rows, 2 columns: exactly one row stays unmatched.
+        let w = vec![vec![10.0, 1.0], vec![9.0, 8.0], vec![1.0, 7.0]];
+        let a = hungarian_max_assignment(&w).unwrap();
+        let matched: Vec<_> = a.iter().flatten().collect();
+        assert_eq!(matched.len(), 2);
+        assert_eq!(assignment_weight(&w, &a), 10.0 + 8.0);
+        assert_eq!(a[2], None);
+    }
+
+    #[test]
+    fn random_matrices_match_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=5);
+            let w: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..20.0)).collect())
+                .collect();
+            let a = hungarian_max_assignment(&w).unwrap();
+            let score = assignment_weight(&w, &a);
+            let best = brute_force(&w);
+            assert!(
+                (score - best).abs() < 1e-9,
+                "hungarian {score} != brute force {best} for {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_still_produce_valid_matching() {
+        let w = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let a = hungarian_max_assignment(&w).unwrap();
+        assert_eq!(assignment_weight(&w, &a), 2.0);
+        assert_ne!(a[0], a[1]);
+    }
+}

@@ -1,0 +1,129 @@
+//! # sls-metrics
+//!
+//! External clustering-evaluation metrics used throughout the paper's
+//! experimental section (Section V-B):
+//!
+//! * **Accuracy** (Eq. 36) — fraction of instances whose cluster label,
+//!   after an optimal one-to-one mapping of clusters to classes computed with
+//!   the Hungarian algorithm, equals the ground-truth class.
+//! * **Purity** (Eq. 38) — weighted fraction of the dominant class in each
+//!   cluster.
+//! * **Rand index** (Eq. 37) — pairwise agreement between two partitions.
+//! * **Fowlkes–Mallows index** (Eq. 39) — geometric mean of pairwise
+//!   precision and recall.
+//! * **Adjusted Rand index** and **normalised mutual information** — not
+//!   reported in the paper but standard companions, used by the extended
+//!   ablation benches.
+//!
+//! All metrics operate on plain `&[usize]` label slices; the contingency
+//! table in [`ContingencyTable`] is the shared intermediate representation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod accuracy;
+mod contingency;
+mod error;
+mod fmi;
+mod hungarian;
+mod nmi;
+mod pair_counts;
+mod purity;
+mod rand_index;
+
+pub use accuracy::{clustering_accuracy, optimal_label_mapping};
+pub use contingency::ContingencyTable;
+pub use error::MetricsError;
+pub use fmi::fowlkes_mallows_index;
+pub use hungarian::hungarian_max_assignment;
+pub use nmi::normalized_mutual_information;
+pub use pair_counts::PairCounts;
+pub use purity::purity;
+pub use rand_index::{adjusted_rand_index, rand_index};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+/// A bundle of every metric the paper reports, computed in one pass.
+///
+/// The experiment harness evaluates each (clusterer, feature space) pair with
+/// this struct so tables and figures are guaranteed to be derived from the
+/// same run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvaluationReport {
+    /// Clustering accuracy under the optimal cluster-to-class mapping.
+    pub accuracy: f64,
+    /// Cluster purity.
+    pub purity: f64,
+    /// Rand index.
+    pub rand_index: f64,
+    /// Adjusted Rand index.
+    pub adjusted_rand_index: f64,
+    /// Fowlkes–Mallows index.
+    pub fmi: f64,
+    /// Normalised mutual information.
+    pub nmi: f64,
+}
+
+impl EvaluationReport {
+    /// Evaluates predicted cluster labels against ground-truth classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the label slices are empty or of different length.
+    pub fn evaluate(predicted: &[usize], truth: &[usize]) -> Result<Self> {
+        let table = ContingencyTable::from_labels(predicted, truth)?;
+        Ok(Self {
+            accuracy: table.accuracy(),
+            purity: table.purity(),
+            rand_index: table.pair_counts().rand_index(),
+            adjusted_rand_index: table.adjusted_rand_index(),
+            fmi: table.pair_counts().fowlkes_mallows(),
+            nmi: table.normalized_mutual_information(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_report_perfect_clustering() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        let r = EvaluationReport::evaluate(&labels, &labels).unwrap();
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.purity, 1.0);
+        assert_eq!(r.rand_index, 1.0);
+        assert_eq!(r.fmi, 1.0);
+        assert!((r.nmi - 1.0).abs() < 1e-12);
+        assert!((r.adjusted_rand_index - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_report_label_permutation_is_perfect() {
+        let predicted = [2, 2, 0, 0, 1, 1];
+        let truth = [0, 0, 1, 1, 2, 2];
+        let r = EvaluationReport::evaluate(&predicted, &truth).unwrap();
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.purity, 1.0);
+    }
+
+    #[test]
+    fn evaluation_report_rejects_bad_input() {
+        assert!(EvaluationReport::evaluate(&[], &[]).is_err());
+        assert!(EvaluationReport::evaluate(&[0, 1], &[0]).is_err());
+    }
+
+    #[test]
+    fn evaluation_report_degraded_clustering_scores_lower() {
+        let truth = [0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let noisy = [0, 0, 1, 1, 1, 2, 2, 2, 0];
+        let perfect = EvaluationReport::evaluate(&truth, &truth).unwrap();
+        let degraded = EvaluationReport::evaluate(&noisy, &truth).unwrap();
+        assert!(degraded.accuracy < perfect.accuracy);
+        assert!(degraded.purity < perfect.purity);
+        assert!(degraded.rand_index < perfect.rand_index);
+        assert!(degraded.fmi < perfect.fmi);
+    }
+}

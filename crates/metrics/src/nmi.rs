@@ -1,0 +1,63 @@
+//! Normalised mutual information.
+//!
+//! Not reported in the paper's tables, but used by the repository's extended
+//! ablation benchmarks as an additional information-theoretic check that the
+//! sls-augmented features carry more class information than raw features.
+
+use crate::{ContingencyTable, Result};
+
+/// Normalised mutual information with arithmetic-mean normalisation:
+/// `NMI = MI(U, V) / ((H(U) + H(V)) / 2)`, clamped to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn normalized_mutual_information(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?.normalized_mutual_information())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_have_nmi_one() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_have_nmi_zero() {
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 1, 0, 1];
+        assert!(normalized_mutual_information(&predicted, &truth).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn relabelling_does_not_change_nmi() {
+        let truth = [0, 0, 0, 1, 1, 2];
+        let predicted = [2, 2, 2, 0, 0, 1];
+        assert!(
+            (normalized_mutual_information(&predicted, &truth).unwrap() - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn nmi_decreases_with_noise() {
+        let truth: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let mut noisy = truth.clone();
+        noisy[0] = 2;
+        noisy[10] = 0;
+        noisy[20] = 1;
+        let clean = normalized_mutual_information(&truth, &truth).unwrap();
+        let degraded = normalized_mutual_information(&noisy, &truth).unwrap();
+        assert!(degraded < clean);
+        assert!(degraded > 0.0);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        assert!(normalized_mutual_information(&[], &[]).is_err());
+        assert!(normalized_mutual_information(&[0], &[0, 1]).is_err());
+    }
+}

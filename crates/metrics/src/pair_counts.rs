@@ -1,0 +1,192 @@
+//! Pairwise agreement counts between two partitions.
+//!
+//! The Rand index (Eq. 37) and Fowlkes–Mallows index (Eq. 39) are both
+//! defined over the `C(n, 2)` pairs of instances: a pair is a *true positive*
+//! if the two instances share a predicted cluster and a ground-truth class,
+//! and so on. Counting pairs via the contingency table is O(k·c) instead of
+//! O(n²).
+
+use crate::ContingencyTable;
+use serde::{Deserialize, Serialize};
+
+/// The four pairwise agreement counts between a predicted partition and the
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairCounts {
+    /// Pairs in the same cluster and the same class (`N_ss` / TP).
+    pub true_positive: f64,
+    /// Pairs in the same cluster but different classes (FP).
+    pub false_positive: f64,
+    /// Pairs in different clusters but the same class (FN).
+    pub false_negative: f64,
+    /// Pairs in different clusters and different classes (`N_dd` / TN).
+    pub true_negative: f64,
+}
+
+impl PairCounts {
+    /// Derives the pair counts from a contingency table.
+    pub fn from_contingency(table: &ContingencyTable) -> Self {
+        let n = table.total() as f64;
+        let total_pairs = comb2(n);
+        let sum_nij: f64 = table.counts().iter().flatten().map(|&c| comb2(c as f64)).sum();
+        let sum_rows: f64 = table
+            .cluster_sizes()
+            .iter()
+            .map(|&a| comb2(a as f64))
+            .sum();
+        let sum_cols: f64 = table.class_sizes().iter().map(|&b| comb2(b as f64)).sum();
+
+        let tp = sum_nij;
+        let fp = sum_rows - sum_nij;
+        let fn_ = sum_cols - sum_nij;
+        let tn = total_pairs - tp - fp - fn_;
+        Self {
+            true_positive: tp,
+            false_positive: fp,
+            false_negative: fn_,
+            true_negative: tn,
+        }
+    }
+
+    /// Total number of pairs.
+    pub fn total_pairs(&self) -> f64 {
+        self.true_positive + self.false_positive + self.false_negative + self.true_negative
+    }
+
+    /// Rand index: fraction of pairs on which the partitions agree.
+    pub fn rand_index(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0.0 {
+            return 1.0;
+        }
+        (self.true_positive + self.true_negative) / total
+    }
+
+    /// Pairwise precision `TP / (TP + FP)`; `1` when no pair shares a cluster.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.true_positive / denom
+        }
+    }
+
+    /// Pairwise recall `TP / (TP + FN)`; `1` when no pair shares a class.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.true_positive / denom
+        }
+    }
+
+    /// Fowlkes–Mallows index: geometric mean of precision and recall.
+    pub fn fowlkes_mallows(&self) -> f64 {
+        (self.precision() * self.recall()).sqrt()
+    }
+}
+
+fn comb2(x: f64) -> f64 {
+    x * (x - 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(predicted: &[usize], truth: &[usize]) -> ContingencyTable {
+        ContingencyTable::from_labels(predicted, truth).unwrap()
+    }
+
+    /// O(n²) reference implementation counting pairs directly.
+    fn brute_counts(predicted: &[usize], truth: &[usize]) -> PairCounts {
+        let n = predicted.len();
+        let (mut tp, mut fp, mut fn_, mut tn) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_cluster = predicted[i] == predicted[j];
+                let same_class = truth[i] == truth[j];
+                match (same_cluster, same_class) {
+                    (true, true) => tp += 1.0,
+                    (true, false) => fp += 1.0,
+                    (false, true) => fn_ += 1.0,
+                    (false, false) => tn += 1.0,
+                }
+            }
+        }
+        PairCounts {
+            true_positive: tp,
+            false_positive: fp,
+            false_negative: fn_,
+            true_negative: tn,
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_examples() {
+        let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![0, 0, 1, 1, 2, 2], vec![0, 0, 1, 1, 2, 2]),
+            (vec![0, 0, 0, 1, 1, 1], vec![0, 1, 0, 1, 0, 1]),
+            (vec![0, 1, 2, 0, 1, 2, 0], vec![0, 0, 0, 1, 1, 1, 1]),
+            (vec![3, 3, 3, 3], vec![0, 1, 2, 3]),
+        ];
+        for (p, t) in cases {
+            let fast = PairCounts::from_contingency(&table(&p, &t));
+            let slow = brute_counts(&p, &t);
+            assert_eq!(fast, slow, "pair counts differ for {p:?} vs {t:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_labelings() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..40);
+            let p: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let t: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let fast = PairCounts::from_contingency(&table(&p, &t));
+            let slow = brute_counts(&p, &t);
+            assert!((fast.true_positive - slow.true_positive).abs() < 1e-9);
+            assert!((fast.false_positive - slow.false_positive).abs() < 1e-9);
+            assert!((fast.false_negative - slow.false_negative).abs() < 1e-9);
+            assert!((fast.true_negative - slow.true_negative).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perfect_partition_has_no_errors() {
+        let labels = [0, 0, 1, 1, 2];
+        let pc = PairCounts::from_contingency(&table(&labels, &labels));
+        assert_eq!(pc.false_positive, 0.0);
+        assert_eq!(pc.false_negative, 0.0);
+        assert_eq!(pc.rand_index(), 1.0);
+        assert_eq!(pc.fowlkes_mallows(), 1.0);
+        assert_eq!(pc.precision(), 1.0);
+        assert_eq!(pc.recall(), 1.0);
+    }
+
+    #[test]
+    fn single_instance_edge_case() {
+        let pc = PairCounts::from_contingency(&table(&[0], &[0]));
+        assert_eq!(pc.total_pairs(), 0.0);
+        assert_eq!(pc.rand_index(), 1.0);
+        assert_eq!(pc.fowlkes_mallows(), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_vs_all_same() {
+        // Predicted: every instance its own cluster. Truth: one class.
+        let predicted = [0, 1, 2, 3];
+        let truth = [0, 0, 0, 0];
+        let pc = PairCounts::from_contingency(&table(&predicted, &truth));
+        assert_eq!(pc.true_positive, 0.0);
+        assert_eq!(pc.false_positive, 0.0);
+        assert_eq!(pc.false_negative, 6.0);
+        assert_eq!(pc.rand_index(), 0.0);
+        // Precision is vacuously 1, recall 0, so FMI is 0.
+        assert_eq!(pc.fowlkes_mallows(), 0.0);
+    }
+}

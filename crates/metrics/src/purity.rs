@@ -1,0 +1,67 @@
+//! Cluster purity (Eq. 38).
+
+use crate::{ContingencyTable, Result};
+
+/// Purity: each cluster contributes the count of its dominant ground-truth
+/// class; the sum is normalised by the number of instances.
+///
+/// Purity does not penalise over-clustering: splitting every instance into
+/// its own cluster yields purity 1. It is therefore reported alongside
+/// accuracy and FMI in the paper rather than on its own.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn purity(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?.purity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_has_purity_one() {
+        let labels = [0, 0, 1, 1];
+        assert_eq!(purity(&labels, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn purity_is_share_of_dominant_classes() {
+        let predicted = [0, 0, 0, 0, 1, 1];
+        let truth = [0, 0, 0, 1, 1, 0];
+        // Cluster 0 dominant class 0 (3), cluster 1 split 1/1 (max 1) => 4/6.
+        assert!((purity(&predicted, &truth).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_clusters_have_purity_one() {
+        let predicted = [0, 1, 2, 3];
+        let truth = [0, 0, 1, 1];
+        assert_eq!(purity(&predicted, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_purity_is_majority_share() {
+        let predicted = [0, 0, 0, 0];
+        let truth = [1, 1, 1, 0];
+        assert_eq!(purity(&predicted, &truth).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        assert!(purity(&[], &[]).is_err());
+        assert!(purity(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn purity_at_least_accuracy() {
+        // Purity is an upper bound on accuracy because accuracy restricts the
+        // mapping to be one-to-one.
+        let predicted = [0, 0, 1, 1, 2, 2, 3, 3];
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let p = purity(&predicted, &truth).unwrap();
+        let a = crate::clustering_accuracy(&predicted, &truth).unwrap();
+        assert!(p >= a);
+    }
+}

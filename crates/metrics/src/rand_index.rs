@@ -1,0 +1,82 @@
+//! Rand index (Eq. 37) and adjusted Rand index.
+
+use crate::{ContingencyTable, Result};
+
+/// Rand index: fraction of instance pairs on which the predicted partition
+/// and the ground-truth partition agree (both together or both apart).
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn rand_index(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?
+        .pair_counts()
+        .rand_index())
+}
+
+/// Adjusted Rand index: the Rand index corrected for chance agreement, so a
+/// random partition scores around 0 and identical partitions score 1.
+///
+/// # Errors
+///
+/// Returns an error if the label slices are empty or of different length.
+pub fn adjusted_rand_index(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    Ok(ContingencyTable::from_labels(predicted, truth)?.adjusted_rand_index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert_eq!(rand_index(&labels, &labels).unwrap(), 1.0);
+        assert!((adjusted_rand_index(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelled_partitions_score_one() {
+        let predicted = [5, 5, 9, 9];
+        let truth = [1, 1, 0, 0];
+        assert_eq!(rand_index(&predicted, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_textbook_example() {
+        // Classic example: truth = {a,a,a,b,b,b}, predicted splits one item.
+        let truth = [0, 0, 0, 1, 1, 1];
+        let predicted = [0, 0, 1, 1, 1, 1];
+        // Pairs: C(6,2)=15. Agreements: counted via contingency 2x2 table
+        // [[2,0],[1,3]] -> TP = C(2,2)+C(1,2)+C(3,2) = 1+0+3 = 4,
+        // rows C(2,2)+C(4,2)=1+6=7 -> FP=3; cols C(3,2)*2=6 -> FN=2; TN=15-4-3-2=6.
+        // Rand = (4+6)/15 = 10/15.
+        assert!((rand_index(&predicted, &truth).unwrap() - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_independent_partition() {
+        // Alternating labels are statistically independent of block labels.
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let predicted = [0, 1, 0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&predicted, &truth).unwrap();
+        assert!(ari.abs() < 0.2, "ari = {ari}");
+        let ri = rand_index(&predicted, &truth).unwrap();
+        assert!(ri > 0.0 && ri < 1.0);
+    }
+
+    #[test]
+    fn ari_can_be_negative() {
+        // Worse-than-chance structure.
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 1, 0, 1];
+        let ari = adjusted_rand_index(&predicted, &truth).unwrap();
+        assert!(ari <= 0.0);
+    }
+
+    #[test]
+    fn errors_on_invalid_input() {
+        assert!(rand_index(&[], &[]).is_err());
+        assert!(adjusted_rand_index(&[0], &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the evaluation metrics.
+//!
+//! The invariants exercised here are the ones the experiment harness relies
+//! on when comparing pipelines: all metrics are bounded, invariant to
+//! relabelling of the predicted clusters, and reach their maximum exactly on
+//! (relabellings of) the ground truth.
+
+use proptest::prelude::*;
+use sls_metrics::{
+    adjusted_rand_index, clustering_accuracy, fowlkes_mallows_index,
+    normalized_mutual_information, purity, rand_index, ContingencyTable, EvaluationReport,
+};
+
+/// Parallel (predicted, truth) label vectors of the same length.
+fn label_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..5, n),
+            proptest::collection::vec(0usize..4, n),
+        )
+    })
+}
+
+/// A labelling together with a permutation applied to its label values.
+fn labels_and_permutation() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..50).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..4, n),
+            Just(vec![3usize, 0, 2, 1]),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_metrics_are_bounded((p, t) in label_pair()) {
+        let r = EvaluationReport::evaluate(&p, &t).unwrap();
+        for v in [r.accuracy, r.purity, r.rand_index, r.fmi, r.nmi] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "metric {v} out of range");
+        }
+        prop_assert!(r.adjusted_rand_index <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_maximises_everything(t in proptest::collection::vec(0usize..4, 2..60)) {
+        let r = EvaluationReport::evaluate(&t, &t).unwrap();
+        prop_assert!((r.accuracy - 1.0).abs() < 1e-12);
+        prop_assert!((r.purity - 1.0).abs() < 1e-12);
+        prop_assert!((r.rand_index - 1.0).abs() < 1e-12);
+        prop_assert!((r.fmi - 1.0).abs() < 1e-12);
+        prop_assert!((r.nmi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_invariant_to_cluster_relabelling((labels, perm) in labels_and_permutation()) {
+        let truth = labels.clone();
+        let relabelled: Vec<usize> = labels.iter().map(|&l| perm[l]).collect();
+        let a = EvaluationReport::evaluate(&labels, &truth).unwrap();
+        let b = EvaluationReport::evaluate(&relabelled, &truth).unwrap();
+        prop_assert!((a.accuracy - b.accuracy).abs() < 1e-9);
+        prop_assert!((a.purity - b.purity).abs() < 1e-9);
+        prop_assert!((a.rand_index - b.rand_index).abs() < 1e-9);
+        prop_assert!((a.fmi - b.fmi).abs() < 1e-9);
+        prop_assert!((a.nmi - b.nmi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_upper_bounds_accuracy((p, t) in label_pair()) {
+        let acc = clustering_accuracy(&p, &t).unwrap();
+        let pur = purity(&p, &t).unwrap();
+        prop_assert!(pur + 1e-12 >= acc);
+    }
+
+    #[test]
+    fn rand_index_symmetric_in_arguments((p, t) in label_pair()) {
+        let ab = rand_index(&p, &t).unwrap();
+        let ba = rand_index(&t, &p).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmi_symmetric_in_arguments((p, t) in label_pair()) {
+        let ab = fowlkes_mallows_index(&p, &t).unwrap();
+        let ba = fowlkes_mallows_index(&t, &p).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_symmetric_in_arguments((p, t) in label_pair()) {
+        let ab = normalized_mutual_information(&p, &t).unwrap();
+        let ba = normalized_mutual_information(&t, &p).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_not_above_one((p, t) in label_pair()) {
+        let ari = adjusted_rand_index(&p, &t).unwrap();
+        prop_assert!(ari <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn contingency_marginals_sum_to_total((p, t) in label_pair()) {
+        let table = ContingencyTable::from_labels(&p, &t).unwrap();
+        let total: usize = table.cluster_sizes().iter().sum();
+        prop_assert_eq!(total, p.len());
+        let total_cols: usize = table.class_sizes().iter().sum();
+        prop_assert_eq!(total_cols, p.len());
+        prop_assert_eq!(table.total(), p.len());
+    }
+
+    #[test]
+    fn accuracy_at_least_one_over_k((p, t) in label_pair()) {
+        // With an optimal mapping, accuracy is at least the share of the
+        // largest ground-truth class captured by the best single cluster
+        // assignment; in particular it is strictly positive.
+        let acc = clustering_accuracy(&p, &t).unwrap();
+        prop_assert!(acc > 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Domain scenario 3: train once, persist the model, reload it later for
+//! feature extraction — the workflow a downstream application would use when
+//! the encoder is trained offline and served elsewhere.
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_rbm::consensus::{LocalSupervision, VotingPolicy};
+use sls_rbm::datasets::{binarize_median, generate_uci_dataset, UciDatasetId};
+use sls_rbm::rbm::{
+    load_params_json, save_params_json, BoltzmannMachine, SlsConfig, SlsRbm, TrainConfig,
+};
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    let ds = generate_uci_dataset(UciDatasetId::SpectHeart, &mut rng);
+    let data = binarize_median(ds.features());
+    println!("training slsRBM on {}", ds.spec().summary());
+
+    // Cheap supervision for the demo: three k-means restarts + unanimity.
+    let partitions: Vec<Vec<usize>> = (0..3)
+        .map(|seed| {
+            sls_rbm::clustering::KMeans::new(2)
+                .fit(&data, &mut ChaCha8Rng::seed_from_u64(seed))
+                .expect("k-means")
+                .assignment
+                .labels()
+                .to_vec()
+        })
+        .collect();
+    let supervision = sls_rbm::consensus::LocalSupervisionBuilder::new(2)
+        .with_policy(VotingPolicy::Unanimous)
+        .build_from_partitions(&partitions)
+        .expect("supervision");
+    print_supervision(&supervision);
+
+    let mut model = SlsRbm::new(data.cols(), 12, &mut rng);
+    let history = model
+        .train(
+            &data,
+            &supervision,
+            TrainConfig::default().with_learning_rate(0.05).with_epochs(10),
+            SlsConfig::paper_rbm(),
+            &mut rng,
+        )
+        .expect("training");
+    println!(
+        "trained for {} epochs, reconstruction error {:.4} -> {:.4}",
+        history.epochs.len(),
+        history.initial_error().unwrap(),
+        history.final_error().unwrap()
+    );
+
+    // Persist the parameters and reload them into a fresh model.
+    let path = std::env::temp_dir().join("sls_rbm_example_model.json");
+    save_params_json(model.params(), &path).expect("save model");
+    println!("model saved to {}", path.display());
+
+    let reloaded = SlsRbm::from_params(load_params_json(&path).expect("load model"));
+    let original_features = model.hidden_features(&data).expect("features");
+    let reloaded_features = reloaded.hidden_features(&data).expect("features");
+    assert!(original_features.approx_eq(&reloaded_features, 1e-12));
+    println!(
+        "reloaded model reproduces identical hidden features for {} instances x {} hidden units",
+        reloaded_features.rows(),
+        reloaded_features.cols()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+fn print_supervision(supervision: &LocalSupervision) {
+    let summary = supervision.summary();
+    println!(
+        "supervision: {} local clusters, sizes {}..{}, coverage {:.0}%",
+        summary.n_clusters,
+        summary.min_cluster_size,
+        summary.max_cluster_size,
+        summary.coverage * 100.0
+    );
+}

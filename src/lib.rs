@@ -1,0 +1,60 @@
+//! # sls-rbm
+//!
+//! Umbrella crate for the *self-learning local supervision* (multi-clustering
+//! integration) RBM workspace. It re-exports the public API of every member
+//! crate so downstream users — and the examples and integration tests of this
+//! repository — can depend on a single crate.
+//!
+//! The workspace reproduces Chu et al.'s unsupervised feature-learning
+//! architecture in which multiple clusterings (density peaks, k-means and
+//! affinity propagation) are integrated through unanimous voting into *local
+//! credible clusters*, which then steer the contrastive-divergence update of
+//! an RBM (binary data, `slsRBM`) or a Gaussian-visible RBM (real-valued
+//! data, `slsGRBM`) so that hidden features of the same local cluster
+//! constrict together while different local clusters disperse.
+//!
+//! ## Crate map
+//!
+//! | Module | Source crate | Contents |
+//! |--------|--------------|----------|
+//! | [`linalg`] | `sls-linalg` | dense matrices, products, statistics |
+//! | [`datasets`] | `sls-datasets` | synthetic MSRA-MM / UCI style corpora, Iris, CSV |
+//! | [`clustering`] | `sls-clustering` | k-means, density peaks, affinity propagation |
+//! | [`metrics`] | `sls-metrics` | accuracy, purity, Rand, FMI, NMI |
+//! | [`consensus`] | `sls-consensus` | label alignment, unanimous voting, local supervision |
+//! | [`rbm`] | `sls-rbm-core` | RBM, GRBM, slsRBM, slsGRBM, pipelines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use sls_rbm::datasets::SyntheticBlobs;
+//! use sls_rbm::rbm::{SlsGrbmPipeline, SlsPipelineConfig};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let dataset = SyntheticBlobs::new(90, 8, 3).separation(4.0).generate(&mut rng);
+//! let config = SlsPipelineConfig::quick_demo();
+//! let outcome = SlsGrbmPipeline::new(config)
+//!     .run(dataset.features(), &mut rng)
+//!     .expect("pipeline runs");
+//! assert_eq!(outcome.hidden_features.rows(), 90);
+//! ```
+
+pub use sls_clustering as clustering;
+pub use sls_consensus as consensus;
+pub use sls_datasets as datasets;
+pub use sls_linalg as linalg;
+pub use sls_metrics as metrics;
+pub use sls_rbm_core as rbm;
+
+/// Workspace version string, taken from the umbrella crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
