@@ -9,7 +9,9 @@ use sls_datasets::SyntheticBlobs;
 
 fn workload() -> sls_datasets::Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    SyntheticBlobs::new(150, 32, 3).separation(3.0).generate(&mut rng)
+    SyntheticBlobs::new(150, 32, 3)
+        .separation(3.0)
+        .generate(&mut rng)
 }
 
 fn bench_kmeans(c: &mut Criterion) {
@@ -36,5 +38,10 @@ fn bench_affinity_propagation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kmeans, bench_density_peaks, bench_affinity_propagation);
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_density_peaks,
+    bench_affinity_propagation
+);
 criterion_main!(benches);

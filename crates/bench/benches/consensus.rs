@@ -13,7 +13,13 @@ fn partitions(n: usize, k: usize) -> Vec<Vec<usize>> {
         .map(|_| {
             truth
                 .iter()
-                .map(|&l| if rng.gen::<f64>() < 0.2 { rng.gen_range(0..k) } else { (l + 1) % k })
+                .map(|&l| {
+                    if rng.gen::<f64>() < 0.2 {
+                        rng.gen_range(0..k)
+                    } else {
+                        (l + 1) % k
+                    }
+                })
                 .collect()
         })
         .collect()

@@ -11,7 +11,13 @@ fn labels(n: usize, k: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
     let truth: Vec<usize> = (0..n).map(|i| i % k).collect();
     let predicted: Vec<usize> = truth
         .iter()
-        .map(|&l| if rng.gen::<f64>() < 0.3 { rng.gen_range(0..k) } else { l })
+        .map(|&l| {
+            if rng.gen::<f64>() < 0.3 {
+                rng.gen_range(0..k)
+            } else {
+                l
+            }
+        })
         .collect();
     (predicted, truth)
 }

@@ -11,10 +11,13 @@ use sls_rbm_core::{BoltzmannMachine, CdTrainer, Grbm, SlsConfig, SlsGrbm, TrainC
 
 fn setup() -> (sls_linalg::Matrix, LocalSupervision) {
     let mut rng = ChaCha8Rng::seed_from_u64(9);
-    let ds = SyntheticBlobs::new(200, 64, 3).separation(3.0).generate(&mut rng);
+    let ds = SyntheticBlobs::new(200, 64, 3)
+        .separation(3.0)
+        .generate(&mut rng);
     let data = standardize_columns(ds.features()).unwrap();
     let consensus: Vec<Option<usize>> = ds.labels().iter().map(|&l| Some(l)).collect();
-    let supervision = LocalSupervision::from_consensus(&consensus, VotingPolicy::Unanimous).unwrap();
+    let supervision =
+        LocalSupervision::from_consensus(&consensus, VotingPolicy::Unanimous).unwrap();
     (data, supervision)
 }
 
@@ -47,7 +50,13 @@ fn bench_sls_epoch(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
             let mut model = SlsGrbm::new(data.cols(), 32, &mut rng);
             model
-                .train(&data, &supervision, one_epoch_config(), SlsConfig::paper_grbm(), &mut rng)
+                .train(
+                    &data,
+                    &supervision,
+                    one_epoch_config(),
+                    SlsConfig::paper_grbm(),
+                    &mut rng,
+                )
                 .unwrap();
             black_box(model)
         })
@@ -63,5 +72,10 @@ fn bench_feature_extraction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cd_epoch, bench_sls_epoch, bench_feature_extraction);
+criterion_group!(
+    benches,
+    bench_cd_epoch,
+    bench_sls_epoch,
+    bench_feature_extraction
+);
 criterion_main!(benches);

@@ -40,9 +40,17 @@ fn main() {
     println!("{:>6} {:>10}", "eta", "accuracy");
     for eta in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let mut model = SlsGrbm::new(data.cols(), 32, &mut ChaCha8Rng::seed_from_u64(99));
-        let train = TrainConfig::default().with_learning_rate(5e-3).with_epochs(15);
+        let train = TrainConfig::default()
+            .with_learning_rate(5e-3)
+            .with_epochs(15);
         model
-            .train(&data, &supervision, train, SlsConfig::new(eta), &mut ChaCha8Rng::seed_from_u64(3))
+            .train(
+                &data,
+                &supervision,
+                train,
+                SlsConfig::new(eta),
+                &mut ChaCha8Rng::seed_from_u64(3),
+            )
             .unwrap();
         let hidden = model.hidden_features(&data).unwrap();
         let assignment = KMeans::new(3)

@@ -36,9 +36,17 @@ fn main() {
     println!("{:>8} {:>10}", "hidden", "accuracy");
     for n_hidden in [8usize, 16, 32, 64, 128, 256] {
         let mut model = SlsGrbm::new(data.cols(), n_hidden, &mut ChaCha8Rng::seed_from_u64(99));
-        let train = TrainConfig::default().with_learning_rate(5e-3).with_epochs(15);
+        let train = TrainConfig::default()
+            .with_learning_rate(5e-3)
+            .with_epochs(15);
         model
-            .train(&data, &supervision, train, SlsConfig::paper_grbm(), &mut ChaCha8Rng::seed_from_u64(3))
+            .train(
+                &data,
+                &supervision,
+                train,
+                SlsConfig::paper_grbm(),
+                &mut ChaCha8Rng::seed_from_u64(3),
+            )
             .unwrap();
         let hidden = model.hidden_features(&data).unwrap();
         let assignment = KMeans::new(3)

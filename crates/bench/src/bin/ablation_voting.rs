@@ -33,7 +33,10 @@ fn main() {
         .collect();
 
     println!("Ablation A2: voting policy vs supervision quality and final accuracy");
-    println!("{:<22}{:>10}{:>12}{:>12}", "policy", "coverage", "purity", "accuracy");
+    println!(
+        "{:<22}{:>10}{:>12}{:>12}",
+        "policy", "coverage", "purity", "accuracy"
+    );
     let policies = [
         ("unanimous (paper)", VotingPolicy::Unanimous),
         ("majority", VotingPolicy::Majority),
@@ -59,9 +62,17 @@ fn main() {
         let supervision_purity = sls_metrics::purity(&covered_pred, &covered_truth).unwrap();
 
         let mut model = SlsGrbm::new(data.cols(), 32, &mut ChaCha8Rng::seed_from_u64(11));
-        let train = TrainConfig::default().with_learning_rate(5e-3).with_epochs(15);
+        let train = TrainConfig::default()
+            .with_learning_rate(5e-3)
+            .with_epochs(15);
         model
-            .train(&data, &supervision, train, SlsConfig::paper_grbm(), &mut ChaCha8Rng::seed_from_u64(2))
+            .train(
+                &data,
+                &supervision,
+                train,
+                SlsConfig::paper_grbm(),
+                &mut ChaCha8Rng::seed_from_u64(2),
+            )
             .unwrap();
         let hidden = model.hidden_features(&data).unwrap();
         let assignment = KMeans::new(3)
@@ -69,6 +80,9 @@ fn main() {
             .unwrap()
             .assignment;
         let acc = clustering_accuracy(assignment.labels(), labels).unwrap();
-        println!("{name:<22}{:>10.3}{supervision_purity:>12.4}{acc:>12.4}", summary.coverage);
+        println!(
+            "{name:<22}{:>10.3}{supervision_purity:>12.4}{acc:>12.4}",
+            summary.coverage
+        );
     }
 }

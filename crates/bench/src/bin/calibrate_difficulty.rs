@@ -6,7 +6,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sls_bench::ExperimentScale;
 use sls_clustering::{Clusterer, DensityPeaks, KMeans};
-use sls_datasets::{binarize_median, generate_msra_dataset, generate_uci_dataset, msra_catalog, standardize_columns, uci_catalog};
+use sls_datasets::{
+    binarize_median, generate_msra_dataset, generate_uci_dataset, msra_catalog,
+    standardize_columns, uci_catalog,
+};
 use sls_metrics::clustering_accuracy;
 
 fn main() {
@@ -21,15 +24,20 @@ fn main() {
         let total = ds.n_features();
         let d = cap_d.min(total);
         let cols: Vec<usize> = (0..d).map(|j| j * total / d).collect();
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| cols.iter().map(|&j| ds.features().row(i)[j]).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| cols.iter().map(|&j| ds.features().row(i)[j]).collect())
+            .collect();
         let data = standardize_columns(&sls_linalg::Matrix::from_rows(&rows).unwrap()).unwrap();
         let labels = &ds.labels()[..n];
         let k = 3;
         let dp = DensityPeaks::new(k).cluster(&data, &mut rng).unwrap();
         let km = KMeans::new(k).cluster(&data, &mut rng).unwrap();
-        println!("{:<8}{:>10.4}{:>10.4}", ds.spec().code,
+        println!(
+            "{:<8}{:>10.4}{:>10.4}",
+            ds.spec().code,
             clustering_accuracy(dp.labels(), labels).unwrap(),
-            clustering_accuracy(km.labels(), labels).unwrap());
+            clustering_accuracy(km.labels(), labels).unwrap()
+        );
     }
     for id in uci_catalog() {
         let ds = generate_uci_dataset(id, &mut rng);
@@ -37,14 +45,19 @@ fn main() {
         let total = ds.n_features();
         let d = cap_d.min(total);
         let cols: Vec<usize> = (0..d).map(|j| j * total / d).collect();
-        let rows: Vec<Vec<f64>> = (0..n).map(|i| cols.iter().map(|&j| ds.features().row(i)[j]).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| cols.iter().map(|&j| ds.features().row(i)[j]).collect())
+            .collect();
         let data = binarize_median(&sls_linalg::Matrix::from_rows(&rows).unwrap());
         let labels = &ds.labels()[..n];
         let k = ds.spec().classes;
         let dp = DensityPeaks::new(k).cluster(&data, &mut rng).unwrap();
         let km = KMeans::new(k).cluster(&data, &mut rng).unwrap();
-        println!("{:<8}{:>10.4}{:>10.4}", ds.spec().code,
+        println!(
+            "{:<8}{:>10.4}{:>10.4}",
+            ds.spec().code,
             clustering_accuracy(dp.labels(), labels).unwrap(),
-            clustering_accuracy(km.labels(), labels).unwrap());
+            clustering_accuracy(km.labels(), labels).unwrap()
+        );
     }
 }

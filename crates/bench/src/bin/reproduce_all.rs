@@ -6,7 +6,9 @@
 //! (`full` / `reduced` / `smoke`; default `reduced`).
 
 use sls_bench::report::{render_figure, save_json};
-use sls_bench::{figure_series, metric_table, run_datasets_i, run_datasets_ii, ExperimentScale, MetricKind};
+use sls_bench::{
+    figure_series, metric_table, run_datasets_i, run_datasets_ii, ExperimentScale, MetricKind,
+};
 
 fn main() {
     let scale = ExperimentScale::from_env();
@@ -15,31 +17,90 @@ fn main() {
 
     println!("--- datasets I (MSRA-MM stand-ins, GRBM family) ---");
     let datasets_i = run_datasets_i(scale, 2023);
-    let table4 = metric_table(&datasets_i, MetricKind::Accuracy, "Table IV: accuracy on datasets I");
-    let table5 = metric_table(&datasets_i, MetricKind::Purity, "Table V: purity on datasets I");
+    let table4 = metric_table(
+        &datasets_i,
+        MetricKind::Accuracy,
+        "Table IV: accuracy on datasets I",
+    );
+    let table5 = metric_table(
+        &datasets_i,
+        MetricKind::Purity,
+        "Table V: purity on datasets I",
+    );
     let table6 = metric_table(&datasets_i, MetricKind::Fmi, "Table VI: FMI on datasets I");
     println!("{}", table4.render_text());
     println!("{}", table5.render_text());
     println!("{}", table6.render_text());
-    println!("{}", render_figure(&figure_series(&datasets_i, MetricKind::Accuracy), "Fig. 2 series (accuracy)"));
-    println!("{}", render_figure(&figure_series(&datasets_i, MetricKind::Purity), "Fig. 3 series (purity)"));
-    println!("{}", render_figure(&figure_series(&datasets_i, MetricKind::Fmi), "Fig. 4 series (FMI)"));
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_i, MetricKind::Accuracy),
+            "Fig. 2 series (accuracy)"
+        )
+    );
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_i, MetricKind::Purity),
+            "Fig. 3 series (purity)"
+        )
+    );
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_i, MetricKind::Fmi),
+            "Fig. 4 series (FMI)"
+        )
+    );
     println!("Fig. 5 panels are the 'Average' rows of Tables IV-VI above.\n");
 
     println!("--- datasets II (UCI stand-ins, RBM family) ---");
     let datasets_ii = run_datasets_ii(scale, 2023);
-    let table7 = metric_table(&datasets_ii, MetricKind::Accuracy, "Table VII: accuracy on datasets II");
-    let table8 = metric_table(&datasets_ii, MetricKind::RandIndex, "Table VIII: Rand index on datasets II");
-    let table9 = metric_table(&datasets_ii, MetricKind::Fmi, "Table IX: FMI on datasets II");
+    let table7 = metric_table(
+        &datasets_ii,
+        MetricKind::Accuracy,
+        "Table VII: accuracy on datasets II",
+    );
+    let table8 = metric_table(
+        &datasets_ii,
+        MetricKind::RandIndex,
+        "Table VIII: Rand index on datasets II",
+    );
+    let table9 = metric_table(
+        &datasets_ii,
+        MetricKind::Fmi,
+        "Table IX: FMI on datasets II",
+    );
     println!("{}", table7.render_text());
     println!("{}", table8.render_text());
     println!("{}", table9.render_text());
-    println!("{}", render_figure(&figure_series(&datasets_ii, MetricKind::Accuracy), "Fig. 6 series (accuracy)"));
-    println!("{}", render_figure(&figure_series(&datasets_ii, MetricKind::RandIndex), "Fig. 7 series (Rand index)"));
-    println!("{}", render_figure(&figure_series(&datasets_ii, MetricKind::Fmi), "Fig. 8 series (FMI)"));
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_ii, MetricKind::Accuracy),
+            "Fig. 6 series (accuracy)"
+        )
+    );
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_ii, MetricKind::RandIndex),
+            "Fig. 7 series (Rand index)"
+        )
+    );
+    println!(
+        "{}",
+        render_figure(
+            &figure_series(&datasets_ii, MetricKind::Fmi),
+            "Fig. 8 series (FMI)"
+        )
+    );
     println!("Fig. 9 panels are the 'Average' rows of Tables VII-IX above.\n");
 
-    for (name, value) in [("datasets_i_raw", &datasets_i), ("datasets_ii_raw", &datasets_ii)] {
+    for (name, value) in [
+        ("datasets_i_raw", &datasets_i),
+        ("datasets_ii_raw", &datasets_ii),
+    ] {
         if let Err(e) = save_json(value, format!("results/{name}.json")) {
             eprintln!("warning: could not save results/{name}.json: {e}");
         }
@@ -60,12 +121,33 @@ fn main() {
     // Headline check: the paper's claim is that sls features beat both the
     // baseline-model features and the raw data on average.
     println!("--- headline comparison (average accuracy) ---");
-    for (family, results, model) in [("datasets I", &datasets_i, "GRBM"), ("datasets II", &datasets_ii, "RBM")] {
+    for (family, results, model) in [
+        ("datasets I", &datasets_i, "GRBM"),
+        ("datasets II", &datasets_ii, "RBM"),
+    ] {
         use sls_bench::{AlgorithmId, ClustererId, FeatureSpace};
         for clusterer in ClustererId::all() {
-            let raw = results.average(AlgorithmId { clusterer, space: FeatureSpace::Raw }, |r| r.accuracy);
-            let baseline = results.average(AlgorithmId { clusterer, space: FeatureSpace::Baseline }, |r| r.accuracy);
-            let sls = results.average(AlgorithmId { clusterer, space: FeatureSpace::Sls }, |r| r.accuracy);
+            let raw = results.average(
+                AlgorithmId {
+                    clusterer,
+                    space: FeatureSpace::Raw,
+                },
+                |r| r.accuracy,
+            );
+            let baseline = results.average(
+                AlgorithmId {
+                    clusterer,
+                    space: FeatureSpace::Baseline,
+                },
+                |r| r.accuracy,
+            );
+            let sls = results.average(
+                AlgorithmId {
+                    clusterer,
+                    space: FeatureSpace::Sls,
+                },
+                |r| r.accuracy,
+            );
             println!(
                 "  {family:<12} {:<8} raw {raw:.4} | +{model} {baseline:.4} | +sls{model} {sls:.4} | sls-vs-raw {:+.4}",
                 clusterer.name(),

@@ -4,7 +4,10 @@
 
 fn main() {
     println!("Table II: summary of the experiment datasets I (MSRA-MM 2.0 stand-ins)");
-    println!("{:<4}{:<16}{:>8}{:>11}{:>9}", "No.", "Dataset", "classes", "instances", "feature");
+    println!(
+        "{:<4}{:<16}{:>8}{:>11}{:>9}",
+        "No.", "Dataset", "classes", "instances", "feature"
+    );
     for id in sls_datasets::msra_catalog() {
         let spec = id.spec();
         println!(

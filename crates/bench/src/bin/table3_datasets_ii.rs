@@ -2,7 +2,10 @@
 
 fn main() {
     println!("Table III: summary of the experiment datasets II (UCI stand-ins)");
-    println!("{:<4}{:<30}{:>8}{:>11}{:>9}", "No.", "Dataset", "classes", "instances", "feature");
+    println!(
+        "{:<4}{:<30}{:>8}{:>11}{:>9}",
+        "No.", "Dataset", "classes", "instances", "feature"
+    );
     for id in sls_datasets::uci_catalog() {
         let spec = id.spec();
         println!(

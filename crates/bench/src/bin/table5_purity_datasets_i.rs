@@ -12,5 +12,8 @@ fn main() {
     );
     println!("{}", table.render_text());
     let series = figure_series(&results, MetricKind::Purity);
-    println!("{}", sls_bench::report::render_figure(&series, "Fig. 3 series: purity vs dataset index"));
+    println!(
+        "{}",
+        sls_bench::report::render_figure(&series, "Fig. 3 series: purity vs dataset index")
+    );
 }

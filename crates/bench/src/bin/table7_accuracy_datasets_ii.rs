@@ -13,5 +13,8 @@ fn main() {
     );
     println!("{}", table.render_text());
     let series = figure_series(&results, MetricKind::Accuracy);
-    println!("{}", sls_bench::report::render_figure(&series, "Fig. 6 series: accuracy vs dataset index"));
+    println!(
+        "{}",
+        sls_bench::report::render_figure(&series, "Fig. 6 series: accuracy vs dataset index")
+    );
 }

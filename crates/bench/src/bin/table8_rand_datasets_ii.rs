@@ -13,5 +13,8 @@ fn main() {
     );
     println!("{}", table.render_text());
     let series = figure_series(&results, MetricKind::RandIndex);
-    println!("{}", sls_bench::report::render_figure(&series, "Fig. 7 series: Rand index vs dataset index"));
+    println!(
+        "{}",
+        sls_bench::report::render_figure(&series, "Fig. 7 series: Rand index vs dataset index")
+    );
 }

@@ -13,5 +13,8 @@ fn main() {
     );
     println!("{}", table.render_text());
     let series = figure_series(&results, MetricKind::Fmi);
-    println!("{}", sls_bench::report::render_figure(&series, "Fig. 8 series: FMI vs dataset index"));
+    println!(
+        "{}",
+        sls_bench::report::render_figure(&series, "Fig. 8 series: FMI vs dataset index")
+    );
 }

@@ -50,7 +50,11 @@ impl ExperimentScale {
     /// Reads the scale from the `SLS_SCALE` environment variable
     /// (`full` / `reduced` / `smoke`), defaulting to [`Self::Reduced`].
     pub fn from_env() -> Self {
-        match std::env::var("SLS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("SLS_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => Self::Full,
             "smoke" => Self::Smoke,
             _ => Self::Reduced,
@@ -226,7 +230,11 @@ impl FamilyResults {
     }
 
     /// Average of `metric` over all datasets for one algorithm column.
-    pub fn average(&self, algorithm: AlgorithmId, metric: impl Fn(&EvaluationReport) -> f64) -> f64 {
+    pub fn average(
+        &self,
+        algorithm: AlgorithmId,
+        metric: impl Fn(&EvaluationReport) -> f64,
+    ) -> f64 {
         let values: Vec<f64> = self
             .results
             .iter()
@@ -359,7 +367,9 @@ fn run_gaussian_dataset(
         .map_err(|e| e.to_string())?
         .train(&mut grbm, &data, &mut rng)
         .map_err(|e| e.to_string())?;
-    let baseline_features = grbm.hidden_probabilities(&data).map_err(|e| e.to_string())?;
+    let baseline_features = grbm
+        .hidden_probabilities(&data)
+        .map_err(|e| e.to_string())?;
     let baseline = cluster_all(&baseline_features, k, &mut rng)?;
     results.extend(evaluate(
         &baseline,
@@ -381,7 +391,9 @@ fn run_gaussian_dataset(
     sls_model
         .train(&data, &supervision, train, sls_config, &mut rng)
         .map_err(|e| e.to_string())?;
-    let sls_features = sls_model.hidden_features(&data).map_err(|e| e.to_string())?;
+    let sls_features = sls_model
+        .hidden_features(&data)
+        .map_err(|e| e.to_string())?;
     let sls = cluster_all(&sls_features, k, &mut rng)?;
     results.extend(evaluate(
         &sls,
@@ -436,7 +448,9 @@ fn run_binary_dataset(
     sls_model
         .train(&data, &supervision, train, sls_config, &mut rng)
         .map_err(|e| e.to_string())?;
-    let sls_features = sls_model.hidden_features(&data).map_err(|e| e.to_string())?;
+    let sls_features = sls_model
+        .hidden_features(&data)
+        .map_err(|e| e.to_string())?;
     let sls = cluster_all(&sls_features, k, &mut rng)?;
     results.extend(evaluate(
         &sls,
@@ -459,17 +473,19 @@ fn run_family<F>(
     runner: F,
 ) -> FamilyResults
 where
-    F: Fn(&Dataset, usize, ExperimentScale, u64) -> Result<Vec<PipelineResult>, String>
-        + Sync,
+    F: Fn(&Dataset, usize, ExperimentScale, u64) -> Result<Vec<PipelineResult>, String> + Sync,
 {
-    let dataset_codes: Vec<String> = datasets.iter().map(|(_, d)| d.spec().code.clone()).collect();
+    let dataset_codes: Vec<String> = datasets
+        .iter()
+        .map(|(_, d)| d.spec().code.clone())
+        .collect();
     let mut results: Vec<PipelineResult> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = datasets
             .iter()
             .map(|(index, ds)| {
                 let runner = &runner;
-                scope.spawn(move |_| runner(ds, *index, scale, seed.wrapping_add(*index as u64)))
+                scope.spawn(move || runner(ds, *index, scale, seed.wrapping_add(*index as u64)))
             })
             .collect();
         for handle in handles {
@@ -478,8 +494,7 @@ where
                 Err(message) => panic!("experiment failed: {message}"),
             }
         }
-    })
-    .expect("experiment scope");
+    });
     results.sort_by_key(|r| r.dataset_index);
     FamilyResults {
         family: family.to_string(),
@@ -497,7 +512,14 @@ pub fn run_datasets_i(scale: ExperimentScale, seed: u64) -> FamilyResults {
         .into_iter()
         .map(|id| (id.index(), generate_msra_dataset(id, &mut rng)))
         .collect();
-    run_family("datasets-I", "GRBM", datasets, scale, seed, run_gaussian_dataset)
+    run_family(
+        "datasets-I",
+        "GRBM",
+        datasets,
+        scale,
+        seed,
+        run_gaussian_dataset,
+    )
 }
 
 /// Runs the full datasets II grid (Tables VII–IX, Figs. 6–9).
@@ -507,7 +529,14 @@ pub fn run_datasets_ii(scale: ExperimentScale, seed: u64) -> FamilyResults {
         .into_iter()
         .map(|id| (id.index(), generate_uci_dataset(id, &mut rng)))
         .collect();
-    run_family("datasets-II", "RBM", datasets, scale, seed, run_binary_dataset)
+    run_family(
+        "datasets-II",
+        "RBM",
+        datasets,
+        scale,
+        seed,
+        run_binary_dataset,
+    )
 }
 
 #[cfg(test)]

@@ -348,7 +348,8 @@ impl AffinityPropagation {
 /// Deterministic pseudo-random value in `(0, 1)` derived from the pair of
 /// indices, used to de-symmetrise the similarity matrix.
 fn deterministic_jitter(i: usize, j: usize) -> f64 {
-    let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
@@ -432,7 +433,9 @@ mod tests {
     #[test]
     fn target_cluster_count_is_reached_on_separable_data() {
         let mut rng = ChaCha8Rng::seed_from_u64(30);
-        let ds = SyntheticBlobs::new(75, 4, 3).separation(8.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(75, 4, 3)
+            .separation(8.0)
+            .generate(&mut rng);
         let outcome = AffinityPropagation::default()
             .with_target_clusters(3)
             .fit(ds.features())
@@ -457,7 +460,9 @@ mod tests {
     #[test]
     fn preference_below_minimum_similarity_gives_few_clusters() {
         let mut rng = ChaCha8Rng::seed_from_u64(31);
-        let ds = SyntheticBlobs::new(40, 3, 2).separation(5.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(40, 3, 2)
+            .separation(5.0)
+            .generate(&mut rng);
         // A preference below the minimum pairwise similarity is the
         // documented way to push AP towards very few clusters.
         let min_sim = {
@@ -468,13 +473,19 @@ mod tests {
             .with_preference(2.0 * min_sim)
             .fit(ds.features())
             .unwrap();
-        assert!(outcome.exemplars.len() <= 2, "{} exemplars", outcome.exemplars.len());
+        assert!(
+            outcome.exemplars.len() <= 2,
+            "{} exemplars",
+            outcome.exemplars.len()
+        );
     }
 
     #[test]
     fn exemplars_label_themselves() {
         let mut rng = ChaCha8Rng::seed_from_u64(32);
-        let ds = SyntheticBlobs::new(30, 3, 3).separation(6.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(30, 3, 3)
+            .separation(6.0)
+            .generate(&mut rng);
         let outcome = AffinityPropagation::default()
             .with_target_clusters(3)
             .fit(ds.features())
@@ -487,7 +498,9 @@ mod tests {
     #[test]
     fn deterministic_regardless_of_rng() {
         let mut rng = ChaCha8Rng::seed_from_u64(33);
-        let ds = SyntheticBlobs::new(40, 3, 2).separation(5.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(40, 3, 2)
+            .separation(5.0)
+            .generate(&mut rng);
         let ap = AffinityPropagation::default().with_target_clusters(2);
         let mut rng_a = ChaCha8Rng::seed_from_u64(0);
         let mut rng_b = ChaCha8Rng::seed_from_u64(1);

@@ -123,9 +123,7 @@ impl ClusterAssignment {
         self.labels
             .iter()
             .enumerate()
-            .map(|(i, &l)| {
-                sls_linalg::squared_euclidean_distance(data.row(i), self.centers.row(l))
-            })
+            .map(|(i, &l)| sls_linalg::squared_euclidean_distance(data.row(i), self.centers.row(l)))
             .sum()
     }
 }

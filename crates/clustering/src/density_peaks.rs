@@ -283,14 +283,8 @@ mod tests {
 
     #[test]
     fn densest_point_has_largest_separation() {
-        let data = Matrix::from_rows(&[
-            vec![0.0],
-            vec![0.1],
-            vec![0.2],
-            vec![0.15],
-            vec![5.0],
-        ])
-        .unwrap();
+        let data =
+            Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2], vec![0.15], vec![5.0]]).unwrap();
         let outcome = DensityPeaks::new(2).fit(&data).unwrap();
         // The densest point is inside the tight group; its separation must be
         // the largest distance from it (to the outlier at 5.0).
@@ -312,7 +306,9 @@ mod tests {
     #[test]
     fn all_labels_assigned_and_in_range() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let ds = SyntheticBlobs::new(100, 4, 3).separation(3.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(100, 4, 3)
+            .separation(3.0)
+            .generate(&mut rng);
         let outcome = DensityPeaks::new(3).fit(ds.features()).unwrap();
         assert_eq!(outcome.assignment.labels().len(), 100);
         assert!(outcome.assignment.labels().iter().all(|&l| l < 3));
@@ -322,7 +318,9 @@ mod tests {
     #[test]
     fn separated_blobs_recovered_accurately() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
-        let ds = SyntheticBlobs::new(120, 6, 3).separation(8.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(120, 6, 3)
+            .separation(8.0)
+            .generate(&mut rng);
         let outcome = DensityPeaks::new(3).fit(ds.features()).unwrap();
         let acc =
             sls_metrics::clustering_accuracy(outcome.assignment.labels(), ds.labels()).unwrap();
@@ -333,7 +331,9 @@ mod tests {
     fn deterministic_regardless_of_rng() {
         let mut rng_a = ChaCha8Rng::seed_from_u64(1);
         let mut rng_b = ChaCha8Rng::seed_from_u64(2);
-        let ds = SyntheticBlobs::new(60, 4, 3).separation(5.0).generate(&mut rng_a);
+        let ds = SyntheticBlobs::new(60, 4, 3)
+            .separation(5.0)
+            .generate(&mut rng_a);
         let dp = DensityPeaks::new(3);
         let a = dp.cluster(ds.features(), &mut rng_a).unwrap();
         let b = dp.cluster(ds.features(), &mut rng_b).unwrap();
@@ -343,7 +343,9 @@ mod tests {
     #[test]
     fn hard_cutoff_kernel_also_works() {
         let mut rng = ChaCha8Rng::seed_from_u64(12);
-        let ds = SyntheticBlobs::new(90, 4, 3).separation(7.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(90, 4, 3)
+            .separation(7.0)
+            .generate(&mut rng);
         let outcome = DensityPeaks::new(3)
             .with_gaussian_kernel(false)
             .with_neighbor_fraction(0.05)

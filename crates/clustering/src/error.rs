@@ -75,7 +75,9 @@ mod tests {
         }
         .to_string()
         .contains("5 clusters"));
-        assert!(ClusteringError::ZeroClusters.to_string().contains("at least 1"));
+        assert!(ClusteringError::ZeroClusters
+            .to_string()
+            .contains("at least 1"));
         assert!(ClusteringError::InvalidParameter {
             name: "damping",
             message: "must be in [0.5, 1)".into()

@@ -125,8 +125,8 @@ impl KMeans {
                     *cj += xj;
                 }
             }
-            for l in 0..self.k {
-                if counts[l] == 0 {
+            for (l, &count) in counts.iter().enumerate().take(self.k) {
+                if count == 0 {
                     // Re-seed an empty cluster at a random data point so k is
                     // preserved (standard empty-cluster handling).
                     let i = rng.gen_range(0..n);
@@ -134,7 +134,7 @@ impl KMeans {
                 } else {
                     let c = new_centers.row_mut(l);
                     for cj in c.iter_mut() {
-                        *cj /= counts[l] as f64;
+                        *cj /= count as f64;
                     }
                 }
             }
@@ -284,7 +284,9 @@ mod tests {
 
     #[test]
     fn high_separation_blobs_recovered_accurately() {
-        let ds = SyntheticBlobs::new(120, 6, 3).separation(8.0).generate(&mut rng());
+        let ds = SyntheticBlobs::new(120, 6, 3)
+            .separation(8.0)
+            .generate(&mut rng());
         let outcome = KMeans::new(3).fit(ds.features(), &mut rng()).unwrap();
         let acc =
             sls_metrics::clustering_accuracy(outcome.assignment.labels(), ds.labels()).unwrap();
@@ -293,7 +295,9 @@ mod tests {
 
     #[test]
     fn more_restarts_never_increase_inertia() {
-        let ds = SyntheticBlobs::new(80, 4, 4).separation(3.0).generate(&mut rng());
+        let ds = SyntheticBlobs::new(80, 4, 4)
+            .separation(3.0)
+            .generate(&mut rng());
         let one = KMeans::new(4)
             .with_restarts(1)
             .fit(ds.features(), &mut rng())
@@ -315,7 +319,9 @@ mod tests {
 
     #[test]
     fn trait_object_usage_works() {
-        let ds = SyntheticBlobs::new(30, 3, 2).separation(6.0).generate(&mut rng());
+        let ds = SyntheticBlobs::new(30, 3, 2)
+            .separation(6.0)
+            .generate(&mut rng());
         let clusterer: Box<dyn Clusterer> = Box::new(KMeans::new(2));
         let a = clusterer.cluster(ds.features(), &mut rng()).unwrap();
         assert_eq!(a.n_instances(), 30);
@@ -324,7 +330,9 @@ mod tests {
 
     #[test]
     fn iterations_respect_cap() {
-        let ds = SyntheticBlobs::new(60, 4, 3).separation(1.0).generate(&mut rng());
+        let ds = SyntheticBlobs::new(60, 4, 3)
+            .separation(1.0)
+            .generate(&mut rng());
         let outcome = KMeans::new(3)
             .with_max_iterations(2)
             .with_restarts(1)

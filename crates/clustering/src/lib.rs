@@ -82,7 +82,9 @@ mod tests {
     #[test]
     fn all_clusterers_recover_separated_blobs() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let ds = SyntheticBlobs::new(90, 5, 3).separation(8.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(90, 5, 3)
+            .separation(8.0)
+            .generate(&mut rng);
         let clusterers: Vec<Box<dyn Clusterer>> = vec![
             Box::new(KMeans::new(3)),
             Box::new(DensityPeaks::new(3)),
@@ -90,8 +92,7 @@ mod tests {
         ];
         for c in clusterers {
             let assignment = c.cluster(ds.features(), &mut rng).unwrap();
-            let acc =
-                sls_metrics::clustering_accuracy(assignment.labels(), ds.labels()).unwrap();
+            let acc = sls_metrics::clustering_accuracy(assignment.labels(), ds.labels()).unwrap();
             assert!(
                 acc > 0.9,
                 "{} accuracy {acc} too low on separated blobs",

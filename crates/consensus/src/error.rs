@@ -37,7 +37,10 @@ impl fmt::Display for ConsensusError {
                 "partition {partition} has {found} labels, expected {expected}"
             ),
             ConsensusError::EmptySupervision => {
-                write!(f, "no instance survived the voting strategy; supervision is empty")
+                write!(
+                    f,
+                    "no instance survived the voting strategy; supervision is empty"
+                )
             }
             ConsensusError::Clustering(e) => write!(f, "base clustering failed: {e}"),
             ConsensusError::Metrics(e) => write!(f, "alignment failed: {e}"),
@@ -73,7 +76,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ConsensusError::NoPartitions.to_string().contains("at least one"));
+        assert!(ConsensusError::NoPartitions
+            .to_string()
+            .contains("at least one"));
         assert!(ConsensusError::PartitionLengthMismatch {
             expected: 10,
             partition: 2,
@@ -81,7 +86,9 @@ mod tests {
         }
         .to_string()
         .contains("partition 2"));
-        assert!(ConsensusError::EmptySupervision.to_string().contains("empty"));
+        assert!(ConsensusError::EmptySupervision
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

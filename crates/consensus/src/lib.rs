@@ -49,7 +49,9 @@ mod tests {
     #[test]
     fn full_integration_on_separable_data() {
         let mut rng = ChaCha8Rng::seed_from_u64(77);
-        let ds = SyntheticBlobs::new(90, 5, 3).separation(7.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(90, 5, 3)
+            .separation(7.0)
+            .generate(&mut rng);
         let clusterers: Vec<Box<dyn Clusterer>> = vec![
             Box::new(DensityPeaks::new(3)),
             Box::new(KMeans::new(3)),

@@ -50,10 +50,7 @@ impl LocalSupervision {
     /// # Errors
     ///
     /// Returns [`ConsensusError::EmptySupervision`] if nothing survives.
-    pub fn from_consensus(
-        consensus: &[Option<usize>],
-        policy: VotingPolicy,
-    ) -> Result<Self> {
+    pub fn from_consensus(consensus: &[Option<usize>], policy: VotingPolicy) -> Result<Self> {
         let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
             std::collections::BTreeMap::new();
         for (i, label) in consensus.iter().enumerate() {

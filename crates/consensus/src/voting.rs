@@ -12,10 +12,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How the aligned base partitions are combined into local supervision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum VotingPolicy {
     /// Keep an instance only if **all** partitions agree on its (aligned)
     /// cluster. This is the paper's strategy.
+    #[default]
     Unanimous,
     /// Keep an instance if **more than half** of the partitions agree; the
     /// instance joins the majority cluster.
@@ -23,12 +24,6 @@ pub enum VotingPolicy {
     /// Ignore all partitions except the one at this index (no integration);
     /// used as an ablation baseline.
     Single(usize),
-}
-
-impl Default for VotingPolicy {
-    fn default() -> Self {
-        VotingPolicy::Unanimous
-    }
 }
 
 /// Integrates base partitions into per-instance consensus labels.
@@ -162,11 +157,7 @@ mod tests {
     fn totally_disagreeing_partitions_yield_no_consensus() {
         // Three partitions that place every instance differently once
         // aligned: agreement never reaches unanimity on instance 1.
-        let p = vec![
-            vec![0, 0, 1, 1],
-            vec![0, 1, 1, 0],
-            vec![0, 1, 0, 1],
-        ];
+        let p = vec![vec![0, 0, 1, 1], vec![0, 1, 1, 0], vec![0, 1, 0, 1]];
         let consensus = integrate_partitions(&p, VotingPolicy::Unanimous).unwrap();
         assert_eq!(consensus[0], Some(0));
         assert!(consensus[1].is_none() || consensus[2].is_none() || consensus[3].is_none());

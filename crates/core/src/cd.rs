@@ -270,13 +270,7 @@ mod tests {
             let proto = if i % 2 == 0 { proto_a } else { proto_b };
             let row: Vec<f64> = proto
                 .iter()
-                .map(|&p| {
-                    if rng.gen::<f64>() < 0.05 {
-                        1.0 - p
-                    } else {
-                        p
-                    }
-                })
+                .map(|&p| if rng.gen::<f64>() < 0.05 { 1.0 - p } else { p })
                 .collect();
             rows.push(row);
         }
@@ -296,7 +290,10 @@ mod tests {
         let mut rbm = Rbm::new(6, 4, &mut r);
         let before = rbm.reconstruction_error(&data).unwrap();
         let config = TrainConfig::quick().with_epochs(30).with_learning_rate(0.1);
-        let history = CdTrainer::new(config).unwrap().train(&mut rbm, &data, &mut r).unwrap();
+        let history = CdTrainer::new(config)
+            .unwrap()
+            .train(&mut rbm, &data, &mut r)
+            .unwrap();
         let after = rbm.reconstruction_error(&data).unwrap();
         assert!(
             after < before,
@@ -321,8 +318,13 @@ mod tests {
         let data = Matrix::from_rows(&rows).unwrap();
         let mut grbm = Grbm::new(5, 3, &mut r);
         let before = grbm.reconstruction_error(&data).unwrap();
-        let config = TrainConfig::quick().with_epochs(40).with_learning_rate(0.01);
-        CdTrainer::new(config).unwrap().train(&mut grbm, &data, &mut r).unwrap();
+        let config = TrainConfig::quick()
+            .with_epochs(40)
+            .with_learning_rate(0.01);
+        CdTrainer::new(config)
+            .unwrap()
+            .train(&mut grbm, &data, &mut r)
+            .unwrap();
         let after = grbm.reconstruction_error(&data).unwrap();
         assert!(after < before, "{before} -> {after}");
     }
@@ -370,8 +372,12 @@ mod tests {
         let mut r = rng();
         let data = Matrix::random_normal(30, 4, 0.0, 1.0, &mut r).scale(1e3);
         let mut grbm = Grbm::new(4, 3, &mut r);
-        let config = TrainConfig::quick().with_learning_rate(1e12).with_epochs(50);
-        let result = CdTrainer::new(config).unwrap().train(&mut grbm, &data, &mut r);
+        let config = TrainConfig::quick()
+            .with_learning_rate(1e12)
+            .with_epochs(50);
+        let result = CdTrainer::new(config)
+            .unwrap()
+            .train(&mut grbm, &data, &mut r);
         // Either it diverges (expected) or the reconstruction error is
         // finite; what must never happen is a silent NaN model.
         match result {
@@ -430,8 +436,24 @@ mod tests {
         rbm.params_mut().weights = Matrix::zeros(2, 2);
         let mut velocity = Velocity::zeros(2, 2);
         let step = Matrix::filled(2, 2, 1.0);
-        apply_update(&mut rbm, &mut velocity, 0.5, &step, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
-        apply_update(&mut rbm, &mut velocity, 0.5, &step, &[0.0, 0.0], &[0.0, 0.0]).unwrap();
+        apply_update(
+            &mut rbm,
+            &mut velocity,
+            0.5,
+            &step,
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        )
+        .unwrap();
+        apply_update(
+            &mut rbm,
+            &mut velocity,
+            0.5,
+            &step,
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        )
+        .unwrap();
         // First update: +1, second: +1.5 (momentum carries half of the first).
         assert!((rbm.params().weights[(0, 0)] - 2.5).abs() < 1e-12);
     }

@@ -179,16 +179,29 @@ mod tests {
 
     #[test]
     fn invalid_values_are_rejected() {
-        assert!(TrainConfig::default().with_learning_rate(0.0).validate().is_err());
-        assert!(TrainConfig::default().with_learning_rate(f64::NAN).validate().is_err());
+        assert!(TrainConfig::default()
+            .with_learning_rate(0.0)
+            .validate()
+            .is_err());
+        assert!(TrainConfig::default()
+            .with_learning_rate(f64::NAN)
+            .validate()
+            .is_err());
         assert!(TrainConfig::default().with_epochs(0).validate().is_err());
-        assert!(TrainConfig::default().with_batch_size(0).validate().is_err());
+        assert!(TrainConfig::default()
+            .with_batch_size(0)
+            .validate()
+            .is_err());
         assert!(TrainConfig::default().with_cd_steps(0).validate().is_err());
-        let mut c = TrainConfig::default();
-        c.weight_decay = -1.0;
+        let c = TrainConfig {
+            weight_decay: -1.0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = TrainConfig::default();
-        c.momentum = 1.0;
+        let c = TrainConfig {
+            momentum: 1.0,
+            ..TrainConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -131,7 +131,9 @@ mod tests {
         }
         .to_string()
         .contains("learning_rate"));
-        assert!(RbmError::Diverged { epoch: 7 }.to_string().contains("epoch 7"));
+        assert!(RbmError::Diverged { epoch: 7 }
+            .to_string()
+            .contains("epoch 7"));
         assert!(RbmError::SupervisionOutOfRange {
             index: 10,
             instances: 5
@@ -149,7 +151,7 @@ mod tests {
         assert!(e.source().is_some());
         let e: RbmError = sls_clustering::ClusteringError::EmptyData.into();
         assert!(e.source().is_some());
-        let e: RbmError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: RbmError = std::io::Error::other("x").into();
         assert!(e.source().is_some());
         assert!(RbmError::EmptyData.source().is_none());
     }

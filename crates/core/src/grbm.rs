@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn visible_kind_is_gaussian() {
-        assert_eq!(Grbm::new(2, 2, &mut rng()).visible_kind(), VisibleKind::Gaussian);
+        assert_eq!(
+            Grbm::new(2, 2, &mut rng()).visible_kind(),
+            VisibleKind::Gaussian
+        );
     }
 
     #[test]

@@ -26,6 +26,23 @@
 //! [`GrbmPipeline`] and [`RbmPipeline`] package those stages behind one
 //! `run` call so the experiment harness and downstream users do not have to
 //! re-assemble them.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use sls_datasets::SyntheticBlobs;
+//! use sls_rbm_core::{SlsGrbmPipeline, SlsPipelineConfig};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(3);
+//! let dataset = SyntheticBlobs::new(60, 6, 3).separation(5.0).generate(&mut rng);
+//! let outcome = SlsGrbmPipeline::new(SlsPipelineConfig::quick_demo())
+//!     .run(dataset.features(), &mut rng)
+//!     .expect("pipeline runs");
+//! assert_eq!(outcome.hidden_features.rows(), 60);
+//! assert!(outcome.supervision.is_some());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,8 +64,8 @@ pub use grbm::Grbm;
 pub use model::{BoltzmannMachine, RbmParams, VisibleKind};
 pub use model_io::{load_params_json, save_params_json};
 pub use pipeline::{
-    GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline,
-    SlsPipelineConfig, SlsRbmPipeline,
+    GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline, SlsPipelineConfig,
+    SlsRbmPipeline,
 };
 pub use rbm::Rbm;
 pub use sls::{SlsConfig, SlsGrbm, SlsRbm, SlsTrainer};
@@ -68,7 +85,9 @@ mod tests {
     #[test]
     fn sls_grbm_pipeline_preserves_separable_structure() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let ds = SyntheticBlobs::new(75, 8, 3).separation(6.0).generate(&mut rng);
+        let ds = SyntheticBlobs::new(75, 8, 3)
+            .separation(6.0)
+            .generate(&mut rng);
         let outcome = SlsGrbmPipeline::new(SlsPipelineConfig::quick_demo())
             .run(ds.features(), &mut rng)
             .unwrap();

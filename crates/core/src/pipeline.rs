@@ -89,7 +89,11 @@ impl SlsPipelineConfig {
                 .with_learning_rate(5e-3)
                 .with_epochs(15)
                 .with_batch_size(32),
-            sls: SlsConfig::new(0.5).with_supervision_learning_rate(0.2),
+            // Paper-style single learning rate: the supervision gradient
+            // reuses the CD rate. A much larger dedicated rate makes the
+            // constrict/disperse term overpower the likelihood term and
+            // distorts the hidden features.
+            sls: SlsConfig::new(0.5),
             voting: VotingPolicy::Unanimous,
             preprocessing: Preprocessing::Standardize,
         }
@@ -149,11 +153,12 @@ pub struct PipelineOutcome {
 
 fn preprocess(data: &Matrix, preprocessing: Preprocessing) -> Result<Matrix> {
     Ok(match preprocessing {
-        Preprocessing::Standardize => sls_datasets::standardize_columns(data)
-            .map_err(|e| crate::RbmError::InvalidConfig {
+        Preprocessing::Standardize => {
+            sls_datasets::standardize_columns(data).map_err(|e| crate::RbmError::InvalidConfig {
                 name: "preprocessing",
                 message: e.to_string(),
-            })?,
+            })?
+        }
         Preprocessing::BinarizeMedian => sls_datasets::binarize_median(data),
         Preprocessing::None => data.clone(),
     })
@@ -304,7 +309,9 @@ mod tests {
     }
 
     fn dataset() -> sls_datasets::Dataset {
-        SyntheticBlobs::new(60, 6, 3).separation(6.0).generate(&mut rng())
+        SyntheticBlobs::new(60, 6, 3)
+            .separation(6.0)
+            .generate(&mut rng())
     }
 
     #[test]
@@ -352,9 +359,11 @@ mod tests {
     #[test]
     fn sls_rbm_pipeline_binarizes_and_runs() {
         let ds = dataset();
-        let config = SlsPipelineConfig::quick_demo()
-            .with_preprocessing(Preprocessing::BinarizeMedian);
-        let outcome = SlsRbmPipeline::new(config).run(ds.features(), &mut rng()).unwrap();
+        let config =
+            SlsPipelineConfig::quick_demo().with_preprocessing(Preprocessing::BinarizeMedian);
+        let outcome = SlsRbmPipeline::new(config)
+            .run(ds.features(), &mut rng())
+            .unwrap();
         // Preprocessed data must be binary.
         assert!(outcome
             .preprocessed
@@ -371,9 +380,11 @@ mod tests {
             .run(ds.features(), &mut rng())
             .unwrap();
         assert!(outcome.supervision.is_none());
-        let config = SlsPipelineConfig::quick_demo()
-            .with_preprocessing(Preprocessing::BinarizeMedian);
-        let outcome = RbmPipeline::new(config).run(ds.features(), &mut rng()).unwrap();
+        let config =
+            SlsPipelineConfig::quick_demo().with_preprocessing(Preprocessing::BinarizeMedian);
+        let outcome = RbmPipeline::new(config)
+            .run(ds.features(), &mut rng())
+            .unwrap();
         assert!(outcome.supervision.is_none());
         assert_eq!(outcome.hidden_features.rows(), 60);
     }
@@ -381,9 +392,14 @@ mod tests {
     #[test]
     fn pipeline_with_invalid_train_config_errors() {
         let ds = dataset();
-        let config = SlsPipelineConfig::quick_demo().with_train(TrainConfig::quick().with_epochs(0));
-        assert!(SlsGrbmPipeline::new(config).run(ds.features(), &mut rng()).is_err());
-        assert!(GrbmPipeline::new(config).run(ds.features(), &mut rng()).is_err());
+        let config =
+            SlsPipelineConfig::quick_demo().with_train(TrainConfig::quick().with_epochs(0));
+        assert!(SlsGrbmPipeline::new(config)
+            .run(ds.features(), &mut rng())
+            .is_err());
+        assert!(GrbmPipeline::new(config)
+            .run(ds.features(), &mut rng())
+            .is_err());
     }
 
     #[test]

@@ -153,12 +153,8 @@ mod tests {
         // the all-zero vector when the visible bias favours it.
         let mut r = rng();
         let mut rbm = Rbm::new(3, 2, &mut r);
-        rbm.params_mut().weights = Matrix::from_rows(&[
-            vec![4.0, 0.0],
-            vec![0.0, 0.0],
-            vec![0.0, 0.0],
-        ])
-        .unwrap();
+        rbm.params_mut().weights =
+            Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 0.0], vec![0.0, 0.0]]).unwrap();
         rbm.params_mut().visible_bias = vec![2.0, 0.0, 0.0];
         let on = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]).unwrap();
         let off = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();

@@ -167,8 +167,7 @@ pub(crate) fn sls_loss(
     for members in &active {
         for (a, &s) in members.iter().enumerate() {
             for &t in members.iter().skip(a + 1) {
-                within +=
-                    sls_linalg::squared_euclidean_distance(hidden.row(s), hidden.row(t));
+                within += sls_linalg::squared_euclidean_distance(hidden.row(s), hidden.row(t));
             }
         }
     }

@@ -205,10 +205,14 @@ mod tests {
     #[test]
     fn sls_grbm_training_constricts_supervised_clusters_in_hidden_space() {
         let mut r = rng();
-        let ds = SyntheticBlobs::new(90, 8, 3).separation(3.0).generate(&mut r);
+        let ds = SyntheticBlobs::new(90, 8, 3)
+            .separation(3.0)
+            .generate(&mut r);
         let supervision = supervision_from_labels(ds.labels(), 12);
         let mut grbm = Grbm::new(8, 6, &mut r);
-        let config = TrainConfig::quick().with_epochs(25).with_learning_rate(0.05);
+        let config = TrainConfig::quick()
+            .with_epochs(25)
+            .with_learning_rate(0.05);
         let sls_config = SlsConfig::new(0.4).with_supervision_learning_rate(0.5);
         let trainer = SlsTrainer::new(config, sls_config).unwrap();
 
@@ -243,7 +247,9 @@ mod tests {
         };
 
         let before = spread_ratio(&grbm);
-        trainer.train(&mut grbm, ds.features(), &supervision, &mut r).unwrap();
+        trainer
+            .train(&mut grbm, ds.features(), &supervision, &mut r)
+            .unwrap();
         let after = spread_ratio(&grbm);
         assert!(
             after < before,
@@ -258,12 +264,11 @@ mod tests {
         let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
         let supervision = supervision_from_labels(&labels, 10);
         let mut rbm = Rbm::new(12, 5, &mut r);
-        let trainer = SlsTrainer::new(
-            TrainConfig::quick().with_epochs(10),
-            SlsConfig::paper_rbm(),
-        )
-        .unwrap();
-        let history = trainer.train(&mut rbm, &data, &supervision, &mut r).unwrap();
+        let trainer =
+            SlsTrainer::new(TrainConfig::quick().with_epochs(10), SlsConfig::paper_rbm()).unwrap();
+        let history = trainer
+            .train(&mut rbm, &data, &supervision, &mut r)
+            .unwrap();
         assert_eq!(history.epochs.len(), 10);
         assert!(rbm.params().is_finite());
     }
@@ -287,7 +292,12 @@ mod tests {
 
         let trainer = SlsTrainer::new(cfg_no_shuffle, SlsConfig::new(0.999_999)).unwrap();
         trainer
-            .train(&mut sls_model, &data, &supervision, &mut ChaCha8Rng::seed_from_u64(9))
+            .train(
+                &mut sls_model,
+                &data,
+                &supervision,
+                &mut ChaCha8Rng::seed_from_u64(9),
+            )
             .unwrap();
         // Plain CD for comparison, but scaled: with η≈1 the CD term keeps its
         // full weight, so the two runs should be nearly identical.
@@ -320,7 +330,9 @@ mod tests {
         let mut rbm = Rbm::new(6, 3, &mut r);
         let trainer =
             SlsTrainer::new(TrainConfig::quick().with_epochs(4), SlsConfig::new(0.5)).unwrap();
-        let history = trainer.train(&mut rbm, &data, &supervision, &mut r).unwrap();
+        let history = trainer
+            .train(&mut rbm, &data, &supervision, &mut r)
+            .unwrap();
         assert_eq!(history.epochs.len(), 4);
         assert!(history.final_error().unwrap().is_finite());
     }

@@ -226,8 +226,11 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_io_error() {
-        let err = load_csv_dataset("/nonexistent/definitely_missing.csv", &CsvOptions::default())
-            .unwrap_err();
+        let err = load_csv_dataset(
+            "/nonexistent/definitely_missing.csv",
+            &CsvOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, DatasetError::Io(_)));
     }
 }

@@ -141,11 +141,7 @@ impl Dataset {
     /// # Errors
     ///
     /// Same validation as [`Dataset::new`].
-    pub fn from_parts(
-        name: &str,
-        features: Matrix,
-        labels: Vec<usize>,
-    ) -> Result<Self> {
+    pub fn from_parts(name: &str, features: Matrix, labels: Vec<usize>) -> Result<Self> {
         let spec = DatasetSpec::new(
             name,
             name,

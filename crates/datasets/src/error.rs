@@ -43,7 +43,9 @@ impl fmt::Display for DatasetError {
                 f,
                 "label vector has {labels} entries but the feature matrix has {instances} rows"
             ),
-            DatasetError::EmptyDataset => write!(f, "dataset must have at least one instance and one feature"),
+            DatasetError::EmptyDataset => {
+                write!(f, "dataset must have at least one instance and one feature")
+            }
             DatasetError::CsvParse { line, message } => {
                 write!(f, "CSV parse error at line {line}: {message}")
             }
@@ -95,7 +97,9 @@ mod tests {
         }
         .to_string()
         .contains("9 entries"));
-        assert!(DatasetError::EmptyDataset.to_string().contains("at least one"));
+        assert!(DatasetError::EmptyDataset
+            .to_string()
+            .contains("at least one"));
         assert!(DatasetError::CsvParse {
             line: 3,
             message: "bad float".into()

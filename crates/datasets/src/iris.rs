@@ -44,7 +44,8 @@ pub fn iris() -> Dataset {
         for _ in 0..50 {
             let row: Vec<f64> = (0..4)
                 .map(|j| {
-                    let v = CLASS_MEANS[class][j] + CLASS_STDS[class][j] * standard_normal(&mut rng);
+                    let v =
+                        CLASS_MEANS[class][j] + CLASS_STDS[class][j] * standard_normal(&mut rng);
                     // Measurements are in centimetres with one decimal place
                     // and are strictly positive.
                     (v.max(0.1) * 10.0).round() / 10.0
@@ -97,7 +98,7 @@ mod tests {
     #[test]
     fn class_means_are_close_to_published_statistics() {
         let ds = iris();
-        for class in 0..3 {
+        for (class, class_means) in CLASS_MEANS.iter().enumerate() {
             let idx: Vec<usize> = ds
                 .labels()
                 .iter()
@@ -109,10 +110,10 @@ mod tests {
             let means = sub.column_means();
             for j in 0..4 {
                 assert!(
-                    (means[j] - CLASS_MEANS[class][j]).abs() < 0.2,
+                    (means[j] - class_means[j]).abs() < 0.2,
                     "class {class} feature {j}: {} vs {}",
                     means[j],
-                    CLASS_MEANS[class][j]
+                    class_means[j]
                 );
             }
         }

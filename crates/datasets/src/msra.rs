@@ -49,7 +49,14 @@ impl MsraDatasetId {
             MsraDatasetId::Wallpaper => ("Wallpaper", "WP", 919, 899),
             MsraDatasetId::Voituretuning => ("Voituretuning", "VT", 879, 899),
         };
-        DatasetSpec::new(name, code, crate::DataFamily::MsraMm, instances, features, 3)
+        DatasetSpec::new(
+            name,
+            code,
+            crate::DataFamily::MsraMm,
+            instances,
+            features,
+            3,
+        )
     }
 
     /// Table number (1..=9) used as the x-axis of Figs. 2–4.

@@ -192,8 +192,9 @@ impl SyntheticBlobs {
     /// Generates the dataset.
     pub fn generate(&self, rng: &mut impl Rng) -> Dataset {
         let d = self.features.max(1);
-        let n_informative =
-            ((1.0 - self.profile.irrelevant_fraction) * d as f64).round().max(1.0) as usize;
+        let n_informative = ((1.0 - self.profile.irrelevant_fraction) * d as f64)
+            .round()
+            .max(1.0) as usize;
         let n_informative = n_informative.min(d);
 
         // Class centres: random directions along informative dimensions only.
@@ -318,7 +319,10 @@ mod tests {
             .generate(&mut rng());
         let counts: Vec<usize> = ds.class_counts().iter().map(|&(_, c)| c).collect();
         assert_eq!(counts.iter().sum::<usize>(), 200);
-        assert!(counts[0] > counts[3], "first class should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[3],
+            "first class should dominate: {counts:?}"
+        );
     }
 
     #[test]
@@ -342,10 +346,10 @@ mod tests {
             .generate(&mut rng());
         // Compute per-class means.
         let mut sums = vec![vec![0.0; 6]; 3];
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for (i, &l) in ds.labels().iter().enumerate() {
-            for j in 0..6 {
-                sums[l][j] += ds.features()[(i, j)];
+            for (j, sum) in sums[l].iter_mut().enumerate().take(6) {
+                *sum += ds.features()[(i, j)];
             }
             counts[l] += 1;
         }
@@ -391,8 +395,8 @@ mod tests {
         // The last five columns are pure noise: their class-conditional means
         // should be statistically indistinguishable (near zero).
         let means = ds.features().column_means();
-        for j in 5..10 {
-            assert!(means[j].abs() < 0.5, "column {j} mean {} too far from 0", means[j]);
+        for (j, &mean) in means.iter().enumerate().take(10).skip(5) {
+            assert!(mean.abs() < 0.5, "column {j} mean {mean} too far from 0");
         }
     }
 

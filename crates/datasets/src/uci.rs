@@ -39,7 +39,14 @@ impl UciDatasetId {
             UciDatasetId::BreastCancerWisconsin => ("Breast Cancer Wisconsin", "BCW", 569, 32, 2),
             UciDatasetId::Iris => ("Iris", "IR", 150, 4, 3),
         };
-        DatasetSpec::new(name, code, crate::DataFamily::Uci, instances, features, classes)
+        DatasetSpec::new(
+            name,
+            code,
+            crate::DataFamily::Uci,
+            instances,
+            features,
+            classes,
+        )
     }
 
     /// Dataset number (1..=6), the x-axis of Figs. 6–8.

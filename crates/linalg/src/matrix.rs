@@ -263,7 +263,11 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let cols = if self.is_empty() { other.cols } else { self.cols };
+        let cols = if self.is_empty() {
+            other.cols
+        } else {
+            self.cols
+        };
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);

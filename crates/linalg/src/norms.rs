@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
-        let data =
-            Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap();
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]).unwrap();
         let d = pairwise_distances(&data);
         assert_eq!(d.shape(), (3, 3));
         for i in 0..3 {

@@ -65,8 +65,8 @@ impl Matrix {
         for i in 0..n {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for j in 0..m {
-                out_row[j] = crate::vector::dot(a_row, other.row(j));
+            for (j, out_val) in out_row.iter_mut().enumerate().take(m) {
+                *out_val = crate::vector::dot(a_row, other.row(j));
             }
         }
         Ok(out)
@@ -390,8 +390,8 @@ mod tests {
         // change the result.
         let sparse = Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
         let c = sparse.matmul(&b()).unwrap();
-        let dense_equiv = Matrix::from_rows(&[vec![20.0, 22.0, 24.0], vec![21.0, 24.0, 27.0]])
-            .unwrap();
+        let dense_equiv =
+            Matrix::from_rows(&[vec![20.0, 22.0, 24.0], vec![21.0, 24.0, 27.0]]).unwrap();
         assert_eq!(c, dense_equiv);
     }
 }

@@ -52,7 +52,11 @@ impl MatrixRandomExt for Matrix {
     }
 
     fn random_bernoulli(rows: usize, cols: usize, p: f64, rng: &mut impl Rng) -> Self {
-        Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f64>() < p { 1.0 } else { 0.0 })
+        Matrix::from_fn(
+            rows,
+            cols,
+            |_, _| if rng.gen::<f64>() < p { 1.0 } else { 0.0 },
+        )
     }
 
     fn sample_bernoulli(probabilities: &Matrix, rng: &mut impl Rng) -> Self {
@@ -112,7 +116,10 @@ mod tests {
         let mut r = rng();
         let probs = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let s = Matrix::sample_bernoulli(&probs, &mut r);
-        assert_eq!(s, Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap());
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap()
+        );
     }
 
     #[test]

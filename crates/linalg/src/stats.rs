@@ -26,7 +26,9 @@ impl ColumnStats {
     /// Returns [`LinalgError::Empty`] if the matrix has no rows.
     pub fn compute(data: &Matrix) -> Result<Self> {
         if data.rows() == 0 {
-            return Err(LinalgError::Empty { op: "ColumnStats::compute" });
+            return Err(LinalgError::Empty {
+                op: "ColumnStats::compute",
+            });
         }
         let n = data.rows() as f64;
         let means = data.column_means();

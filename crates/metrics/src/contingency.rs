@@ -135,17 +135,8 @@ impl ContingencyTable {
     /// Adjusted Rand index (Hubert & Arabie correction for chance).
     pub fn adjusted_rand_index(&self) -> f64 {
         let n = self.total as f64;
-        let sum_comb_nij: f64 = self
-            .counts
-            .iter()
-            .flatten()
-            .map(|&c| comb2(c as f64))
-            .sum();
-        let sum_comb_a: f64 = self
-            .cluster_sizes()
-            .iter()
-            .map(|&a| comb2(a as f64))
-            .sum();
+        let sum_comb_nij: f64 = self.counts.iter().flatten().map(|&c| comb2(c as f64)).sum();
+        let sum_comb_a: f64 = self.cluster_sizes().iter().map(|&a| comb2(a as f64)).sum();
         let sum_comb_b: f64 = self.class_sizes().iter().map(|&b| comb2(b as f64)).sum();
         let expected = sum_comb_a * sum_comb_b / comb2(n);
         let max_index = 0.5 * (sum_comb_a + sum_comb_b);

@@ -107,8 +107,7 @@ pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Result<Vec<Option<usize
     }
 
     let mut assignment = vec![None; n_rows];
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i >= 1 && i <= n_rows && j <= n_cols {
             assignment[i - 1] = Some(j - 1);
         }
@@ -169,7 +168,10 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert_eq!(hungarian_max_assignment(&[]).unwrap(), Vec::<Option<usize>>::new());
+        assert_eq!(
+            hungarian_max_assignment(&[]).unwrap(),
+            Vec::<Option<usize>>::new()
+        );
         let no_cols = vec![vec![], vec![]];
         assert_eq!(
             hungarian_max_assignment(&no_cols).unwrap(),

@@ -37,9 +37,7 @@ mod tests {
     fn relabelling_does_not_change_nmi() {
         let truth = [0, 0, 0, 1, 1, 2];
         let predicted = [2, 2, 2, 0, 0, 1];
-        assert!(
-            (normalized_mutual_information(&predicted, &truth).unwrap() - 1.0).abs() < 1e-12
-        );
+        assert!((normalized_mutual_information(&predicted, &truth).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,12 +28,13 @@ impl PairCounts {
     pub fn from_contingency(table: &ContingencyTable) -> Self {
         let n = table.total() as f64;
         let total_pairs = comb2(n);
-        let sum_nij: f64 = table.counts().iter().flatten().map(|&c| comb2(c as f64)).sum();
-        let sum_rows: f64 = table
-            .cluster_sizes()
+        let sum_nij: f64 = table
+            .counts()
             .iter()
-            .map(|&a| comb2(a as f64))
+            .flatten()
+            .map(|&c| comb2(c as f64))
             .sum();
+        let sum_rows: f64 = table.cluster_sizes().iter().map(|&a| comb2(a as f64)).sum();
         let sum_cols: f64 = table.class_sizes().iter().map(|&b| comb2(b as f64)).sum();
 
         let tp = sum_nij;

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sls_metrics::{
-    adjusted_rand_index, clustering_accuracy, fowlkes_mallows_index,
-    normalized_mutual_information, purity, rand_index, ContingencyTable, EvaluationReport,
+    adjusted_rand_index, clustering_accuracy, fowlkes_mallows_index, normalized_mutual_information,
+    purity, rand_index, ContingencyTable, EvaluationReport,
 };
 
 /// Parallel (predicted, truth) label vectors of the same length.

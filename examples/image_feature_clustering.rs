@@ -45,21 +45,39 @@ fn main() {
     let (data, truth) = load_slice();
     let k = 3;
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    println!("Birthdaycake (BC) slice: {} instances x {} features, {k} classes\n", data.rows(), data.cols());
-    println!("{:<26}{:>10}{:>10}{:>10}", "pipeline", "accuracy", "purity", "FMI");
+    println!(
+        "Birthdaycake (BC) slice: {} instances x {} features, {k} classes\n",
+        data.rows(),
+        data.cols()
+    );
+    println!(
+        "{:<26}{:>10}{:>10}{:>10}",
+        "pipeline", "accuracy", "purity", "FMI"
+    );
 
     // --- conventional clustering on raw features ---------------------------
     let dp_raw = DensityPeaks::new(k).fit(&data).expect("DP").assignment;
-    let km_raw = KMeans::new(k).fit(&data, &mut rng).expect("K-means").assignment;
+    let km_raw = KMeans::new(k)
+        .fit(&data, &mut rng)
+        .expect("K-means")
+        .assignment;
     evaluate("DP (raw)", dp_raw.labels(), &truth);
     evaluate("K-means (raw)", km_raw.labels(), &truth);
 
     // --- plain GRBM hidden features -----------------------------------------
-    let train = TrainConfig::default().with_learning_rate(5e-3).with_epochs(15);
+    let train = TrainConfig::default()
+        .with_learning_rate(5e-3)
+        .with_epochs(15);
     let mut grbm = Grbm::new(data.cols(), 32, &mut rng);
-    CdTrainer::new(train).unwrap().train(&mut grbm, &data, &mut rng).expect("CD training");
+    CdTrainer::new(train)
+        .unwrap()
+        .train(&mut grbm, &data, &mut rng)
+        .expect("CD training");
     let grbm_features = grbm.hidden_probabilities(&data).expect("features");
-    let km_grbm = KMeans::new(k).fit(&grbm_features, &mut rng).expect("K-means").assignment;
+    let km_grbm = KMeans::new(k)
+        .fit(&grbm_features, &mut rng)
+        .expect("K-means")
+        .assignment;
     evaluate("K-means + GRBM", km_grbm.labels(), &truth);
 
     // --- slsGRBM: multi-clustering integration as supervision ---------------
@@ -87,9 +105,18 @@ fn main() {
     sls.train(&data, &supervision, train, sls_config, &mut rng)
         .expect("sls training");
     let sls_features = sls.hidden_features(&data).expect("features");
-    let km_sls = KMeans::new(k).fit(&sls_features, &mut rng).expect("K-means").assignment;
-    let dp_sls = DensityPeaks::new(k).fit(&sls_features).expect("DP").assignment;
-    println!("{:<26}{:>10}{:>10}{:>10}", "pipeline", "accuracy", "purity", "FMI");
+    let km_sls = KMeans::new(k)
+        .fit(&sls_features, &mut rng)
+        .expect("K-means")
+        .assignment;
+    let dp_sls = DensityPeaks::new(k)
+        .fit(&sls_features)
+        .expect("DP")
+        .assignment;
+    println!(
+        "{:<26}{:>10}{:>10}{:>10}",
+        "pipeline", "accuracy", "purity", "FMI"
+    );
     evaluate("K-means + slsGRBM", km_sls.labels(), &truth);
     evaluate("DP + slsGRBM", dp_sls.labels(), &truth);
 }

@@ -42,7 +42,9 @@ fn main() {
         .train(
             &data,
             &supervision,
-            TrainConfig::default().with_learning_rate(0.05).with_epochs(10),
+            TrainConfig::default()
+                .with_learning_rate(0.05)
+                .with_epochs(10),
             SlsConfig::paper_rbm(),
             &mut rng,
         )

@@ -21,7 +21,7 @@ fn main() {
     //    separated classes with half the dimensions carrying no signal —
     //    the regime the paper targets.
     let dataset = SyntheticBlobs::new(210, 16, 3)
-        .separation(2.2)
+        .separation(3.0)
         .irrelevant_fraction(0.5)
         .generate(&mut rng);
     println!("dataset: {}", dataset.spec().summary());
@@ -59,7 +59,10 @@ fn main() {
         EvaluationReport::evaluate(sls_assignment.labels(), dataset.labels()).expect("evaluate");
 
     println!();
-    println!("{:<26}{:>10}{:>10}{:>10}", "representation", "accuracy", "purity", "FMI");
+    println!(
+        "{:<26}{:>10}{:>10}{:>10}",
+        "representation", "accuracy", "purity", "FMI"
+    );
     println!(
         "{:<26}{:>10.4}{:>10.4}{:>10.4}",
         "raw features + K-means", raw_report.accuracy, raw_report.purity, raw_report.fmi

@@ -12,13 +12,14 @@ use sls_rbm::clustering::KMeans;
 use sls_rbm::consensus::VotingPolicy;
 use sls_rbm::datasets::{generate_uci_dataset, UciDatasetId};
 use sls_rbm::metrics::EvaluationReport;
-use sls_rbm::rbm::{
-    Preprocessing, RbmPipeline, SlsPipelineConfig, SlsRbmPipeline, TrainConfig,
-};
+use sls_rbm::rbm::{Preprocessing, RbmPipeline, SlsPipelineConfig, SlsRbmPipeline, TrainConfig};
 
 fn evaluate(name: &str, features: &sls_rbm::linalg::Matrix, truth: &[usize], k: usize) {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
-    let assignment = KMeans::new(k).fit(features, &mut rng).expect("k-means").assignment;
+    let assignment = KMeans::new(k)
+        .fit(features, &mut rng)
+        .expect("k-means")
+        .assignment;
     let report = EvaluationReport::evaluate(assignment.labels(), truth).expect("evaluation");
     println!(
         "{:<28}{:>10.4}{:>12.4}{:>10.4}",
@@ -28,7 +29,10 @@ fn evaluate(name: &str, features: &sls_rbm::linalg::Matrix, truth: &[usize], k: 
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    println!("{:<10}{:<28}{:>10}{:>12}{:>10}", "dataset", "pipeline", "accuracy", "Rand", "FMI");
+    println!(
+        "{:<10}{:<28}{:>10}{:>12}{:>10}",
+        "dataset", "pipeline", "accuracy", "Rand", "FMI"
+    );
 
     for id in [UciDatasetId::Iris, UciDatasetId::BreastCancerWisconsin] {
         let ds = generate_uci_dataset(id, &mut rng);
@@ -49,13 +53,32 @@ fn main() {
             .with_preprocessing(Preprocessing::BinarizeMedian);
 
         // Raw binarised features (what the conventional clusterers see).
-        let baseline = RbmPipeline::new(config).run(ds.features(), &mut rng).expect("RBM pipeline");
-        evaluate("raw (binarised) + K-means", &baseline.preprocessed, ds.labels(), k);
-        evaluate("RBM features + K-means", &baseline.hidden_features, ds.labels(), k);
+        let baseline = RbmPipeline::new(config)
+            .run(ds.features(), &mut rng)
+            .expect("RBM pipeline");
+        evaluate(
+            "raw (binarised) + K-means",
+            &baseline.preprocessed,
+            ds.labels(),
+            k,
+        );
+        evaluate(
+            "RBM features + K-means",
+            &baseline.hidden_features,
+            ds.labels(),
+            k,
+        );
 
         // Full slsRBM pipeline (supervision + constrict/disperse training).
-        let sls = SlsRbmPipeline::new(config).run(ds.features(), &mut rng).expect("slsRBM pipeline");
-        evaluate("slsRBM features + K-means", &sls.hidden_features, ds.labels(), k);
+        let sls = SlsRbmPipeline::new(config)
+            .run(ds.features(), &mut rng)
+            .expect("slsRBM pipeline");
+        evaluate(
+            "slsRBM features + K-means",
+            &sls.hidden_features,
+            ds.labels(),
+            k,
+        );
         if let Some(summary) = sls.supervision {
             println!(
                 "    (supervision: {} local clusters, {:.0}% coverage)\n",

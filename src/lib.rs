@@ -53,8 +53,41 @@ pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn version_is_nonempty() {
-        assert!(!super::VERSION.is_empty());
+        assert!(!VERSION.is_empty());
+    }
+
+    /// Each re-exported module must expose its headline type under the
+    /// umbrella paths advertised by the crate-map table above.
+    #[test]
+    fn every_reexported_module_exposes_its_headline_type() {
+        let identity = linalg::Matrix::identity(2);
+        assert_eq!(identity[(0, 0)], 1.0);
+
+        let spec =
+            datasets::DatasetSpec::new("Smoke", "SM", datasets::DataFamily::Synthetic, 4, 2, 2);
+        assert_eq!(spec.code, "SM");
+
+        let kmeans = clustering::KMeans::new(2);
+        assert_eq!(clustering::Clusterer::name(&kmeans), "K-means");
+
+        let supervision = consensus::LocalSupervision::from_consensus(
+            &[Some(0), Some(0), Some(1), Some(1), None],
+            consensus::VotingPolicy::Unanimous,
+        )
+        .expect("valid consensus labels");
+        assert_eq!(supervision.n_clusters(), 2);
+
+        let report =
+            metrics::EvaluationReport::evaluate(&[0, 0, 1], &[0, 0, 1]).expect("valid labels");
+        assert_eq!(report.accuracy, 1.0);
+
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let model = rbm::Rbm::new(3, 2, &mut rng);
+        assert_eq!(rbm::BoltzmannMachine::params(&model).n_visible(), 3);
     }
 }

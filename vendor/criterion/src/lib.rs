@@ -1,0 +1,115 @@
+//! Offline vendored micro-benchmark harness exposing the small slice of the
+//! `criterion` API the workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed
+//! up briefly and then timed over an adaptive number of iterations; the
+//! median per-iteration time is printed. That is enough to compare hot
+//! paths between commits while staying dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the criterion name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Target measuring time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up pass: also calibrates the per-call cost.
+        f(&mut bencher);
+        let warmup = bencher.last_sample().unwrap_or(Duration::from_micros(1));
+        // Choose a round count aiming for TARGET total time, then measure.
+        let rounds = (TARGET.as_nanos() / warmup.as_nanos().max(1)).clamp(1, 100) as usize;
+        bencher.samples.clear();
+        for _ in 0..rounds {
+            f(&mut bencher);
+        }
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        println!(
+            "bench: {id:<50} median {median:>12.3?} ({} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs and times one iteration of the benchmarked routine.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+
+    fn last_sample(&self) -> Option<Duration> {
+        self.samples.last().copied()
+    }
+}
+
+/// Declares a group of benchmark functions as a single runnable function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_returns_self() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0usize;
+        criterion.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2 + 2)
+            })
+        });
+        assert!(runs >= 2);
+    }
+}

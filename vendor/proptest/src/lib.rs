@@ -1,0 +1,285 @@
+//! Offline vendored property-testing mini-framework.
+//!
+//! Exposes the slice of the `proptest` API used by this workspace's test
+//! suites: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range
+//! and tuple strategies, [`Just`], [`collection::vec`], and the
+//! [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline stub: no input
+//! shrinking (a failing case panics with the generated values via the
+//! assertion message) and a fixed deterministic seed per test derived from
+//! the test name, so CI failures always reproduce locally.
+
+pub mod collection;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
+}
+
+use test_runner::TestRng;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 128;
+
+/// A recipe for generating random values of an output type.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, make: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, make }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    make: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.make)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.below((hi - lo) as u64 + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let value = self.start + (self.end - self.start) * rng.unit_f64();
+        if value < self.end {
+            value
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let value = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+        if value < self.end {
+            value
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Runs each `#[test]` body against [`CASES`] freshly generated inputs.
+///
+/// `prop_assume!(cond)` skips the current case; `prop_assert!` /
+/// `prop_assert_eq!` behave like the standard assertions.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ( $($strategy,)+ );
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let ( $($pat,)+ ) =
+                        $crate::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+); };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10).prop_flat_map(|hi| (Just(hi), 0usize..hi))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0..2.0f64) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((hi, lo) in pair()) {
+            prop_assert!(lo < hi, "lo {lo} hi {hi}");
+        }
+
+        #[test]
+        fn vectors_have_requested_sizes(v in crate::collection::vec(0usize..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let strategy = (1usize..4).prop_map(|n| vec![0.0f64; n]);
+        let mut rng = crate::test_runner::TestRng::from_name("map");
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strategy = (0usize..1000, 0usize..1000);
+        let mut a = crate::test_runner::TestRng::from_name("same");
+        let mut b = crate::test_runner::TestRng::from_name("same");
+        for _ in 0..20 {
+            assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        }
+    }
+}

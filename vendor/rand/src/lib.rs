@@ -1,0 +1,331 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the thin slice of `rand` it actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range` and `gen_bool`;
+//! * [`SeedableRng`] with the same SplitMix64-based `seed_from_u64` byte
+//!   expansion as upstream `rand` 0.8, so seeds produce the same key
+//!   material for the vendored ChaCha generator;
+//! * [`thread_rng`] backed by a per-thread generator seeded from the
+//!   system hasher.
+//!
+//! The implementations follow the published algorithms; no upstream source
+//! code was copied.
+
+pub mod distributions;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness: an infinite stream of uniform bits.
+///
+/// Object safe, so algorithms can take `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A random number generator that can be reproducibly constructed from a
+/// seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type, a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw key material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the same expansion
+    /// `rand` 0.8 uses) and builds the generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 constants (Steele, Lea & Flood 2014).
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform sampling from range-like types, the argument of
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uint_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi - lo) as u64 + 1;
+                lo + (uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+uint_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64 + 1;
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit: $t = Standard.sample(rng);
+                let value = self.start + (self.end - self.start) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if value < self.end { value } else { self.start }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Draws a uniform value in `[0, span)` by widening multiplication with a
+/// rejection step (Lemire 2019), avoiding modulo bias.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// A fast, non-cryptographic generator for [`thread_rng`]: xoshiro256++
+/// (Blackman & Vigna 2019).
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    state: [u64; 4],
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = (s[0].wrapping_add(s[3])).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for ThreadRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u64; 4];
+        for (word, chunk) in state.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // xoshiro must not start from the all-zero state.
+        if state.iter().all(|&w| w == 0) {
+            state[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Self { state }
+    }
+}
+
+/// Returns a generator seeded once per thread from the system hasher's
+/// random keys.
+pub fn thread_rng() -> ThreadRng {
+    use std::hash::{BuildHasher, Hasher};
+    // RandomState draws fresh random keys per instance, giving us entropy
+    // without any OS-specific code.
+    let entropy = std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish();
+    ThreadRng::seed_from_u64(entropy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = ThreadRng::seed_from_u64(9);
+        let mut b = ThreadRng::seed_from_u64(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = ThreadRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0..=4usize);
+            assert!(w <= 4);
+            let f = rng.gen_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_in_half_open_interval() {
+        let mut rng = ThreadRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_reborrows_as_rng() {
+        fn draw(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..5)
+        }
+        let mut rng = ThreadRng::seed_from_u64(3);
+        let mut dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = draw(&mut dyn_rng);
+        assert!(v < 5);
+    }
+}

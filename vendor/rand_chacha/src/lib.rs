@@ -1,0 +1,140 @@
+//! Offline vendored [`ChaCha8Rng`]: the ChaCha stream cipher (Bernstein
+//! 2008) with 8 rounds, implemented from the published specification and
+//! exposed through the vendored `rand` traits.
+//!
+//! Only determinism and statistical quality matter for this workspace (the
+//! generator drives reproducible experiments, not cryptography).
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// "expand 32-byte k", the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A reproducible random number generator based on ChaCha with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words from the seed (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..13); words 14..15 stay zero.
+    counter: u64,
+    /// Current output block.
+    block: [u32; BLOCK_WORDS],
+    /// Next unread word in `block`; `BLOCK_WORDS` forces a refill.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        let mut working = state;
+        for _ in 0..4 {
+            // One double round: four column rounds, four diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_continues_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let first: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..24 {
+            again.next_u32();
+        }
+        assert_eq!(again.next_u32(), first[24]);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        // 32000 bits, expect ~16000 set.
+        assert!((15_000..17_000).contains(&ones), "ones {ones}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supported input shapes — the only ones
+//! the workspace uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit variants or one-field newtype variants.
+//!
+//! Anything else (tuple structs, struct variants, generics) produces a
+//! compile error naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the facade's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives the facade's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Enum variants: name plus whether the variant carries one payload.
+    Enum(Vec<(String, bool)>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("::core::compile_error!({message:?});")
+                .parse()
+                .unwrap()
+        }
+    };
+    let code = match (direction, &shape) {
+        (Direction::Serialize, Shape::Struct(fields)) => serialize_struct(&name, fields),
+        (Direction::Deserialize, Shape::Struct(fields)) => deserialize_struct(&name, fields),
+        (Direction::Serialize, Shape::Enum(variants)) => serialize_enum(&name, variants),
+        (Direction::Deserialize, Shape::Enum(variants)) => deserialize_enum(&name, variants),
+    };
+    code.parse().unwrap()
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field(__entries, {f:?})?)?,")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __entries = __value.as_object()\n\
+                     .ok_or_else(|| ::serde::DeError::mismatch(\"object\", __value))?;\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, bool)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(variant, has_payload)| {
+            if *has_payload {
+                format!(
+                    "{name}::{variant}(__inner) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({variant:?}), \
+                          ::serde::Serialize::to_value(__inner))]),"
+                )
+            } else {
+                format!(
+                    "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from({variant:?})),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, bool)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, has_payload)| !has_payload)
+        .map(|(variant, _)| format!("{variant:?} => ::std::result::Result::Ok({name}::{variant}),"))
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter(|(_, has_payload)| *has_payload)
+        .map(|(variant, _)| {
+            format!(
+                "{variant:?} => ::std::result::Result::Ok(\
+                     {name}::{variant}(::serde::Deserialize::from_value(__inner)?)),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__key, __inner) = &__entries[0];\n\
+                         match __key.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\n\
+                                 ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\n\
+                         ::serde::DeError::mismatch(\"enum variant\", __other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Parses a struct/enum definition into its name and shape.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            return Err(format!(
+                "serde derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generic type `{name}` is not supported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+        _ => {
+            return Err(format!(
+                "serde derive: `{name}` must be a brace-delimited {keyword} (tuple/unit \
+                 structs are not supported)"
+            ))
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Ok((name, Shape::Struct(parse_named_fields(body.stream())?))),
+        "enum" => Ok((
+            name.clone(),
+            Shape::Enum(parse_variants(&name, body.stream())?),
+        )),
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field struct body. Field types are
+/// never needed: the generated code lets inference pick the right
+/// `Deserialize` impl from the struct definition itself.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde derive: field `{name}` is not a named field (tuple structs are \
+                     not supported)"
+                ))
+            }
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        // `<` / `>` appear as plain puncts in token trees, so track nesting
+        // to survive types like `BTreeMap<usize, Vec<usize>>`.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts `(variant_name, has_payload)` pairs from an enum body.
+fn parse_variants(enum_name: &str, body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let mut has_payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let payload_fields = count_top_level_items(group.stream());
+                if payload_fields != 1 {
+                    return Err(format!(
+                        "serde derive: variant `{enum_name}::{name}` has {payload_fields} \
+                         fields; only unit and single-field newtype variants are supported"
+                    ));
+                }
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive: struct variant `{enum_name}::{name}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant (`= expr`) up to the next comma.
+        while let Some(token) = tokens.get(i) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, has_payload));
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated items at angle-bracket depth 0 (e.g. fields of a
+/// tuple variant).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut items = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_token_since_comma = false;
+                    items += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    // A trailing comma does not add an item.
+    if !saw_token_since_comma {
+        items -= 1;
+    }
+    items
+}
