@@ -5,7 +5,10 @@ use sls_bench::{metric_table, run_datasets_i, ExperimentScale, MetricKind};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let results = run_datasets_i(scale, 2023);
+    let results = run_datasets_i(scale, 2023).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     for metric in [MetricKind::Accuracy, MetricKind::Purity, MetricKind::Fmi] {
         let table = metric_table(&results, metric, "");
         println!("Fig. 5 panel: average {} over datasets I", metric.name());

@@ -5,7 +5,10 @@ use sls_bench::{metric_table, run_datasets_ii, ExperimentScale, MetricKind};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let results = run_datasets_ii(scale, 2023);
+    let results = run_datasets_ii(scale, 2023).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     for metric in [MetricKind::Accuracy, MetricKind::RandIndex, MetricKind::Fmi] {
         let table = metric_table(&results, metric, "");
         println!("Fig. 9 panel: average {} over datasets II", metric.name());

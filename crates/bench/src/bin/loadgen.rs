@@ -1,0 +1,247 @@
+//! Load generator for the `sls-serve` HTTP inference server: hammers the
+//! `/features` and `/assign` endpoints from concurrent client threads and
+//! reports latency percentiles and throughput.
+//!
+//! ```sh
+//! sls-serve export --out artifacts
+//! sls-serve serve --dir artifacts --addr 127.0.0.1:7878 &
+//! cargo run --release -p sls-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 --model quick_demo --requests 400 --concurrency 100
+//! ```
+//!
+//! Exits non-zero if any request fails or answers a non-2xx status, so CI
+//! can use it as a smoke gate.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sls_serve::{Client, LatencySummary};
+use std::collections::BTreeMap;
+use std::net::ToSocketAddrs;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--model NAME] [--requests N] \
+[--concurrency N] [--rows N] [--mode features|assign|mix] [--seed N]";
+
+struct Options {
+    addr: String,
+    model: String,
+    requests: usize,
+    concurrency: usize,
+    rows: usize,
+    mode: Mode,
+    seed: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Features,
+    Assign,
+    Mix,
+}
+
+impl Mode {
+    /// Which endpoint request number `i` of worker `w` should hit.
+    fn pick(self, worker: usize, i: usize) -> &'static str {
+        match self {
+            Mode::Features => "features",
+            Mode::Assign => "assign",
+            Mode::Mix => {
+                if (worker + i) % 2 == 0 {
+                    "features"
+                } else {
+                    "assign"
+                }
+            }
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        model: "quick_demo".to_string(),
+        requests: 200,
+        concurrency: 16,
+        rows: 16,
+        mode: Mode::Mix,
+        seed: 2023,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value\n{USAGE}"))?;
+        let numeric = || {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("invalid value `{value}` for `{flag}`"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value.clone(),
+            "--model" => options.model = value.clone(),
+            "--requests" => options.requests = numeric()?.max(1),
+            "--concurrency" => options.concurrency = numeric()?.max(1),
+            "--rows" => options.rows = numeric()?.max(1),
+            "--seed" => {
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid value `{value}` for `--seed`"))?;
+            }
+            "--mode" => {
+                options.mode = match value.as_str() {
+                    "features" => Mode::Features,
+                    "assign" => Mode::Assign,
+                    "mix" => Mode::Mix,
+                    other => return Err(format!("unknown mode `{other}`\n{USAGE}")),
+                };
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let addr = options
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{}`: {e}", options.addr))?
+        .next()
+        .ok_or_else(|| format!("`{}` resolved to no address", options.addr))?;
+    let client = Client::new(addr).with_timeout(Duration::from_secs(30));
+
+    let health = client
+        .health()
+        .map_err(|e| format!("server health check failed: {e}"))?;
+    let models = client
+        .models()
+        .map_err(|e| format!("listing models failed: {e}"))?;
+    let info = models
+        .models
+        .iter()
+        .find(|m| m.name == options.model)
+        .ok_or_else(|| {
+            format!(
+                "model `{}` is not served (available: {})",
+                options.model,
+                models
+                    .models
+                    .iter()
+                    .map(|m| m.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    if options.mode != Mode::Features && info.n_clusters.is_none() {
+        return Err(format!(
+            "model `{}` has no cluster head; use --mode features",
+            options.model
+        ));
+    }
+    println!(
+        "loadgen: {} requests x {} rows against http://{addr}/models/{} \
+         ({} healthy models, concurrency {}, visible width {})",
+        options.requests,
+        options.rows,
+        options.model,
+        health.models,
+        options.concurrency,
+        info.n_visible
+    );
+
+    // Per-endpoint latency samples and error messages, appended by workers.
+    let samples: Mutex<BTreeMap<&'static str, Vec<Duration>>> = Mutex::new(BTreeMap::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let n_visible = info.n_visible;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..options.concurrency {
+            let client = &client;
+            let samples = &samples;
+            let errors = &errors;
+            let options_ref = &options;
+            scope.spawn(move || {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(options_ref.seed.wrapping_add(worker as u64));
+                // Workers split the total request budget as evenly as possible.
+                let share = options_ref.requests / options_ref.concurrency
+                    + usize::from(worker < options_ref.requests % options_ref.concurrency);
+                for i in 0..share {
+                    let rows: Vec<Vec<f64>> = (0..options_ref.rows)
+                        .map(|_| (0..n_visible).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                        .collect();
+                    let endpoint = options_ref.mode.pick(worker, i);
+                    let request_start = Instant::now();
+                    let outcome = match endpoint {
+                        "features" => client
+                            .features(&options_ref.model, &rows)
+                            .map(|features| features.len()),
+                        _ => client
+                            .assign(&options_ref.model, &rows)
+                            .map(|assignments| assignments.len()),
+                    };
+                    let elapsed = request_start.elapsed();
+                    match outcome {
+                        Ok(answered) if answered == options_ref.rows => {
+                            samples
+                                .lock()
+                                .unwrap()
+                                .entry(endpoint)
+                                .or_default()
+                                .push(elapsed);
+                        }
+                        Ok(answered) => errors.lock().unwrap().push(format!(
+                            "{endpoint}: answered {answered} of {} rows",
+                            options_ref.rows
+                        )),
+                        Err(e) => errors.lock().unwrap().push(format!("{endpoint}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let samples = samples.into_inner().unwrap();
+    let errors = errors.into_inner().unwrap();
+    let mut all: Vec<Duration> = Vec::new();
+    for (endpoint, endpoint_samples) in &samples {
+        if let Some(summary) = LatencySummary::from_samples(endpoint_samples) {
+            println!("  {endpoint:<9} {summary}");
+        }
+        all.extend_from_slice(endpoint_samples);
+    }
+    let Some(overall) = LatencySummary::from_samples(&all) else {
+        return Err("no request succeeded".to_string());
+    };
+    println!(
+        "  overall   {overall} | elapsed {:.2?} | throughput {:.1} req/s | errors {}",
+        elapsed,
+        overall.throughput(elapsed),
+        errors.len()
+    );
+    if !errors.is_empty() {
+        for message in errors.iter().take(5) {
+            eprintln!("error: {message}");
+        }
+        if errors.len() > 5 {
+            eprintln!("... and {} more", errors.len() - 5);
+        }
+        return Err(format!(
+            "{} of {} requests failed",
+            errors.len(),
+            options.requests
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = parse_options(&args).and_then(|options| run(&options));
+    if let Err(message) = result {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

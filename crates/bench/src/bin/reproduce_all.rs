@@ -16,7 +16,10 @@ fn main() {
     let started = std::time::Instant::now();
 
     println!("--- datasets I (MSRA-MM stand-ins, GRBM family) ---");
-    let datasets_i = run_datasets_i(scale, 2023);
+    let datasets_i = run_datasets_i(scale, 2023).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let table4 = metric_table(
         &datasets_i,
         MetricKind::Accuracy,
@@ -55,7 +58,10 @@ fn main() {
     println!("Fig. 5 panels are the 'Average' rows of Tables IV-VI above.\n");
 
     println!("--- datasets II (UCI stand-ins, RBM family) ---");
-    let datasets_ii = run_datasets_ii(scale, 2023);
+    let datasets_ii = run_datasets_ii(scale, 2023).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let table7 = metric_table(
         &datasets_ii,
         MetricKind::Accuracy,

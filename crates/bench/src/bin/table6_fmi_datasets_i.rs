@@ -5,7 +5,10 @@ use sls_bench::{figure_series, metric_table, run_datasets_i, ExperimentScale, Me
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    let results = run_datasets_i(scale, 2023);
+    let results = run_datasets_i(scale, 2023).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let table = metric_table(
         &results,
         MetricKind::Fmi,

@@ -463,7 +463,9 @@ fn run_binary_dataset(
 }
 
 /// Generic driver: generates every dataset of a family and runs its grid on
-/// a worker thread per dataset.
+/// a worker thread per dataset. Per-dataset failures are collected and
+/// propagated to the caller (annotated with the dataset code) instead of
+/// aborting the whole process.
 fn run_family<F>(
     family: &str,
     model_name: &str,
@@ -471,7 +473,7 @@ fn run_family<F>(
     scale: ExperimentScale,
     seed: u64,
     runner: F,
-) -> FamilyResults
+) -> Result<FamilyResults, String>
 where
     F: Fn(&Dataset, usize, ExperimentScale, u64) -> Result<Vec<PipelineResult>, String> + Sync,
 {
@@ -480,6 +482,7 @@ where
         .map(|(_, d)| d.spec().code.clone())
         .collect();
     let mut results: Vec<PipelineResult> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = datasets
             .iter()
@@ -488,25 +491,37 @@ where
                 scope.spawn(move || runner(ds, *index, scale, seed.wrapping_add(*index as u64)))
             })
             .collect();
-        for handle in handles {
+        for (handle, (_, ds)) in handles.into_iter().zip(&datasets) {
             match handle.join().expect("experiment worker panicked") {
                 Ok(mut r) => results.append(&mut r),
-                Err(message) => panic!("experiment failed: {message}"),
+                Err(message) => failures.push(format!("{}: {message}", ds.spec().code)),
             }
         }
     });
+    if !failures.is_empty() {
+        return Err(format!(
+            "{family} grid failed for {} of {} datasets — {}",
+            failures.len(),
+            dataset_codes.len(),
+            failures.join("; ")
+        ));
+    }
     results.sort_by_key(|r| r.dataset_index);
-    FamilyResults {
+    Ok(FamilyResults {
         family: family.to_string(),
         model_name: model_name.to_string(),
         dataset_codes,
         results,
         scale,
-    }
+    })
 }
 
 /// Runs the full datasets I grid (Tables IV–VI, Figs. 2–5).
-pub fn run_datasets_i(scale: ExperimentScale, seed: u64) -> FamilyResults {
+///
+/// # Errors
+///
+/// Returns a message naming every dataset whose pipeline grid failed.
+pub fn run_datasets_i(scale: ExperimentScale, seed: u64) -> Result<FamilyResults, String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let datasets: Vec<(usize, Dataset)> = msra_catalog()
         .into_iter()
@@ -523,7 +538,11 @@ pub fn run_datasets_i(scale: ExperimentScale, seed: u64) -> FamilyResults {
 }
 
 /// Runs the full datasets II grid (Tables VII–IX, Figs. 6–9).
-pub fn run_datasets_ii(scale: ExperimentScale, seed: u64) -> FamilyResults {
+///
+/// # Errors
+///
+/// Returns a message naming every dataset whose pipeline grid failed.
+pub fn run_datasets_ii(scale: ExperimentScale, seed: u64) -> Result<FamilyResults, String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let datasets: Vec<(usize, Dataset)> = uci_catalog()
         .into_iter()

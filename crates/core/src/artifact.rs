@@ -1,0 +1,590 @@
+//! Versioned pipeline artifacts: everything needed to *serve* a trained
+//! pipeline, not just its raw parameters.
+//!
+//! [`crate::save_params_json`] historically persisted bare [`RbmParams`],
+//! which cannot answer an inference request on its own: the preprocessing
+//! statistics fitted on the training data, the model kind and the fitted
+//! clustering head are all required to map a raw feature row to a hidden
+//! feature vector or a cluster assignment. [`PipelineArtifact`] bundles all
+//! of them behind a schema-versioned JSON file:
+//!
+//! * `schema_version` — integer, bumped on any breaking layout change; a
+//!   build refuses to load artifacts from a *newer* schema but keeps reading
+//!   every older one (including the pre-artifact param-only snapshots).
+//! * `model_kind` — which of the paper's four models produced the weights.
+//! * `params` — the trained [`RbmParams`].
+//! * `preprocessor` — the *fitted* preprocessing statistics
+//!   ([`FittedPreprocessor`]), so unseen rows are transformed with the
+//!   training-time column means / medians rather than their own.
+//! * `cluster_head` — the fitted downstream clusterer ([`ClusterHead`]):
+//!   centroids in hidden-feature space plus the clusterer configuration.
+//! * `train_config` — provenance: the [`SlsPipelineConfig`] used at training
+//!   time (`None` for artifacts converted from param-only snapshots).
+//!
+//! The inference path is deliberately batched: [`PipelineArtifact::features`]
+//! pushes *all* rows of a request through one matrix multiply instead of N
+//! vector products, so a serving layer gets the linalg crate's blocked
+//! matmul for free.
+
+use crate::model::sigmoid;
+use crate::pipeline::{
+    GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline, SlsPipelineConfig,
+    SlsRbmPipeline,
+};
+use crate::{RbmError, RbmParams, Result, VisibleKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sls_clustering::KMeans;
+use sls_datasets::MedianBinarizer;
+use sls_linalg::{LinalgError, Matrix, Standardizer};
+use std::path::Path;
+
+/// Newest artifact schema version this build reads and writes.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Which of the paper's four energy models produced an artifact's weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Baseline binary RBM (plain CD).
+    Rbm,
+    /// Baseline Gaussian-visible GRBM (plain CD).
+    Grbm,
+    /// Self-learning local supervision RBM.
+    SlsRbm,
+    /// Self-learning local supervision GRBM.
+    SlsGrbm,
+}
+
+impl ModelKind {
+    /// Stable lower-case name, used in CLI arguments and API responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::Rbm => "rbm",
+            ModelKind::Grbm => "grbm",
+            ModelKind::SlsRbm => "sls-rbm",
+            ModelKind::SlsGrbm => "sls-grbm",
+        }
+    }
+
+    /// Parses the name produced by [`ModelKind::as_str`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "rbm" => Some(ModelKind::Rbm),
+            "grbm" => Some(ModelKind::Grbm),
+            "sls-rbm" => Some(ModelKind::SlsRbm),
+            "sls-grbm" => Some(ModelKind::SlsGrbm),
+            _ => None,
+        }
+    }
+
+    /// The visible-layer kind of this model.
+    pub fn visible_kind(self) -> VisibleKind {
+        match self {
+            ModelKind::Rbm | ModelKind::SlsRbm => VisibleKind::Binary,
+            ModelKind::Grbm | ModelKind::SlsGrbm => VisibleKind::Gaussian,
+        }
+    }
+
+    /// `true` for the models trained with the sls objective.
+    pub fn is_sls(self) -> bool {
+        matches!(self, ModelKind::SlsRbm | ModelKind::SlsGrbm)
+    }
+}
+
+/// Fitted preprocessing statistics, applied to unseen rows at inference time.
+///
+/// The variants mirror [`Preprocessing`], but carry the statistics captured
+/// on the *training* data instead of re-deriving them per request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FittedPreprocessor {
+    /// Column standardisation with the training-time means and deviations.
+    Standardize(Standardizer),
+    /// Median binarisation with the training-time column thresholds.
+    BinarizeMedian(MedianBinarizer),
+    /// Pass rows through unchanged.
+    Identity,
+}
+
+impl FittedPreprocessor {
+    /// Fits the preprocessor matching `preprocessing` on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` is empty and the step needs statistics.
+    pub fn fit(preprocessing: Preprocessing, data: &Matrix) -> Result<Self> {
+        Ok(match preprocessing {
+            Preprocessing::Standardize => FittedPreprocessor::Standardize(Standardizer::fit(data)?),
+            Preprocessing::BinarizeMedian => {
+                FittedPreprocessor::BinarizeMedian(MedianBinarizer::fit(data))
+            }
+            Preprocessing::None => FittedPreprocessor::Identity,
+        })
+    }
+
+    /// The corresponding (unfitted) [`Preprocessing`] step.
+    pub fn kind(&self) -> Preprocessing {
+        match self {
+            FittedPreprocessor::Standardize(_) => Preprocessing::Standardize,
+            FittedPreprocessor::BinarizeMedian(_) => Preprocessing::BinarizeMedian,
+            FittedPreprocessor::Identity => Preprocessing::None,
+        }
+    }
+
+    /// Applies the fitted transformation to `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `rows` has a different column count than the
+    /// data the preprocessor was fitted on.
+    pub fn transform(&self, rows: &Matrix) -> Result<Matrix> {
+        match self {
+            FittedPreprocessor::Standardize(s) => Ok(s.transform(rows)?),
+            FittedPreprocessor::BinarizeMedian(b) => {
+                b.transform(rows).map_err(|e| RbmError::InvalidConfig {
+                    name: "preprocessing",
+                    message: e.to_string(),
+                })
+            }
+            FittedPreprocessor::Identity => Ok(rows.clone()),
+        }
+    }
+}
+
+/// The fitted downstream clusterer: centroids in hidden-feature space.
+///
+/// Serving assigns a row to its nearest centroid, which reproduces the final
+/// assignment step of the k-means run that produced the centroids (both use
+/// first-wins tie-breaking over the same centre order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHead {
+    /// Name of the algorithm that produced the centroids.
+    pub algorithm: String,
+    /// Number of clusters the algorithm targeted.
+    pub n_clusters: usize,
+    /// Cluster centroids, one row per cluster, in hidden-feature space.
+    pub centroids: Matrix,
+}
+
+impl ClusterHead {
+    /// Runs k-means on `features` and captures the resulting centroids.
+    ///
+    /// Returns the head together with the training-time labels so callers
+    /// can report or verify the in-process assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates k-means errors (empty data, too many clusters, ...).
+    pub fn fit_kmeans(
+        features: &Matrix,
+        n_clusters: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(Self, Vec<usize>)> {
+        let outcome = KMeans::new(n_clusters).fit(features, rng)?;
+        let labels = outcome.assignment.labels().to_vec();
+        let head = Self {
+            algorithm: outcome.assignment.algorithm().to_string(),
+            n_clusters,
+            centroids: outcome.assignment.centers().clone(),
+        };
+        Ok((head, labels))
+    }
+
+    /// Assigns every row of `features` to its nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the feature width differs from the centroid
+    /// width, or [`RbmError::MissingArtifactPart`] if there are no centroids.
+    pub fn assign(&self, features: &Matrix) -> Result<Vec<usize>> {
+        if features.cols() != self.centroids.cols() {
+            return Err(RbmError::Linalg(LinalgError::ShapeMismatch {
+                op: "ClusterHead::assign",
+                left: features.shape(),
+                right: (1, self.centroids.cols()),
+            }));
+        }
+        features
+            .row_iter()
+            .map(|row| {
+                self.centroids
+                    .nearest_row(row)
+                    .ok_or(RbmError::MissingArtifactPart {
+                        part: "cluster centroids",
+                    })
+            })
+            .collect()
+    }
+}
+
+/// A trained pipeline packaged for persistence and serving.
+///
+/// See the [module documentation](self) for the schema and versioning
+/// policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineArtifact {
+    /// Schema version the artifact was written with.
+    pub schema_version: u32,
+    /// Which model produced the weights.
+    pub model_kind: ModelKind,
+    /// Trained energy-model parameters.
+    pub params: RbmParams,
+    /// Fitted preprocessing statistics.
+    pub preprocessor: FittedPreprocessor,
+    /// Fitted downstream clusterer (`None` if the artifact only extracts
+    /// features).
+    pub cluster_head: Option<ClusterHead>,
+    /// The configuration the pipeline was trained with (`None` for artifacts
+    /// converted from param-only snapshots).
+    pub train_config: Option<SlsPipelineConfig>,
+}
+
+/// Everything [`PipelineArtifact::fit`] produces: the artifact plus the
+/// training-time outcome and cluster labels for inspection and verification.
+#[derive(Debug, Clone)]
+pub struct FittedPipeline {
+    /// The packaged artifact.
+    pub artifact: PipelineArtifact,
+    /// The raw pipeline outcome (features, history, supervision summary).
+    pub outcome: PipelineOutcome,
+    /// In-process cluster labels of the training rows, from the same k-means
+    /// run whose centroids the artifact serves.
+    pub assignments: Vec<usize>,
+}
+
+impl PipelineArtifact {
+    /// Wraps bare parameters in a current-schema artifact with no fitted
+    /// preprocessor and no cluster head.
+    ///
+    /// Param-only snapshots do not record the model kind; callers that know
+    /// it should pass the right one, legacy loads default to
+    /// [`ModelKind::Rbm`] (the kind only affects metadata — hidden-feature
+    /// extraction is identical across kinds because the hidden layer is
+    /// always sigmoid).
+    pub fn from_params(params: RbmParams, model_kind: ModelKind) -> Self {
+        Self {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            model_kind,
+            params,
+            preprocessor: FittedPreprocessor::Identity,
+            cluster_head: None,
+            train_config: None,
+        }
+    }
+
+    /// Trains the pipeline selected by `model_kind` on `data` (one row per
+    /// instance), fits the preprocessor and a k-means cluster head, and
+    /// packages the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing, supervision, training and clustering
+    /// errors.
+    pub fn fit(
+        model_kind: ModelKind,
+        config: SlsPipelineConfig,
+        data: &Matrix,
+        rng: &mut impl Rng,
+    ) -> Result<FittedPipeline> {
+        let outcome = match model_kind {
+            ModelKind::Rbm => RbmPipeline::new(config).run(data, rng)?,
+            ModelKind::Grbm => GrbmPipeline::new(config).run(data, rng)?,
+            ModelKind::SlsRbm => SlsRbmPipeline::new(config).run(data, rng)?,
+            ModelKind::SlsGrbm => SlsGrbmPipeline::new(config).run(data, rng)?,
+        };
+        // Reuse the preprocessor the pipeline fitted during training — one
+        // preprocessing path, so served transforms are the training-time
+        // transforms by construction.
+        let preprocessor = outcome.preprocessor.clone();
+        let (cluster_head, assignments) =
+            ClusterHead::fit_kmeans(&outcome.hidden_features, config.n_clusters, rng)?;
+        let artifact = Self {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            model_kind,
+            params: outcome.model_params.clone(),
+            preprocessor,
+            cluster_head: Some(cluster_head),
+            train_config: Some(config),
+        };
+        Ok(FittedPipeline {
+            artifact,
+            outcome,
+            assignments,
+        })
+    }
+
+    /// Number of visible units (raw feature columns the artifact expects).
+    pub fn n_visible(&self) -> usize {
+        self.params.n_visible()
+    }
+
+    /// Number of hidden units (feature columns the artifact produces).
+    pub fn n_hidden(&self) -> usize {
+        self.params.n_hidden()
+    }
+
+    /// Hidden-feature extraction for a batch of raw rows: fitted
+    /// preprocessing followed by `sigmoid(v W + b)`.
+    ///
+    /// All rows go through one matrix multiply, so serving a request with
+    /// hundreds of rows costs one blocked matmul rather than N vector
+    /// products.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `rows` does not match the visible layer.
+    pub fn features(&self, rows: &Matrix) -> Result<Matrix> {
+        let pre = self.preprocessor.transform(rows)?;
+        self.params.check_data(&pre)?;
+        let logits = pre
+            .matmul(&self.params.weights)?
+            .add_row_broadcast(&self.params.hidden_bias)?;
+        Ok(logits.map(sigmoid))
+    }
+
+    /// Cluster assignment for a batch of raw rows: [`Self::features`]
+    /// followed by nearest-centroid lookup in the cluster head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::MissingArtifactPart`] if the artifact has no
+    /// cluster head, and shape errors if `rows` does not match the visible
+    /// layer.
+    pub fn assign(&self, rows: &Matrix) -> Result<Vec<usize>> {
+        let head = self
+            .cluster_head
+            .as_ref()
+            .ok_or(RbmError::MissingArtifactPart {
+                part: "cluster head",
+            })?;
+        head.assign(&self.features(rows)?)
+    }
+
+    /// Serialises the artifact as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialisation errors.
+    pub fn to_json_pretty(&self) -> Result<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses an artifact from JSON text.
+    ///
+    /// Accepts both the current artifact schema (any version up to
+    /// [`ARTIFACT_SCHEMA_VERSION`]) and the legacy param-only snapshot
+    /// format, which is wrapped via [`Self::from_params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::UnsupportedSchemaVersion`] for artifacts written
+    /// by a newer build, and deserialisation errors for malformed input.
+    pub fn from_json(text: &str) -> Result<Self> {
+        /// Minimal probe: an object with a `schema_version` field is an
+        /// artifact (extra fields are ignored by the facade's derive), while
+        /// a legacy param-only snapshot lacks the field and fails the probe.
+        #[derive(Deserialize)]
+        struct SchemaProbe {
+            schema_version: u32,
+        }
+
+        if let Ok(probe) = serde_json::from_str::<SchemaProbe>(text) {
+            if probe.schema_version > ARTIFACT_SCHEMA_VERSION {
+                return Err(RbmError::UnsupportedSchemaVersion {
+                    found: probe.schema_version,
+                    supported: ARTIFACT_SCHEMA_VERSION,
+                });
+            }
+            return Ok(serde_json::from_str::<PipelineArtifact>(text)?);
+        }
+        let params: RbmParams = serde_json::from_str(text)?;
+        Ok(Self::from_params(params, ModelKind::Rbm))
+    }
+
+    /// Writes the artifact as JSON, creating parent directories if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialisation errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_pretty()?)?;
+        Ok(())
+    }
+
+    /// Reads an artifact (or a legacy param-only snapshot) from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_json`], plus I/O errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_datasets::SyntheticBlobs;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(606)
+    }
+
+    fn fitted() -> FittedPipeline {
+        let mut r = rng();
+        let ds = SyntheticBlobs::new(45, 5, 3)
+            .separation(6.0)
+            .generate(&mut r);
+        PipelineArtifact::fit(
+            ModelKind::SlsGrbm,
+            SlsPipelineConfig::quick_demo(),
+            ds.features(),
+            &mut r,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn model_kind_names_round_trip() {
+        for kind in [
+            ModelKind::Rbm,
+            ModelKind::Grbm,
+            ModelKind::SlsRbm,
+            ModelKind::SlsGrbm,
+        ] {
+            assert_eq!(ModelKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("nope"), None);
+        assert_eq!(ModelKind::Rbm.visible_kind(), VisibleKind::Binary);
+        assert_eq!(ModelKind::SlsGrbm.visible_kind(), VisibleKind::Gaussian);
+        assert!(ModelKind::SlsRbm.is_sls());
+        assert!(!ModelKind::Grbm.is_sls());
+    }
+
+    #[test]
+    fn fit_packages_a_complete_servable_artifact() {
+        let f = fitted();
+        let a = &f.artifact;
+        assert_eq!(a.schema_version, ARTIFACT_SCHEMA_VERSION);
+        assert_eq!(a.model_kind, ModelKind::SlsGrbm);
+        assert_eq!(a.n_visible(), 5);
+        assert_eq!(a.n_hidden(), 12);
+        assert_eq!(a.preprocessor.kind(), Preprocessing::Standardize);
+        let head = a.cluster_head.as_ref().unwrap();
+        assert_eq!(head.n_clusters, 3);
+        assert_eq!(head.centroids.shape(), (3, 12));
+        assert_eq!(a.train_config.unwrap().n_clusters, 3);
+        assert_eq!(f.assignments.len(), 45);
+    }
+
+    #[test]
+    fn artifact_inference_matches_training_time_pipeline() {
+        let mut r = rng();
+        let ds = SyntheticBlobs::new(45, 5, 3)
+            .separation(6.0)
+            .generate(&mut r);
+        let f = PipelineArtifact::fit(
+            ModelKind::SlsGrbm,
+            SlsPipelineConfig::quick_demo(),
+            ds.features(),
+            &mut r,
+        )
+        .unwrap();
+        // Re-running inference on the raw training rows must reproduce the
+        // training-time hidden features and cluster labels exactly: the
+        // preprocessor refits to identical statistics and the cluster head
+        // repeats k-means' final nearest-centroid assignment.
+        let features = f.artifact.features(ds.features()).unwrap();
+        assert_eq!(features, f.outcome.hidden_features);
+        let assignments = f.artifact.assign(ds.features()).unwrap();
+        assert_eq!(assignments, f.assignments);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_everything() {
+        let f = fitted();
+        let dir = std::env::temp_dir().join("sls_rbm_artifact_round_trip");
+        let path = dir.join("nested").join("model.json");
+        f.artifact.save(&path).unwrap();
+        let back = PipelineArtifact::load(&path).unwrap();
+        assert_eq!(back, f.artifact);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_param_only_snapshot_loads_as_artifact() {
+        let params = RbmParams::init(6, 3, &mut rng());
+        let json = serde_json::to_string_pretty(&params).unwrap();
+        let a = PipelineArtifact::from_json(&json).unwrap();
+        assert_eq!(a.params, params);
+        assert_eq!(a.schema_version, ARTIFACT_SCHEMA_VERSION);
+        assert_eq!(a.model_kind, ModelKind::Rbm);
+        assert_eq!(a.preprocessor, FittedPreprocessor::Identity);
+        assert!(a.cluster_head.is_none());
+        assert!(a.train_config.is_none());
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected() {
+        let f = fitted();
+        let json = f
+            .artifact
+            .to_json_pretty()
+            .unwrap()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        match PipelineArtifact::from_json(&json) {
+            Err(RbmError::UnsupportedSchemaVersion { found, supported }) => {
+                assert_eq!(found, 999);
+                assert_eq!(supported, ARTIFACT_SCHEMA_VERSION);
+            }
+            other => panic!("expected UnsupportedSchemaVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(matches!(
+            PipelineArtifact::from_json("{ not json }"),
+            Err(RbmError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn assign_without_cluster_head_errors() {
+        let a = PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng()), ModelKind::Rbm);
+        let rows = Matrix::zeros(3, 4);
+        assert!(a.features(&rows).is_ok());
+        assert!(matches!(
+            a.assign(&rows),
+            Err(RbmError::MissingArtifactPart { .. })
+        ));
+    }
+
+    #[test]
+    fn inference_rejects_wrong_width_rows() {
+        let f = fitted();
+        assert!(f.artifact.features(&Matrix::zeros(2, 9)).is_err());
+        assert!(f.artifact.assign(&Matrix::zeros(2, 9)).is_err());
+    }
+
+    #[test]
+    fn cluster_head_assign_is_nearest_centroid() {
+        let head = ClusterHead {
+            algorithm: "K-means".into(),
+            n_clusters: 2,
+            centroids: Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap(),
+        };
+        let features =
+            Matrix::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.5], vec![4.9, 5.0]]).unwrap();
+        assert_eq!(head.assign(&features).unwrap(), vec![0, 1, 0]);
+        assert!(head.assign(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -39,6 +39,19 @@ pub enum RbmError {
     Consensus(sls_consensus::ConsensusError),
     /// Propagated clustering error (base clusterers failed).
     Clustering(sls_clustering::ClusteringError),
+    /// A persisted artifact declares a schema version this build cannot read.
+    UnsupportedSchemaVersion {
+        /// Version found in the artifact file.
+        found: u32,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// The requested operation needs a part the artifact does not carry
+    /// (e.g. cluster assignment without a fitted cluster head).
+    MissingArtifactPart {
+        /// Name of the missing part.
+        part: &'static str,
+    },
     /// Model persistence failed.
     Io(std::io::Error),
     /// Model (de)serialisation failed.
@@ -66,6 +79,13 @@ impl fmt::Display for RbmError {
             RbmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             RbmError::Consensus(e) => write!(f, "supervision construction failed: {e}"),
             RbmError::Clustering(e) => write!(f, "clustering failed: {e}"),
+            RbmError::UnsupportedSchemaVersion { found, supported } => write!(
+                f,
+                "artifact schema version {found} is newer than the supported version {supported}"
+            ),
+            RbmError::MissingArtifactPart { part } => {
+                write!(f, "artifact does not carry a {part}")
+            }
             RbmError::Io(e) => write!(f, "I/O error: {e}"),
             RbmError::Serde(e) => write!(f, "serialisation error: {e}"),
         }
@@ -140,6 +160,17 @@ mod tests {
         }
         .to_string()
         .contains("instance 10"));
+        assert!(RbmError::UnsupportedSchemaVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("schema version 9"));
+        assert!(RbmError::MissingArtifactPart {
+            part: "cluster head"
+        }
+        .to_string()
+        .contains("cluster head"));
     }
 
     #[test]

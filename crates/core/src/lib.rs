@@ -27,6 +27,13 @@
 //! `run` call so the experiment harness and downstream users do not have to
 //! re-assemble them.
 //!
+//! ## Serving artifacts
+//!
+//! [`PipelineArtifact`] packages a trained pipeline as schema-versioned JSON
+//! — model kind, parameters, *fitted* preprocessing statistics and the
+//! fitted cluster head — so the `sls-serve` crate can reload it and answer
+//! hidden-feature and cluster-assignment requests without retraining.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod artifact;
 mod cd;
 mod config;
 mod error;
@@ -57,6 +65,10 @@ mod pipeline;
 mod rbm;
 pub mod sls;
 
+pub use artifact::{
+    ClusterHead, FittedPipeline, FittedPreprocessor, ModelKind, PipelineArtifact,
+    ARTIFACT_SCHEMA_VERSION,
+};
 pub use cd::{CdTrainer, EpochStats, TrainingHistory};
 pub use config::TrainConfig;
 pub use error::RbmError;

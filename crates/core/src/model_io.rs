@@ -1,38 +1,44 @@
-//! Model persistence: save and load [`RbmParams`] as JSON.
+//! Parameter-level persistence, kept for backward compatibility.
 //!
-//! JSON keeps the snapshots human-inspectable and avoids any additional
-//! binary-format dependency; the matrices involved (≤ ~900 × 64) stay well
-//! within comfortable JSON sizes.
+//! These helpers predate [`crate::PipelineArtifact`] and are now thin
+//! wrappers over it, so the workspace has exactly one serialisation path:
+//!
+//! * [`save_params_json`] writes a current-schema artifact that carries only
+//!   the parameters (no fitted preprocessor, no cluster head).
+//! * [`load_params_json`] reads *either* format — a full artifact (the
+//!   parameters are extracted) or a pre-artifact param-only snapshot.
+//!
+//! New code should use [`crate::PipelineArtifact`] directly: it additionally
+//! persists the fitted preprocessing statistics, model kind and cluster
+//! head, which are required to serve inference requests.
 
+use crate::artifact::{ModelKind, PipelineArtifact};
 use crate::{RbmParams, Result};
 use std::path::Path;
 
 /// Serialises parameters to a JSON file, creating parent directories if
 /// needed.
 ///
+/// The file is a [`PipelineArtifact`] carrying only the parameters. The
+/// param-only API cannot know which model produced them, so the artifact's
+/// kind defaults to [`ModelKind::Rbm`]; prefer building an artifact directly
+/// when the kind matters.
+///
 /// # Errors
 ///
 /// Returns I/O or serialisation errors.
 pub fn save_params_json(params: &RbmParams, path: impl AsRef<Path>) -> Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let json = serde_json::to_string_pretty(params)?;
-    std::fs::write(path, json)?;
-    Ok(())
+    PipelineArtifact::from_params(params.clone(), ModelKind::Rbm).save(path)
 }
 
-/// Loads parameters from a JSON file produced by [`save_params_json`].
+/// Loads parameters from a JSON file: either a full [`PipelineArtifact`] or
+/// a legacy param-only snapshot produced before the artifact schema existed.
 ///
 /// # Errors
 ///
 /// Returns I/O or deserialisation errors.
 pub fn load_params_json(path: impl AsRef<Path>) -> Result<RbmParams> {
-    let json = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    Ok(PipelineArtifact::load(path)?.params)
 }
 
 #[cfg(test)]
@@ -51,6 +57,42 @@ mod tests {
         save_params_json(&params, &path).unwrap();
         let loaded = load_params_json(&path).unwrap();
         assert_eq!(loaded, params);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn saved_files_are_versioned_artifacts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let params = RbmParams::init(4, 2, &mut rng);
+        let dir = std::env::temp_dir().join("sls_rbm_model_io_artifact");
+        let path = dir.join("model.json");
+        save_params_json(&params, &path).unwrap();
+        let artifact = PipelineArtifact::load(&path).unwrap();
+        assert_eq!(artifact.schema_version, crate::ARTIFACT_SCHEMA_VERSION);
+        assert_eq!(artifact.params, params);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loads_pre_artifact_param_only_snapshot() {
+        // A literal snapshot in the format `save_params_json` wrote before
+        // the artifact schema existed: bare `RbmParams` JSON, no
+        // `schema_version` field. This must stay loadable forever.
+        let snapshot = r#"{
+  "weights": { "rows": 2, "cols": 2, "data": [0.25, -0.5, 0.125, 1.0] },
+  "visible_bias": [0.0, -1.5],
+  "hidden_bias": [2.0, 0.5]
+}"#;
+        let dir = std::env::temp_dir().join("sls_rbm_model_io_legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, snapshot).unwrap();
+        let params = load_params_json(&path).unwrap();
+        assert_eq!(params.n_visible(), 2);
+        assert_eq!(params.n_hidden(), 2);
+        assert_eq!(params.weights[(0, 1)], -0.5);
+        assert_eq!(params.visible_bias, vec![0.0, -1.5]);
+        assert_eq!(params.hidden_bias, vec![2.0, 0.5]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,7 +13,8 @@
 //!
 //! The pipeline types bundle stages 1–4 behind a single `run` call.
 
-use crate::model::BoltzmannMachine;
+use crate::artifact::FittedPreprocessor;
+use crate::model::{BoltzmannMachine, RbmParams};
 use crate::sls::{SlsConfig, SlsGrbm, SlsRbm};
 use crate::{CdTrainer, Grbm, Rbm, Result, TrainConfig, TrainingHistory};
 use rand::Rng;
@@ -149,19 +150,21 @@ pub struct PipelineOutcome {
     /// Summary of the self-learning supervision (`None` for the baseline
     /// pipelines that do not build one).
     pub supervision: Option<SupervisionSummary>,
+    /// The trained model's parameters — everything needed to re-instantiate
+    /// the energy model later (e.g. in a [`crate::PipelineArtifact`]).
+    pub model_params: RbmParams,
+    /// The preprocessor fitted on the training data, reusable on unseen rows
+    /// and embedded into serving artifacts.
+    pub preprocessor: FittedPreprocessor,
 }
 
-fn preprocess(data: &Matrix, preprocessing: Preprocessing) -> Result<Matrix> {
-    Ok(match preprocessing {
-        Preprocessing::Standardize => {
-            sls_datasets::standardize_columns(data).map_err(|e| crate::RbmError::InvalidConfig {
-                name: "preprocessing",
-                message: e.to_string(),
-            })?
-        }
-        Preprocessing::BinarizeMedian => sls_datasets::binarize_median(data),
-        Preprocessing::None => data.clone(),
-    })
+/// Fits the preprocessor on `data` and transforms `data` with it — the one
+/// preprocessing path, shared with served artifacts so training-time and
+/// serving-time transforms cannot diverge.
+fn preprocess(data: &Matrix, preprocessing: Preprocessing) -> Result<(FittedPreprocessor, Matrix)> {
+    let fitted = FittedPreprocessor::fit(preprocessing, data)?;
+    let transformed = fitted.transform(data)?;
+    Ok((fitted, transformed))
 }
 
 /// The paper's base clusterers (DP, K-means, AP) targeting `k` clusters.
@@ -200,7 +203,8 @@ macro_rules! sls_pipeline {
             /// Propagates preprocessing, clustering, supervision and training
             /// errors.
             pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
-                let preprocessed = preprocess(data, self.config.preprocessing)?;
+                let (preprocessor, preprocessed) =
+                    preprocess(data, self.config.preprocessing)?;
                 let clusterers = base_clusterers(self.config.n_clusters);
                 let supervision = LocalSupervisionBuilder::new(self.config.n_clusters)
                     .with_policy(self.config.voting)
@@ -220,6 +224,8 @@ macro_rules! sls_pipeline {
                     preprocessed,
                     history,
                     supervision: Some(supervision.summary()),
+                    model_params: model.params().clone(),
+                    preprocessor,
                 })
             }
         }
@@ -252,7 +258,8 @@ macro_rules! baseline_pipeline {
             ///
             /// Propagates preprocessing and training errors.
             pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
-                let preprocessed = preprocess(data, self.config.preprocessing)?;
+                let (preprocessor, preprocessed) =
+                    preprocess(data, self.config.preprocessing)?;
                 let mut model =
                     <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
                 let history =
@@ -263,6 +270,8 @@ macro_rules! baseline_pipeline {
                     preprocessed,
                     history,
                     supervision: None,
+                    model_params: model.params().clone(),
+                    preprocessor,
                 })
             }
         }
@@ -354,6 +363,10 @@ mod tests {
         assert!(outcome.supervision.is_some());
         assert!(outcome.supervision.unwrap().coverage > 0.0);
         assert!(outcome.hidden_features.is_finite());
+        assert_eq!(outcome.model_params.n_hidden(), 12);
+        assert_eq!(outcome.model_params.n_visible(), 6);
+        assert!(outcome.model_params.is_finite());
+        assert_eq!(outcome.preprocessor.kind(), Preprocessing::Standardize);
     }
 
     #[test]
@@ -371,6 +384,13 @@ mod tests {
             .iter()
             .all(|&x| x == 0.0 || x == 1.0));
         assert_eq!(outcome.hidden_features.rows(), 60);
+        // The fitted preprocessor reproduces exactly what the pipeline fed
+        // the model — the invariant serving relies on.
+        assert_eq!(outcome.preprocessor.kind(), Preprocessing::BinarizeMedian);
+        assert_eq!(
+            outcome.preprocessor.transform(ds.features()).unwrap(),
+            outcome.preprocessed
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use dataset::Dataset;
 pub use error::DatasetError;
 pub use iris::iris;
 pub use msra::{generate_msra_dataset, msra_catalog, MsraDatasetId};
-pub use preprocess::{binarize_bernoulli, binarize_median, standardize_columns};
+pub use preprocess::{binarize_bernoulli, binarize_median, standardize_columns, MedianBinarizer};
 pub use spec::{DataFamily, DatasetSpec};
 pub use synth::{DifficultyProfile, SyntheticBlobs};
 pub use uci::{generate_uci_dataset, uci_catalog, UciDatasetId};

@@ -7,8 +7,9 @@
 //!   features either by thresholding at the column median or by treating the
 //!   min-max-normalised value as a Bernoulli probability.
 
-use crate::Result;
+use crate::{DatasetError, Result};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use sls_linalg::{Matrix, Standardizer};
 
 /// Standardises every column to zero mean and unit variance.
@@ -29,22 +30,74 @@ pub fn standardize_columns(data: &Matrix) -> Result<Matrix> {
 /// Median thresholding keeps each binary column balanced, which prevents the
 /// binary RBM's hidden units from saturating on skewed features.
 pub fn binarize_median(data: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(data.rows(), data.cols());
-    for j in 0..data.cols() {
-        let mut col = data.column(j);
-        col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in dataset columns"));
-        let median = if col.is_empty() {
-            0.0
-        } else if col.len() % 2 == 1 {
-            col[col.len() / 2]
-        } else {
-            0.5 * (col[col.len() / 2 - 1] + col[col.len() / 2])
-        };
-        for i in 0..data.rows() {
-            out[(i, j)] = if data[(i, j)] > median { 1.0 } else { 0.0 };
+    MedianBinarizer::fit(data)
+        .transform(data)
+        .expect("fit and transform use the same matrix")
+}
+
+/// A fitted median binariser: the per-column thresholds captured at fit time,
+/// reusable on new data with the same columns.
+///
+/// [`binarize_median`] fits and transforms in one step, which is fine for
+/// offline experiments, but serving a trained model requires applying the
+/// *training-time* thresholds to unseen rows — that is what this type stores
+/// (mirroring [`Standardizer`] for the standardise path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MedianBinarizer {
+    thresholds: Vec<f64>,
+}
+
+impl MedianBinarizer {
+    /// Computes the per-column median thresholds of `data`.
+    ///
+    /// An empty column yields a threshold of `0.0` (nothing to binarise).
+    pub fn fit(data: &Matrix) -> Self {
+        let mut thresholds = Vec::with_capacity(data.cols());
+        for j in 0..data.cols() {
+            let mut col = data.column(j);
+            col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in dataset columns"));
+            let median = if col.is_empty() {
+                0.0
+            } else if col.len() % 2 == 1 {
+                col[col.len() / 2]
+            } else {
+                0.5 * (col[col.len() / 2 - 1] + col[col.len() / 2])
+            };
+            thresholds.push(median);
         }
+        Self { thresholds }
     }
-    out
+
+    /// The per-column thresholds captured at fit time.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Binarises `data` against the fitted thresholds: entries strictly above
+    /// the column threshold become `1.0`, the rest `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `data` has a different number of columns than
+    /// the fitted matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        if data.cols() != self.thresholds.len() {
+            return Err(DatasetError::Linalg(
+                sls_linalg::LinalgError::ShapeMismatch {
+                    op: "MedianBinarizer::transform",
+                    left: data.shape(),
+                    right: (1, self.thresholds.len()),
+                },
+            ));
+        }
+        let mut out = Matrix::zeros(data.rows(), data.cols());
+        for i in 0..data.rows() {
+            for (j, &t) in self.thresholds.iter().enumerate() {
+                out[(i, j)] = if data[(i, j)] > t { 1.0 } else { 0.0 };
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Binarises a matrix stochastically: values are min-max normalised to
@@ -103,6 +156,37 @@ mod tests {
         let b = binarize_median(&constant);
         // Nothing is strictly above the median of a constant column.
         assert_eq!(b.sum(), 0.0);
+    }
+
+    #[test]
+    fn median_binarizer_applies_fit_time_thresholds_to_new_rows() {
+        let b = MedianBinarizer::fit(&data());
+        assert_eq!(b.thresholds(), &[2.5, 250.0]);
+        let unseen = Matrix::from_rows(&[vec![2.6, 100.0], vec![0.0, 400.0]]).unwrap();
+        let t = b.transform(&unseen).unwrap();
+        assert_eq!(t.row(0), &[1.0, 0.0]);
+        assert_eq!(t.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn median_binarizer_matches_one_shot_helper() {
+        let d = data();
+        let fitted = MedianBinarizer::fit(&d).transform(&d).unwrap();
+        assert_eq!(fitted, binarize_median(&d));
+    }
+
+    #[test]
+    fn median_binarizer_rejects_wrong_width() {
+        let b = MedianBinarizer::fit(&data());
+        assert!(b.transform(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn median_binarizer_serde_round_trip() {
+        let b = MedianBinarizer::fit(&data());
+        let json = serde_json::to_string(&b).unwrap();
+        let back: MedianBinarizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
     }
 
     #[test]

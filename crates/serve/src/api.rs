@@ -1,0 +1,161 @@
+//! JSON request/response bodies of the serving API, shared by the server,
+//! the client and the load generator.
+
+use serde::{Deserialize, Serialize};
+use sls_linalg::Matrix;
+use sls_rbm_core::PipelineArtifact;
+
+/// Body of `POST /models/{name}/features` and `POST /models/{name}/assign`:
+/// a batch of raw feature rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowsRequest {
+    /// Raw feature rows, one inner vector per instance. All rows must have
+    /// the model's visible width.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl RowsRequest {
+    /// Converts the rows into a [`Matrix`] so the whole batch runs through
+    /// one matrix multiply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the batch is empty or ragged.
+    pub fn to_matrix(&self) -> std::result::Result<Matrix, String> {
+        if self.rows.is_empty() {
+            return Err("`rows` must contain at least one row".to_string());
+        }
+        Matrix::from_rows(&self.rows).map_err(|e| e.to_string())
+    }
+}
+
+/// Body of a successful `POST /models/{name}/features` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeaturesResponse {
+    /// The model that served the request.
+    pub model: String,
+    /// Hidden-feature rows, aligned with the request rows.
+    pub features: Vec<Vec<f64>>,
+}
+
+/// Body of a successful `POST /models/{name}/assign` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignResponse {
+    /// The model that served the request.
+    pub model: String,
+    /// Cluster label per request row.
+    pub assignments: Vec<usize>,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server answers at all.
+    pub status: String,
+    /// Number of loaded models.
+    pub models: usize,
+}
+
+/// One entry of `GET /models`: everything a client needs to shape requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name (the `{name}` path segment).
+    pub name: String,
+    /// Model kind, as produced by `ModelKind::as_str`.
+    pub kind: String,
+    /// Artifact schema version.
+    pub schema_version: u32,
+    /// Expected raw-row width.
+    pub n_visible: usize,
+    /// Produced feature width.
+    pub n_hidden: usize,
+    /// Cluster count of the fitted head (`null` if the artifact has none,
+    /// in which case `/assign` is unavailable for the model).
+    pub n_clusters: Option<usize>,
+}
+
+impl ModelInfo {
+    /// Builds the info entry for a registered artifact.
+    pub fn describe(name: &str, artifact: &PipelineArtifact) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: artifact.model_kind.as_str().to_string(),
+            schema_version: artifact.schema_version,
+            n_visible: artifact.n_visible(),
+            n_hidden: artifact.n_hidden(),
+            n_clusters: artifact.cluster_head.as_ref().map(|h| h.n_clusters),
+        }
+    }
+}
+
+/// Body of `GET /models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Loaded models in name order.
+    pub models: Vec<ModelInfo>,
+}
+
+/// Body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable explanation of the failure.
+    pub error: String,
+}
+
+/// Converts a matrix to the row-of-rows JSON shape.
+pub fn matrix_to_rows(matrix: &Matrix) -> Vec<Vec<f64>> {
+    matrix.row_iter().map(<[f64]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_rbm_core::{ModelKind, RbmParams};
+
+    #[test]
+    fn rows_request_validates_shape() {
+        let ok = RowsRequest {
+            rows: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        };
+        assert_eq!(ok.to_matrix().unwrap().shape(), (2, 2));
+        let empty = RowsRequest { rows: vec![] };
+        assert!(empty.to_matrix().is_err());
+        let ragged = RowsRequest {
+            rows: vec![vec![1.0], vec![1.0, 2.0]],
+        };
+        assert!(ragged.to_matrix().is_err());
+    }
+
+    #[test]
+    fn rows_request_json_round_trip() {
+        let req = RowsRequest {
+            rows: vec![vec![0.5, -1.25]],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: RowsRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn model_info_describes_artifact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let artifact =
+            PipelineArtifact::from_params(RbmParams::init(6, 3, &mut rng), ModelKind::SlsGrbm);
+        let info = ModelInfo::describe("demo", &artifact);
+        assert_eq!(info.name, "demo");
+        assert_eq!(info.kind, "sls-grbm");
+        assert_eq!(info.n_visible, 6);
+        assert_eq!(info.n_hidden, 3);
+        assert_eq!(info.n_clusters, None);
+    }
+
+    #[test]
+    fn matrix_round_trips_through_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let rows = matrix_to_rows(&m);
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(Matrix::from_rows(&rows).unwrap(), m);
+    }
+}

@@ -1,0 +1,123 @@
+//! A small blocking HTTP client for the serving API — used by the
+//! integration tests and the `loadgen` benchmark binary, and handy for
+//! scripting against a running server.
+
+use crate::api::{AssignResponse, FeaturesResponse, HealthResponse, ModelsResponse, RowsRequest};
+use crate::http::{read_response, write_request, Response};
+use crate::{Result, ServeError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client bound to one server address. Cheap to clone; every request opens
+/// a fresh connection (the server speaks one request per connection).
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` with a 30-second I/O timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request and reads the response, without interpreting the
+    /// status code.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection and framing errors.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = stream.try_clone()?;
+        write_request(&mut writer, method, path, body)?;
+        read_response(&mut BufReader::new(stream))
+    }
+
+    /// Like [`Self::request`], but treats non-2xx statuses as
+    /// [`ServeError::Status`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::request`] returns, plus the status error.
+    pub fn request_ok(&self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let response = self.request(method, path, body)?;
+        if response.is_success() {
+            Ok(response)
+        } else {
+            Err(ServeError::Status {
+                status: response.status,
+                body: response.body,
+            })
+        }
+    }
+
+    fn post_rows(&self, path: &str, rows: &[Vec<f64>]) -> Result<String> {
+        let body = serde_json::to_string(&RowsRequest {
+            rows: rows.to_vec(),
+        })?;
+        Ok(self.request_ok("POST", path, &body)?.body)
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn health(&self) -> Result<HealthResponse> {
+        Ok(serde_json::from_str(
+            &self.request_ok("GET", "/healthz", "")?.body,
+        )?)
+    }
+
+    /// `GET /models`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn models(&self) -> Result<ModelsResponse> {
+        Ok(serde_json::from_str(
+            &self.request_ok("GET", "/models", "")?.body,
+        )?)
+    }
+
+    /// `POST /models/{model}/features` for a batch of raw rows.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn features(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let body = self.post_rows(&format!("/models/{model}/features"), rows)?;
+        let response: FeaturesResponse = serde_json::from_str(&body)?;
+        Ok(response.features)
+    }
+
+    /// `POST /models/{model}/assign` for a batch of raw rows.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn assign(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let body = self.post_rows(&format!("/models/{model}/assign"), rows)?;
+        let response: AssignResponse = serde_json::from_str(&body)?;
+        Ok(response.assignments)
+    }
+}

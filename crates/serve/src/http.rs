@@ -1,0 +1,305 @@
+//! Minimal HTTP/1.1 framing over `std` I/O.
+//!
+//! The server and client speak a deliberate subset of HTTP/1.1 — enough for
+//! JSON request/response bodies without pulling in any dependency:
+//!
+//! * one request per connection (`Connection: close` on every response);
+//! * bodies are framed by `Content-Length` (no chunked encoding);
+//! * header names are matched case-insensitively, values are trimmed.
+
+use crate::{Result, ServeError};
+use std::io::{BufRead, Read, Write};
+
+/// Upper bound on accepted body sizes (16 MiB) — a guard against malformed
+/// or hostile `Content-Length` values, far above any legitimate request.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Upper bound on a single request/status/header line (8 KiB, the common
+/// server default) — without it a client that never sends a newline could
+/// grow a line buffer without limit.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Upper bound on the number of header lines in one message.
+pub const MAX_HEADER_LINES: usize = 100;
+
+/// A parsed HTTP request: method, path and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET` or `POST`.
+    pub method: String,
+    /// Request path, e.g. `/models/quick_demo/features`.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// A parsed HTTP response: status code and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code, e.g. `200`.
+    pub status: u16,
+    /// Raw response body.
+    pub body: String,
+}
+
+impl Response {
+    /// `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+fn protocol_error(message: impl Into<String>) -> ServeError {
+    ServeError::Protocol {
+        message: message.into(),
+    }
+}
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`]. Returns
+/// `Ok(None)` on a cleanly closed stream.
+fn read_limited_line(reader: &mut impl BufRead) -> Result<Option<String>> {
+    let mut line = String::new();
+    // UFCS so `take` borrows the reader (`Self = &mut R`) instead of
+    // resolving through auto-deref and moving the reader itself.
+    let read = Read::take(&mut *reader, MAX_LINE_BYTES as u64).read_line(&mut line)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if read == MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(protocol_error(format!(
+            "line exceeds the {MAX_LINE_BYTES}-byte limit"
+        )));
+    }
+    Ok(Some(line))
+}
+
+/// Reads headers until the blank line, returning the `Content-Length` value
+/// (0 when absent).
+fn read_content_length(reader: &mut impl BufRead) -> Result<usize> {
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADER_LINES {
+        let Some(line) = read_limited_line(reader)? else {
+            return Err(protocol_error("connection closed inside headers"));
+        };
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(content_length);
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(protocol_error(format!(
+                        "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    )));
+                }
+            }
+        }
+    }
+    Err(protocol_error(format!(
+        "more than {MAX_HEADER_LINES} header lines"
+    )))
+}
+
+/// Reads exactly `len` bytes of UTF-8 body.
+fn read_body(reader: &mut impl BufRead, len: usize) -> Result<String> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| protocol_error("body is not valid UTF-8"))
+}
+
+/// Parses one request (request line, headers, `Content-Length` body) from
+/// `reader`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on malformed framing and I/O errors on
+/// truncated streams.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request> {
+    let Some(request_line) = read_limited_line(reader)? else {
+        return Err(protocol_error("connection closed before request line"));
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(protocol_error(format!(
+            "malformed request line `{}`",
+            request_line.trim_end()
+        )));
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+    let content_length = read_content_length(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Request { method, path, body })
+}
+
+/// Parses one response (status line, headers, `Content-Length` body) from
+/// `reader`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on malformed framing and I/O errors on
+/// truncated streams.
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response> {
+    let Some(status_line) = read_limited_line(reader)? else {
+        return Err(protocol_error("connection closed before status line"));
+    };
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| {
+            protocol_error(format!(
+                "malformed status line `{}`",
+                status_line.trim_end()
+            ))
+        })?;
+    let content_length = read_content_length(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Response { status, body })
+}
+
+/// Standard reason phrase for the status codes this crate emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `application/json` response with `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason_phrase(status),
+        body.len(),
+    )?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a complete request with an optional JSON body and
+/// `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_request(writer: &mut impl Write, method: &str, path: &str, body: &str) -> Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: sls-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/models/m/assign", "{\"rows\":[[1.0]]}").unwrap();
+        let req = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/models/m/assign");
+        assert_eq!(req.body, "{\"rows\":[[1.0]]}");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"status\":\"ok\"}").unwrap();
+        let resp = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.is_success());
+        assert_eq!(resp.body, "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let wire = b"POST /x HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nhi";
+        let req = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(req.body, "hi");
+    }
+
+    #[test]
+    fn malformed_framing_errors() {
+        assert!(read_request(&mut b"".as_slice()).is_err());
+        assert!(read_request(&mut b"GARBAGE\r\n\r\n".as_slice()).is_err());
+        assert!(
+            read_request(&mut b"POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n".as_slice())
+                .is_err()
+        );
+        // Declared body longer than the stream.
+        assert!(
+            read_request(&mut b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi".as_slice())
+                .is_err()
+        );
+        assert!(read_response(&mut b"HTTP/1.1 huh\r\n\r\n".as_slice()).is_err());
+    }
+
+    #[test]
+    fn unterminated_giant_line_is_rejected() {
+        // A "request" that never sends a newline must fail at the line
+        // limit instead of buffering without bound.
+        let wire = vec![b'A'; MAX_LINE_BYTES + 1];
+        assert!(read_request(&mut wire.as_slice()).is_err());
+        let huge_header = [
+            b"POST /x HTTP/1.1\r\nX-Junk: ".to_vec(),
+            vec![b'j'; MAX_LINE_BYTES],
+        ]
+        .concat();
+        assert!(read_request(&mut huge_header.as_slice()).is_err());
+    }
+
+    #[test]
+    fn too_many_header_lines_are_rejected() {
+        let mut wire = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADER_LINES {
+            wire.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert!(read_request(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let wire = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(read_request(&mut wire.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for (code, phrase) in [(200, "OK"), (400, "Bad Request"), (404, "Not Found")] {
+            assert_eq!(reason_phrase(code), phrase);
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+}

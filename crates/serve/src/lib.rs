@@ -1,0 +1,87 @@
+//! # sls-serve
+//!
+//! The workspace's model-serving subsystem: load trained
+//! [`PipelineArtifact`](sls_rbm_core::PipelineArtifact)s into a
+//! [`ModelRegistry`] and answer hidden-feature and cluster-assignment
+//! requests over a dependency-free HTTP/1.1 JSON API.
+//!
+//! ## Layers
+//!
+//! * [`registry`] — named artifacts shared immutably across workers.
+//! * [`server`] — `std::net::TcpListener` + a fixed worker-thread pool; one
+//!   request per connection, bodies framed by `Content-Length`. Rows within
+//!   a request are micro-batched through one matrix multiply.
+//! * [`client`] — a blocking client for the same API, used by the
+//!   integration tests and the `loadgen` benchmark binary in `sls-bench`.
+//! * [`http`] — the shared minimal HTTP/1.1 framing.
+//! * [`api`] — the JSON request/response body types.
+//! * [`stats`] — latency percentile summaries for load tooling.
+//!
+//! ## Quickstart
+//!
+//! Train-and-export an artifact, then serve a directory of them:
+//!
+//! ```sh
+//! sls-serve export --out artifacts
+//! sls-serve serve --dir artifacts --addr 127.0.0.1:7878
+//! curl -s -X POST 127.0.0.1:7878/models/quick_demo/assign \
+//!      -d '{"rows": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]]}'
+//! ```
+//!
+//! In-process:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use sls_datasets::SyntheticBlobs;
+//! use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
+//! use sls_serve::{Client, ModelRegistry, Server};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let ds = SyntheticBlobs::new(30, 4, 2).separation(6.0).generate(&mut rng);
+//! let fitted = PipelineArtifact::fit(
+//!     ModelKind::Grbm,
+//!     SlsPipelineConfig::quick_demo().with_clusters(2).with_hidden(4),
+//!     ds.features(),
+//!     &mut rng,
+//! )
+//! .expect("training succeeds");
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.insert("demo", fitted.artifact);
+//! let handle = Server::bind("127.0.0.1:0", registry, 2)
+//!     .expect("bind")
+//!     .start()
+//!     .expect("start");
+//!
+//! let client = Client::new(handle.addr());
+//! let assignments = client
+//!     .assign("demo", &[vec![0.1, 0.2, 0.3, 0.4]])
+//!     .expect("request succeeds");
+//! assert_eq!(assignments.len(), 1);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod client;
+mod error;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use api::{
+    AssignResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo, ModelsResponse,
+    RowsRequest,
+};
+pub use client::Client;
+pub use error::ServeError;
+pub use registry::ModelRegistry;
+pub use server::{Server, ServerHandle};
+pub use stats::LatencySummary;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,170 @@
+//! `sls-serve`: train-and-export pipeline artifacts, or serve a directory of
+//! them over HTTP.
+//!
+//! ```sh
+//! sls-serve export --out artifacts [--name quick_demo] [--model sls-grbm]
+//!                  [--instances 90] [--dims 8] [--clusters 3] [--seed 2023]
+//! sls-serve serve  --dir artifacts [--addr 127.0.0.1:7878] [--workers 8]
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_datasets::SyntheticBlobs;
+use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
+use sls_serve::{ModelRegistry, Server};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
+                   [--instances N] [--dims N] [--clusters N] [--seed N]
+  sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("export") => run_export(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs into a map, rejecting unknown flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if !allowed.contains(&flag.as_str()) {
+            return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value\n{USAGE}"))?;
+        flags.insert(flag.trim_start_matches('-').to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parsed<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --{name}")),
+    }
+}
+
+fn run_export(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--out",
+            "--name",
+            "--model",
+            "--instances",
+            "--dims",
+            "--clusters",
+            "--seed",
+        ],
+    )?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "artifacts".to_string());
+    let name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| "quick_demo".to_string());
+    let kind_name = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "sls-grbm".to_string());
+    let kind = ModelKind::parse(&kind_name)
+        .ok_or_else(|| format!("unknown model kind `{kind_name}` (rbm|grbm|sls-rbm|sls-grbm)"))?;
+    let instances = parsed(&flags, "instances", 90usize)?;
+    let dims = parsed(&flags, "dims", 8usize)?;
+    let clusters = parsed(&flags, "clusters", 3usize)?;
+    let seed = parsed(&flags, "seed", 2023u64)?;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dataset = SyntheticBlobs::new(instances, dims, clusters)
+        .separation(5.0)
+        .generate(&mut rng);
+    let config = SlsPipelineConfig::quick_demo().with_clusters(clusters);
+    eprintln!(
+        "training {} on {instances}x{dims} synthetic blobs ({clusters} clusters, seed {seed})...",
+        kind.as_str()
+    );
+    let fitted = PipelineArtifact::fit(kind, config, dataset.features(), &mut rng)
+        .map_err(|e| format!("training failed: {e}"))?;
+
+    let path = std::path::Path::new(&out).join(format!("{name}.json"));
+    fitted
+        .artifact
+        .save(&path)
+        .map_err(|e| format!("saving artifact failed: {e}"))?;
+    let mut sizes = BTreeMap::new();
+    for &label in &fitted.assignments {
+        *sizes.entry(label).or_insert(0usize) += 1;
+    }
+    eprintln!(
+        "exported {} (schema v{}, {} visible -> {} hidden, cluster sizes {:?}) to {}",
+        name,
+        fitted.artifact.schema_version,
+        fitted.artifact.n_visible(),
+        fitted.artifact.n_hidden(),
+        sizes,
+        path.display()
+    );
+    Ok(())
+}
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--dir", "--addr", "--workers"])?;
+    let dir = flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "artifacts".to_string());
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let workers = parsed(&flags, "workers", default_workers)?;
+
+    let registry =
+        ModelRegistry::load_dir(&dir).map_err(|e| format!("loading artifacts failed: {e}"))?;
+    for (name, artifact) in registry.iter() {
+        eprintln!(
+            "loaded {} ({}, schema v{}, {} visible -> {} hidden)",
+            name,
+            artifact.model_kind.as_str(),
+            artifact.schema_version,
+            artifact.n_visible(),
+            artifact.n_hidden()
+        );
+    }
+    let server =
+        Server::bind(addr.as_str(), registry, workers).map_err(|e| format!("bind failed: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("local address unavailable: {e}"))?;
+    eprintln!("serving on http://{local} with {workers} workers (Ctrl-C to stop)");
+    let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
+    handle.join();
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! The model registry: named, loaded [`PipelineArtifact`]s shared across
+//! server worker threads.
+
+use crate::{Result, ServeError};
+use sls_rbm_core::PipelineArtifact;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Maps model names to loaded artifacts.
+///
+/// The registry is immutable once built, so worker threads share it behind a
+/// plain `Arc` — no locking on the request hot path.
+#[derive(Debug, Default, Clone)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<PipelineArtifact>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `artifact` under `name`, replacing any previous entry.
+    pub fn insert(&mut self, name: impl Into<String>, artifact: PipelineArtifact) {
+        self.models.insert(name.into(), Arc::new(artifact));
+    }
+
+    /// Loads every `*.json` artifact in `dir`; each model is named after its
+    /// file stem (`quick_demo.json` serves as `quick_demo`).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, artifact parse errors (a corrupt file fails the
+    /// whole load rather than being skipped silently) and
+    /// [`ServeError::EmptyRegistry`] if no artifact was found.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        let mut registry = Self::new();
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<std::result::Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            registry.insert(name.to_string(), PipelineArtifact::load(&path)?);
+        }
+        if registry.is_empty() {
+            return Err(ServeError::EmptyRegistry {
+                dir: dir.display().to_string(),
+            });
+        }
+        Ok(registry)
+    }
+
+    /// Looks up a model by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if the name is not registered.
+    pub fn get(&self, name: &str) -> Result<Arc<PipelineArtifact>> {
+        self.models
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_string(),
+            })
+    }
+
+    /// Iterates over `(name, artifact)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<PipelineArtifact>)> {
+        self.models.iter().map(|(n, a)| (n.as_str(), a))
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_rbm_core::{ModelKind, RbmParams};
+
+    fn artifact() -> PipelineArtifact {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng), ModelKind::Rbm)
+    }
+
+    #[test]
+    fn insert_get_and_iterate() {
+        let mut r = ModelRegistry::new();
+        assert!(r.is_empty());
+        r.insert("b", artifact());
+        r.insert("a", artifact());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("a").unwrap().n_visible(), 4);
+        assert!(matches!(
+            r.get("missing"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn load_dir_reads_json_files_and_names_by_stem() {
+        let dir = std::env::temp_dir().join("sls_serve_registry_load");
+        std::fs::create_dir_all(&dir).unwrap();
+        artifact().save(dir.join("first.json")).unwrap();
+        artifact().save(dir.join("second.json")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let r = ModelRegistry::load_dir(&dir).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.get("first").is_ok());
+        assert!(r.get("second").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_without_artifacts_errors() {
+        let dir = std::env::temp_dir().join("sls_serve_registry_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            ModelRegistry::load_dir(&dir),
+            Err(ServeError::EmptyRegistry { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(ModelRegistry::load_dir("/nonexistent/artifacts").is_err());
+    }
+
+    #[test]
+    fn load_dir_fails_on_corrupt_artifact() {
+        let dir = std::env::temp_dir().join("sls_serve_registry_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{ not json }").unwrap();
+        assert!(ModelRegistry::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

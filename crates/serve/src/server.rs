@@ -1,0 +1,402 @@
+//! The HTTP JSON inference server: a `TcpListener` drained by a fixed pool
+//! of worker threads sharing an immutable [`ModelRegistry`].
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Body | Success response |
+//! |--------|------|------|------------------|
+//! | `GET` | `/healthz` | — | `{"status":"ok","models":N}` |
+//! | `GET` | `/models` | — | `{"models":[{name, kind, ...}]}` |
+//! | `POST` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"features":[[f64,...],...]}` |
+//! | `POST` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"assignments":[usize,...]}` |
+//!
+//! Unknown paths and model names answer `404`, malformed bodies and shape
+//! mismatches `400`, wrong methods on known paths `405`; every error body is
+//! `{"error": "..."}`. Rows within one request are micro-batched: the whole
+//! batch runs through a single matrix multiply.
+
+use crate::api::{
+    AssignResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo, ModelsResponse,
+    RowsRequest,
+};
+use crate::http::{read_request, write_response, Request};
+use crate::registry::ModelRegistry;
+use crate::Result;
+use serde::Serialize;
+use sls_rbm_core::PipelineArtifact;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection read/write timeout — a stalled client must not pin a
+/// worker forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A bound (but not yet serving) inference server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) with a pool of
+    /// `workers` threads (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, registry: ModelRegistry, workers: usize) -> Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            registry: Arc::new(registry),
+            workers: workers.max(1),
+        })
+    }
+
+    /// The address the listener is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the local address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Spawns the worker pool and returns a handle for address lookup and
+    /// shutdown. Each worker accepts connections in a loop and serves one
+    /// request per connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from thread spawning.
+    pub fn start(self) -> Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let listener = Arc::new(self.listener);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::with_capacity(self.workers);
+        for worker_id in 0..self.workers {
+            let listener = Arc::clone(&listener);
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("sls-serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&listener, &registry, &shutdown))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            workers,
+        })
+    }
+}
+
+/// A running server: the worker pool plus the shared shutdown flag.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts connections on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks the calling thread until every worker exits (effectively
+    /// forever unless another thread triggers shutdown) — what the
+    /// `sls-serve serve` binary wants.
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops the pool: sets the shutdown flag and nudges each still-blocked
+    /// worker with a wake-up connection until it exits.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for worker in self.workers {
+            // A worker can be blocked in `accept` (the wake-up connection
+            // unblocks it) or mid-request (it re-checks the flag right after
+            // finishing); keep nudging until this worker is done, since
+            // another worker may have consumed an earlier wake-up.
+            while !worker.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(listener: &TcpListener, registry: &ModelRegistry, shutdown: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Accept failure: aborted handshakes are transient, but
+                // resource exhaustion (e.g. EMFILE under fd pressure) makes
+                // accept fail immediately in a loop — back off briefly so
+                // the workers draining existing connections can free
+                // descriptors instead of being starved by the spin.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // A broken client connection must not take the worker down; the
+        // error is simply dropped with the connection.
+        let _ = handle_connection(stream, registry);
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &ModelRegistry) -> Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (status, body) = match read_request(&mut reader) {
+        Ok(request) => route(registry, &request),
+        Err(e) => error_body(400, format!("malformed request: {e}")),
+    };
+    let mut stream = stream;
+    write_response(&mut stream, status, &body)
+}
+
+/// Routes one parsed request to its handler, returning `(status, body)`.
+///
+/// Exposed for direct unit testing without sockets.
+pub fn route(registry: &ModelRegistry, request: &Request) -> (u16, String) {
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => json_body(
+            200,
+            &HealthResponse {
+                status: "ok".to_string(),
+                models: registry.len(),
+            },
+        ),
+        ("GET", ["models"]) => json_body(
+            200,
+            &ModelsResponse {
+                models: registry
+                    .iter()
+                    .map(|(name, artifact)| ModelInfo::describe(name, artifact))
+                    .collect(),
+            },
+        ),
+        ("POST", ["models", name, "features"]) => {
+            with_model_rows(registry, name, &request.body, |artifact, matrix| {
+                let features = artifact.features(matrix)?;
+                Ok(json_body(
+                    200,
+                    &FeaturesResponse {
+                        model: name.to_string(),
+                        features: crate::api::matrix_to_rows(&features),
+                    },
+                ))
+            })
+        }
+        ("POST", ["models", name, "assign"]) => {
+            with_model_rows(registry, name, &request.body, |artifact, matrix| {
+                let assignments = artifact.assign(matrix)?;
+                Ok(json_body(
+                    200,
+                    &AssignResponse {
+                        model: name.to_string(),
+                        assignments,
+                    },
+                ))
+            })
+        }
+        (_, ["healthz" | "models"]) | (_, ["models", _, "features" | "assign"]) => {
+            error_body(405, format!("method {} not allowed here", request.method))
+        }
+        _ => error_body(404, format!("no route for `{path}`")),
+    }
+}
+
+/// Shared scaffolding of the two inference endpoints: model lookup (404),
+/// body parsing and batch-matrix validation (400), then the handler; any
+/// model error also maps to 400 since inference on an immutable artifact
+/// only fails on request-induced shape/capability mismatches.
+fn with_model_rows(
+    registry: &ModelRegistry,
+    name: &str,
+    body: &str,
+    handle: impl FnOnce(&PipelineArtifact, &sls_linalg::Matrix) -> sls_rbm_core::Result<(u16, String)>,
+) -> (u16, String) {
+    let artifact = match registry.get(name) {
+        Ok(artifact) => artifact,
+        Err(e) => return error_body(404, e.to_string()),
+    };
+    let rows: RowsRequest = match serde_json::from_str(body) {
+        Ok(rows) => rows,
+        Err(e) => return error_body(400, format!("invalid JSON body: {e}")),
+    };
+    let matrix = match rows.to_matrix() {
+        Ok(matrix) => matrix,
+        Err(message) => return error_body(400, message),
+    };
+    match handle(&artifact, &matrix) {
+        Ok(response) => response,
+        Err(e) => error_body(400, e.to_string()),
+    }
+}
+
+fn json_body<T: Serialize>(status: u16, value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(body) => (status, body),
+        Err(e) => (500, format!("{{\"error\":\"serialisation failed: {e}\"}}")),
+    }
+}
+
+fn error_body(status: u16, message: impl Into<String>) -> (u16, String) {
+    json_body(
+        status,
+        &ErrorResponse {
+            error: message.into(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_datasets::SyntheticBlobs;
+    use sls_rbm_core::{ModelKind, SlsPipelineConfig};
+
+    fn registry() -> ModelRegistry {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let ds = SyntheticBlobs::new(30, 4, 2)
+            .separation(6.0)
+            .generate(&mut rng);
+        let fitted = sls_rbm_core::PipelineArtifact::fit(
+            ModelKind::Grbm,
+            SlsPipelineConfig::quick_demo()
+                .with_clusters(2)
+                .with_hidden(4),
+            ds.features(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut registry = ModelRegistry::new();
+        registry.insert("demo", fitted.artifact);
+        registry
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_model_count() {
+        let (status, body) = route(&registry(), &request("GET", "/healthz", ""));
+        assert_eq!(status, 200);
+        let health: HealthResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.models, 1);
+    }
+
+    #[test]
+    fn models_lists_loaded_artifacts() {
+        let (status, body) = route(&registry(), &request("GET", "/models", ""));
+        assert_eq!(status, 200);
+        let models: ModelsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(models.models.len(), 1);
+        assert_eq!(models.models[0].name, "demo");
+        assert_eq!(models.models[0].kind, "grbm");
+        assert_eq!(models.models[0].n_visible, 4);
+        assert_eq!(models.models[0].n_clusters, Some(2));
+    }
+
+    #[test]
+    fn features_and_assign_answer_batches() {
+        let registry = registry();
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4],[1.0,1.1,1.2,1.3],[2.0,2.1,2.2,2.3]]}";
+        let (status, response) = route(&registry, &request("POST", "/models/demo/features", body));
+        assert_eq!(status, 200, "{response}");
+        let features: FeaturesResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(features.features.len(), 3);
+        assert_eq!(features.features[0].len(), 4);
+
+        let (status, response) = route(&registry, &request("POST", "/models/demo/assign", body));
+        assert_eq!(status, 200, "{response}");
+        let assign: AssignResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(assign.assignments.len(), 3);
+        assert!(assign.assignments.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn unknown_model_is_404() {
+        let (status, body) = route(
+            &registry(),
+            &request("POST", "/models/ghost/features", "{\"rows\":[[1.0]]}"),
+        );
+        assert_eq!(status, 404);
+        let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(err.error.contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        assert_eq!(route(&registry(), &request("GET", "/nope", "")).0, 404);
+        assert_eq!(route(&registry(), &request("POST", "/healthz", "")).0, 405);
+        assert_eq!(
+            route(&registry(), &request("GET", "/models/demo/features", "")).0,
+            405
+        );
+    }
+
+    #[test]
+    fn bad_bodies_are_400() {
+        let registry = registry();
+        for body in [
+            "not json",
+            "{\"rows\":[]}",
+            "{\"rows\":[[1.0],[1.0,2.0]]}",
+            // Wrong width for the 4-visible model.
+            "{\"rows\":[[1.0,2.0]]}",
+        ] {
+            let (status, response) =
+                route(&registry, &request("POST", "/models/demo/features", body));
+            assert_eq!(status, 400, "body `{body}` answered {response}");
+        }
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let (status, _) = route(&registry(), &request("GET", "/healthz?verbose=1", ""));
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn server_binds_ephemeral_port_and_shuts_down() {
+        let server = Server::bind("127.0.0.1:0", registry(), 2).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        let handle = server.start().unwrap();
+        assert_eq!(handle.addr(), addr);
+        handle.shutdown();
+    }
+}

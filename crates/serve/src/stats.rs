@@ -1,0 +1,127 @@
+//! Latency summaries for the load generator and serving benchmarks.
+
+use std::time::Duration;
+
+/// Percentile/aggregate summary of a set of request latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Computes the summary from raw samples (order irrelevant). Returns
+    /// `None` for an empty set.
+    ///
+    /// Percentiles use the nearest-rank method: the p-th percentile is the
+    /// smallest sample such that at least `p%` of samples are ≤ it, the
+    /// convention load-testing tools report.
+    pub fn from_samples(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |p: f64| -> Duration {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let total: Duration = sorted.iter().sum();
+        Some(Self {
+            count: sorted.len(),
+            p50: nearest_rank(50.0),
+            p95: nearest_rank(95.0),
+            p99: nearest_rank(99.0),
+            mean: total / sorted.len() as u32,
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Requests per second over a wall-clock window of `elapsed`.
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.count as f64 / elapsed.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.2?} p95={:.2?} p99={:.2?} mean={:.2?} max={:.2?}",
+            self.count, self.p50, self.p95, self.p99, self.mean, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_samples_have_no_summary() {
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_samples(&[ms(7)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, ms(7));
+        assert_eq!(s.p95, ms(7));
+        assert_eq!(s.p99, ms(7));
+        assert_eq!(s.mean, ms(7));
+        assert_eq!(s.max, ms(7));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_on_a_known_ladder() {
+        // 1..=100 ms: the p-th percentile is exactly p ms under nearest-rank.
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = LatencySummary::from_samples(&[ms(3), ms(1), ms(2)]).unwrap();
+        let b = LatencySummary::from_samples(&[ms(1), ms(2), ms(3)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, ms(2));
+    }
+
+    #[test]
+    fn throughput_is_count_over_elapsed() {
+        let s = LatencySummary::from_samples(&[ms(1), ms(1), ms(1), ms(1)]).unwrap();
+        assert!((s.throughput(Duration::from_secs(2)) - 2.0).abs() < 1e-12);
+        assert_eq!(s.throughput(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_percentiles() {
+        let s = LatencySummary::from_samples(&[ms(5)]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("p50"));
+        assert!(text.contains("p99"));
+    }
+}

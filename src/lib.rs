@@ -22,7 +22,8 @@
 //! | [`clustering`] | `sls-clustering` | k-means, density peaks, affinity propagation |
 //! | [`metrics`] | `sls-metrics` | accuracy, purity, Rand, FMI, NMI |
 //! | [`consensus`] | `sls-consensus` | label alignment, unanimous voting, local supervision |
-//! | [`rbm`] | `sls-rbm-core` | RBM, GRBM, slsRBM, slsGRBM, pipelines |
+//! | [`rbm`] | `sls-rbm-core` | RBM, GRBM, slsRBM, slsGRBM, pipelines, artifacts |
+//! | [`serve`] | `sls-serve` | artifact registry, HTTP JSON inference server, client |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use sls_datasets as datasets;
 pub use sls_linalg as linalg;
 pub use sls_metrics as metrics;
 pub use sls_rbm_core as rbm;
+pub use sls_serve as serve;
 
 /// Workspace version string, taken from the umbrella crate.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -89,5 +91,13 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let model = rbm::Rbm::new(3, 2, &mut rng);
         assert_eq!(rbm::BoltzmannMachine::params(&model).n_visible(), 3);
+
+        let artifact = rbm::PipelineArtifact::from_params(
+            rbm::BoltzmannMachine::params(&model).clone(),
+            rbm::ModelKind::Rbm,
+        );
+        let mut registry = serve::ModelRegistry::new();
+        registry.insert("smoke", artifact);
+        assert_eq!(registry.len(), 1);
     }
 }
