@@ -1,0 +1,275 @@
+//! `parallel_bench`: measures the parallel linalg layer against serial
+//! execution and emits `BENCH_parallel.json` — the repo's first standing
+//! performance data point.
+//!
+//! ```sh
+//! parallel_bench [--out BENCH_parallel.json] [--quick] [--reps 3]
+//! ```
+//!
+//! Sections:
+//!
+//! * `cd_epoch` — one full contrastive-divergence training epoch on a
+//!   synthetic binary workload (default 2048x256 visible, 256 hidden,
+//!   batch 64), the end-to-end number the roadmap tracks;
+//! * `pipeline_transform` — full-dataset hidden-feature extraction, the
+//!   batch-transform / serving micro-batch shape;
+//! * `matmul`, `matmul_transpose_left`, `matmul_transpose_right` — the three
+//!   product kernels in isolation.
+//!
+//! Every section runs serially and under 2, 4, 8 threads plus the machine's
+//! core count; speedups are relative to the serial run *on this machine*.
+//! The report records `available_parallelism` — on a single-core box the
+//! honest speedup is ~1.0 and the multi-threaded numbers measure scheduling
+//! overhead, so read the speedup column together with that field. Outputs
+//! are bitwise identical across thread counts (asserted here too).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy};
+use sls_rbm_core::{BoltzmannMachine, CdTrainer, Rbm, TrainConfig};
+use std::time::Instant;
+
+/// One timed configuration of one section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Measurement {
+    /// Which workload was timed.
+    section: String,
+    /// Thread budget of the policy (1 = serial).
+    threads: usize,
+    /// Best-of-`reps` wall-clock time in milliseconds.
+    millis: f64,
+    /// Serial best time divided by this configuration's best time.
+    speedup_vs_serial: f64,
+}
+
+/// The emitted `BENCH_parallel.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Report {
+    /// Report format marker.
+    bench: String,
+    /// Cores visible to the process when the report was generated —
+    /// speedups are only meaningful relative to this.
+    available_parallelism: usize,
+    /// Whether the reduced CI smoke shape was used.
+    quick: bool,
+    /// Instances of the synthetic workload.
+    instances: usize,
+    /// Visible units (data columns).
+    visible: usize,
+    /// Hidden units.
+    hidden: usize,
+    /// Mini-batch size of the CD epoch.
+    batch_size: usize,
+    /// Timing repetitions per configuration (best is kept).
+    reps: usize,
+    /// `min_rows_per_thread` used by every non-serial policy.
+    min_rows_per_thread: usize,
+    /// All measurements, section by section.
+    results: Vec<Measurement>,
+}
+
+fn main() -> std::process::ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut out = "BENCH_parallel.json".to_string();
+    let mut quick = false;
+    let mut reps = 3usize;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--out" => {
+                out = iter
+                    .next()
+                    .ok_or("--out needs a value".to_string())?
+                    .clone();
+            }
+            "--quick" => quick = true,
+            "--reps" => {
+                reps = iter
+                    .next()
+                    .ok_or("--reps needs a value".to_string())?
+                    .parse()
+                    .map_err(|_| "invalid value for --reps".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: parallel_bench [--out PATH] [--quick] [--reps N]"
+                ));
+            }
+        }
+    }
+    let reps = reps.max(1);
+
+    // The acceptance workload: 2048x256 visible, 256 hidden; --quick keeps
+    // the CI smoke run under a second.
+    let (instances, visible, hidden, batch_size) = if quick {
+        (128, 32, 16, 32)
+    } else {
+        (2048, 256, 256, 64)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Fan out as soon as there is any work to split: the bench wants to
+    // exercise the parallel code path even on the quick shape.
+    let min_rows = 8;
+    let mut thread_counts = vec![1, 2, 4, 8, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    eprintln!(
+        "parallel_bench: {instances}x{visible} data, {hidden} hidden, batch {batch_size}, \
+         {reps} rep(s), {cores} core(s) available"
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let data = Matrix::random_bernoulli(instances, visible, 0.3, &mut rng);
+    let weights = Matrix::random_normal(visible, hidden, 0.0, 0.1, &mut rng);
+    let hidden_like = Matrix::random_normal(instances, hidden, 0.0, 1.0, &mut rng);
+    let train_config = TrainConfig::quick()
+        .with_epochs(1)
+        .with_batch_size(batch_size);
+
+    let mut results = Vec::new();
+    for &threads in &thread_counts {
+        let policy = if threads == 1 {
+            ParallelPolicy::serial()
+        } else {
+            ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows)
+        };
+
+        // One CD training epoch, the end-to-end number.
+        let cd_millis = best_of(reps, || {
+            let mut model = Rbm::new(visible, hidden, &mut ChaCha8Rng::seed_from_u64(7));
+            let trainer = CdTrainer::new(train_config)
+                .expect("valid config")
+                .with_parallel(policy);
+            let start = Instant::now();
+            trainer
+                .train(&mut model, &data, &mut ChaCha8Rng::seed_from_u64(9))
+                .expect("training");
+            (start.elapsed(), model)
+        });
+        push(&mut results, "cd_epoch", threads, cd_millis);
+
+        // Full-dataset feature extraction (pipeline transform / serving
+        // micro-batch shape).
+        let model = Rbm::new(visible, hidden, &mut ChaCha8Rng::seed_from_u64(7));
+        let transform_millis = best_of(reps, || {
+            let start = Instant::now();
+            let features = model
+                .hidden_probabilities_with(&data, &policy)
+                .expect("features");
+            (start.elapsed(), features)
+        });
+        push(
+            &mut results,
+            "pipeline_transform",
+            threads,
+            transform_millis,
+        );
+
+        // The three product kernels in isolation.
+        let mm = best_of(reps, || {
+            let start = Instant::now();
+            let out = data.matmul_with(&weights, &policy).expect("matmul");
+            (start.elapsed(), out)
+        });
+        push(&mut results, "matmul", threads, mm);
+        let tl = best_of(reps, || {
+            let start = Instant::now();
+            let out = data
+                .matmul_transpose_left_with(&hidden_like, &policy)
+                .expect("matmul_transpose_left");
+            (start.elapsed(), out)
+        });
+        push(&mut results, "matmul_transpose_left", threads, tl);
+        let tr = best_of(reps, || {
+            let start = Instant::now();
+            // H·Wᵀ: both operands have `hidden` columns.
+            let out = hidden_like
+                .matmul_transpose_right_with(&weights, &policy)
+                .expect("matmul_transpose_right");
+            (start.elapsed(), out)
+        });
+        push(&mut results, "matmul_transpose_right", threads, tr);
+    }
+
+    // Reproducibility spot-check before writing the report: the parallel
+    // product must equal the serial product bit for bit.
+    let serial = data
+        .matmul_with(&weights, &ParallelPolicy::serial())
+        .expect("matmul");
+    let parallel = data
+        .matmul_with(
+            &weights,
+            &ParallelPolicy::new(*thread_counts.last().unwrap()).with_min_rows_per_thread(1),
+        )
+        .expect("matmul");
+    assert_eq!(
+        serial.as_slice(),
+        parallel.as_slice(),
+        "parallel result diverged from serial"
+    );
+
+    let report = Report {
+        bench: "parallel".to_string(),
+        available_parallelism: cores,
+        quick,
+        instances,
+        visible,
+        hidden,
+        batch_size,
+        reps,
+        min_rows_per_thread: min_rows,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+
+    for m in &report.results {
+        eprintln!(
+            "  {:<24} threads={:<2} {:>9.2} ms  ({:.2}x vs serial)",
+            m.section, m.threads, m.millis, m.speedup_vs_serial
+        );
+    }
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+/// Runs `work` `reps` times and returns the best wall-clock time in
+/// milliseconds; the returned value of `work` is kept alive until after the
+/// clock stops so the timed computation cannot be optimised away.
+fn best_of<T>(reps: usize, mut work: impl FnMut() -> (std::time::Duration, T)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (elapsed, value) = work();
+        std::hint::black_box(&value);
+        best = best.min(elapsed.as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Appends a measurement, deriving the speedup from the section's serial
+/// (threads = 1) entry, which is always pushed first.
+fn push(results: &mut Vec<Measurement>, section: &str, threads: usize, millis: f64) {
+    let serial_millis = results
+        .iter()
+        .find(|m| m.section == section && m.threads == 1)
+        .map_or(millis, |m| m.millis);
+    results.push(Measurement {
+        section: section.to_string(),
+        threads,
+        millis,
+        speedup_vs_serial: serial_millis / millis,
+    });
+}

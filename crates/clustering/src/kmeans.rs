@@ -63,14 +63,17 @@ impl KMeans {
         self
     }
 
-    /// Runs k-means and returns the detailed outcome of the best restart.
+    /// Validates the `(k, data)` combination every entry point must hold
+    /// before any seeding code runs: k-means++ would panic on an empty range
+    /// (`gen_range(0..0)`) for empty data, and `k > n` would silently seed
+    /// duplicate centres.
     ///
     /// # Errors
     ///
     /// * [`ClusteringError::EmptyData`] if `data` has no rows.
     /// * [`ClusteringError::ZeroClusters`] if `k == 0`.
     /// * [`ClusteringError::TooManyClusters`] if `k > data.rows()`.
-    pub fn fit(&self, data: &Matrix, rng: &mut impl Rng) -> Result<KMeansOutcome> {
+    fn validate(&self, data: &Matrix) -> Result<()> {
         if data.rows() == 0 {
             return Err(ClusteringError::EmptyData);
         }
@@ -83,7 +86,18 @@ impl KMeans {
                 instances: data.rows(),
             });
         }
+        Ok(())
+    }
 
+    /// Runs k-means and returns the detailed outcome of the best restart.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusteringError::EmptyData`] if `data` has no rows.
+    /// * [`ClusteringError::ZeroClusters`] if `k == 0`.
+    /// * [`ClusteringError::TooManyClusters`] if `k > data.rows()`.
+    pub fn fit(&self, data: &Matrix, rng: &mut impl Rng) -> Result<KMeansOutcome> {
+        self.validate(data)?;
         let mut best: Option<KMeansOutcome> = None;
         for _ in 0..self.restarts {
             let outcome = self.fit_once(data, rng)?;
@@ -99,7 +113,11 @@ impl KMeans {
     }
 
     /// One restart: k-means++ seeding followed by Lloyd iterations.
+    ///
+    /// Re-checks [`KMeans::validate`] so a future entry point cannot reach
+    /// the seeding code with a panicking or degenerate `(k, data)` pair.
     fn fit_once(&self, data: &Matrix, rng: &mut impl Rng) -> Result<KMeansOutcome> {
+        self.validate(data)?;
         let mut centers = self.kmeans_plus_plus_init(data, rng);
         let n = data.rows();
         let mut labels = vec![0usize; n];
@@ -242,6 +260,36 @@ mod tests {
             KMeans::new(1).fit(&Matrix::zeros(0, 2), &mut rng()),
             Err(ClusteringError::EmptyData)
         ));
+    }
+
+    #[test]
+    fn trait_path_rejects_invalid_inputs_instead_of_panicking() {
+        // The supervision builder reaches k-means through `dyn Clusterer`,
+        // so degenerate inputs must surface as errors on that path too:
+        // empty data would otherwise panic inside k-means++ seeding
+        // (`gen_range(0..0)`), and `k > n` would seed duplicate centres.
+        let mut r = rng();
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let empty = Matrix::zeros(0, 2);
+        let cases: Vec<(Box<dyn Clusterer>, &Matrix, ClusteringError)> = vec![
+            (Box::new(KMeans::new(1)), &empty, ClusteringError::EmptyData),
+            (
+                Box::new(KMeans::new(0)),
+                &data,
+                ClusteringError::ZeroClusters,
+            ),
+            (
+                Box::new(KMeans::new(5)),
+                &data,
+                ClusteringError::TooManyClusters {
+                    requested: 5,
+                    instances: 2,
+                },
+            ),
+        ];
+        for (clusterer, input, expected) in cases {
+            assert_eq!(clusterer.cluster(input, &mut r).unwrap_err(), expected);
+        }
     }
 
     #[test]

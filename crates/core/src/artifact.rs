@@ -36,7 +36,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sls_clustering::KMeans;
 use sls_datasets::MedianBinarizer;
-use sls_linalg::{LinalgError, Matrix, Standardizer};
+use sls_linalg::{LinalgError, Matrix, ParallelPolicy, Standardizer};
 use std::path::Path;
 
 /// Newest artifact schema version this build reads and writes.
@@ -327,18 +327,36 @@ impl PipelineArtifact {
     ///
     /// All rows go through one matrix multiply, so serving a request with
     /// hundreds of rows costs one blocked matmul rather than N vector
-    /// products.
+    /// products. Runs under the process-wide
+    /// [`sls_linalg::ParallelPolicy::global`]; servers with a configured
+    /// policy use [`Self::features_with`].
     ///
     /// # Errors
     ///
     /// Returns shape errors if `rows` does not match the visible layer.
     pub fn features(&self, rows: &Matrix) -> Result<Matrix> {
+        self.features_with(rows, &ParallelPolicy::global())
+    }
+
+    /// [`Self::features`] under an explicit parallel execution policy — the
+    /// serving micro-batch hot path. Results are bitwise identical for
+    /// every policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `rows` does not match the visible layer.
+    pub fn features_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Matrix> {
         let pre = self.preprocessor.transform(rows)?;
         self.params.check_data(&pre)?;
-        let logits = pre
-            .matmul(&self.params.weights)?
-            .add_row_broadcast(&self.params.hidden_bias)?;
-        Ok(logits.map(sigmoid))
+        let logits = pre.matmul_with(&self.params.weights, parallel)?;
+        // Bias broadcast and sigmoid fused into one row-wise pass, matching
+        // `BoltzmannMachine::hidden_probabilities_with` bit for bit.
+        let bias = &self.params.hidden_bias;
+        Ok(logits.map_rows_with(bias.len(), parallel, |_, row, out| {
+            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
+                *o = sigmoid(x + b);
+            }
+        }))
     }
 
     /// Cluster assignment for a batch of raw rows: [`Self::features`]
@@ -350,13 +368,22 @@ impl PipelineArtifact {
     /// cluster head, and shape errors if `rows` does not match the visible
     /// layer.
     pub fn assign(&self, rows: &Matrix) -> Result<Vec<usize>> {
+        self.assign_with(rows, &ParallelPolicy::global())
+    }
+
+    /// [`Self::assign`] under an explicit parallel execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Vec<usize>> {
         let head = self
             .cluster_head
             .as_ref()
             .ok_or(RbmError::MissingArtifactPart {
                 part: "cluster head",
             })?;
-        head.assign(&self.features(rows)?)
+        head.assign(&self.features_with(rows, parallel)?)
     }
 
     /// Serialises the artifact as pretty-printed JSON.

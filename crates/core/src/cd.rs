@@ -11,7 +11,7 @@ use crate::model::BoltzmannMachine;
 use crate::{RbmError, Result, TrainConfig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::{Matrix, MatrixRandomExt};
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy};
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,29 +70,33 @@ pub(crate) struct CdBatchGradients {
 }
 
 /// Computes the CD-k gradients for one mini-batch without touching the model
-/// parameters.
+/// parameters. All matrix products (the Gibbs chain's `V·W` / `H·Wᵀ` passes
+/// and the `Vᵀ·H` statistics) run under `parallel`; the Bernoulli sampling
+/// stays strictly serial so the RNG stream — and therefore every reproduced
+/// table — is independent of the thread count.
 pub(crate) fn cd_batch_gradients<M: BoltzmannMachine>(
     model: &M,
     batch: &Matrix,
     cd_steps: usize,
+    parallel: &ParallelPolicy,
     rng: &mut impl Rng,
 ) -> Result<CdBatchGradients> {
     let n = batch.rows() as f64;
-    let hidden_data = model.hidden_probabilities(batch)?;
+    let hidden_data = model.hidden_probabilities_with(batch, parallel)?;
 
     // Gibbs chain: sample the hidden layer, reconstruct, repeat.
     let mut visible_recon = batch.clone();
     let mut hidden_probs = hidden_data.clone();
     for _ in 0..cd_steps.max(1) {
         let hidden_sample = Matrix::sample_bernoulli(&hidden_probs, rng);
-        visible_recon = model.reconstruct_visible(&hidden_sample)?;
-        hidden_probs = model.hidden_probabilities(&visible_recon)?;
+        visible_recon = model.reconstruct_visible_with(&hidden_sample, parallel)?;
+        hidden_probs = model.hidden_probabilities_with(&visible_recon, parallel)?;
     }
     let hidden_recon = hidden_probs;
 
     // <v h>_data - <v h>_recon, averaged over the batch.
-    let positive = batch.matmul_transpose_left(&hidden_data)?;
-    let negative = visible_recon.matmul_transpose_left(&hidden_recon)?;
+    let positive = batch.matmul_transpose_left_with(&hidden_data, parallel)?;
+    let negative = visible_recon.matmul_transpose_left_with(&hidden_recon, parallel)?;
     let dw = positive.sub(&negative)?.scale(1.0 / n);
 
     let da: Vec<f64> = batch
@@ -181,22 +185,40 @@ pub(crate) fn epoch_order(n: usize, shuffle: bool, rng: &mut impl Rng) -> Vec<us
 #[derive(Debug, Clone)]
 pub struct CdTrainer {
     config: TrainConfig,
+    parallel: ParallelPolicy,
 }
 
 impl CdTrainer {
-    /// Creates a trainer after validating the configuration.
+    /// Creates a trainer after validating the configuration. The trainer
+    /// starts with the process-wide [`ParallelPolicy::global`]; override it
+    /// with [`CdTrainer::with_parallel`].
     ///
     /// # Errors
     ///
     /// Returns [`RbmError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: TrainConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            parallel: ParallelPolicy::global(),
+        })
+    }
+
+    /// Sets the parallel execution policy for the training hot path. Results
+    /// are bitwise identical for every policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// The active parallel execution policy.
+    pub fn parallel(&self) -> &ParallelPolicy {
+        &self.parallel
     }
 
     /// Trains `model` on `data` and returns the per-epoch history.
@@ -222,7 +244,8 @@ impl CdTrainer {
             let order = epoch_order(data.rows(), self.config.shuffle, rng);
             for chunk in order.chunks(self.config.batch_size) {
                 let batch = data.select_rows(chunk)?;
-                let grads = cd_batch_gradients(model, &batch, self.config.cd_steps, rng)?;
+                let grads =
+                    cd_batch_gradients(model, &batch, self.config.cd_steps, &self.parallel, rng)?;
                 // ε(<vh>_data - <vh>_recon) - ε·λ·w  (weight decay)
                 let decay = model.params().weights.scale(-self.config.weight_decay);
                 let step_w = grads.dw.add(&decay)?.scale(lr);
@@ -242,7 +265,7 @@ impl CdTrainer {
             }
             history.epochs.push(EpochStats {
                 epoch,
-                reconstruction_error: model.reconstruction_error(data)?,
+                reconstruction_error: model.reconstruction_error_with(data, &self.parallel)?,
             });
         }
         Ok(history)
@@ -392,7 +415,7 @@ mod tests {
         let mut r = rng();
         let rbm = Rbm::new(6, 4, &mut r);
         let batch = Matrix::random_bernoulli(10, 6, 0.5, &mut r);
-        let grads = cd_batch_gradients(&rbm, &batch, 1, &mut r).unwrap();
+        let grads = cd_batch_gradients(&rbm, &batch, 1, &ParallelPolicy::serial(), &mut r).unwrap();
         assert_eq!(grads.dw.shape(), (6, 4));
         assert_eq!(grads.da.len(), 6);
         assert_eq!(grads.db.len(), 4);
@@ -412,7 +435,7 @@ mod tests {
         rbm.params_mut().weights = Matrix::zeros(3, 2);
         rbm.params_mut().visible_bias = vec![50.0, 50.0, 50.0];
         let data = Matrix::filled(8, 3, 1.0);
-        let grads = cd_batch_gradients(&rbm, &data, 1, &mut r).unwrap();
+        let grads = cd_batch_gradients(&rbm, &data, 1, &ParallelPolicy::serial(), &mut r).unwrap();
         assert!(grads.dw.frobenius_norm() < 1e-9);
         assert!(grads.da.iter().all(|x| x.abs() < 1e-9));
         assert!(grads.db.iter().all(|x| x.abs() < 1e-9));
@@ -427,6 +450,38 @@ mod tests {
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         let unshuffled = epoch_order(5, false, &mut r);
         assert_eq!(unshuffled, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_training_is_bitwise_identical_to_serial() {
+        // The reproducibility contract of the parallel layer: identical
+        // seeds give identical parameters for every thread count, because
+        // the kernels are bitwise deterministic and the RNG is only consumed
+        // by strictly serial sampling.
+        let data = binary_prototype_data(&mut rng());
+        let config = TrainConfig::quick().with_epochs(5);
+        let mut trained = Vec::new();
+        for parallel in [
+            ParallelPolicy::serial(),
+            ParallelPolicy::new(4).with_min_rows_per_thread(1),
+            ParallelPolicy::new(7).with_min_rows_per_thread(2),
+        ] {
+            let mut model = Rbm::new(6, 4, &mut rng());
+            CdTrainer::new(config)
+                .unwrap()
+                .with_parallel(parallel)
+                .train(&mut model, &data, &mut rng())
+                .unwrap();
+            trained.push(model);
+        }
+        let reference = trained[0].params();
+        for model in &trained[1..] {
+            assert_eq!(model.params(), reference);
+            assert_eq!(
+                model.params().weights.as_slice(),
+                reference.weights.as_slice()
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::model::{BoltzmannMachine, RbmParams, VisibleKind};
 use crate::Result;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// RBM with Gaussian linear visible units (unit variance) and binary hidden
 /// units, for real-valued data. The reconstruction of the visible layer is
@@ -49,10 +49,19 @@ impl BoltzmannMachine for Grbm {
         VisibleKind::Gaussian
     }
 
-    fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix> {
-        Ok(hidden
-            .matmul_transpose_right(&self.params.weights)?
-            .add_row_broadcast(&self.params.visible_bias)?)
+    fn reconstruct_visible_with(
+        &self,
+        hidden: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> Result<Matrix> {
+        let pre = hidden.matmul_transpose_right_with(&self.params.weights, parallel)?;
+        // Linear mean `a + h Wᵀ`: bias broadcast as one row-wise pass.
+        let bias = &self.params.visible_bias;
+        Ok(pre.map_rows_with(bias.len(), parallel, |_, row, out| {
+            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
+                *o = x + b;
+            }
+        }))
     }
 }
 

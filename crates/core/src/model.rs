@@ -3,7 +3,7 @@
 use crate::{RbmError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::{Matrix, MatrixRandomExt};
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy};
 
 /// Kind of visible layer a model exposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,18 +90,40 @@ pub trait BoltzmannMachine {
     fn visible_kind(&self) -> VisibleKind;
 
     /// Hidden unit activation probabilities `p(h_j = 1 | v)` for each row of
-    /// `visible` — the hidden features used for clustering.
+    /// `visible` — the hidden features used for clustering. Runs under the
+    /// process-wide [`ParallelPolicy::global`].
     ///
     /// # Errors
     ///
     /// Returns an error if `visible` has the wrong width or no rows.
     fn hidden_probabilities(&self, visible: &Matrix) -> Result<Matrix> {
+        self.hidden_probabilities_with(visible, &ParallelPolicy::global())
+    }
+
+    /// [`BoltzmannMachine::hidden_probabilities`] under an explicit
+    /// [`ParallelPolicy`] — the form the trainers and pipelines use so a
+    /// configured policy reaches the `V · W` product and the sigmoid map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `visible` has the wrong width or no rows.
+    fn hidden_probabilities_with(
+        &self,
+        visible: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> Result<Matrix> {
         let params = self.params();
         params.check_data(visible)?;
-        let pre = visible
-            .matmul(&params.weights)?
-            .add_row_broadcast(&params.hidden_bias)?;
-        Ok(pre.map(sigmoid))
+        let pre = visible.matmul_with(&params.weights, parallel)?;
+        // Bias broadcast and sigmoid fused into one row-wise pass: same
+        // per-element arithmetic as broadcast-then-map, one less allocation.
+        let n_hidden = params.n_hidden();
+        let bias = &params.hidden_bias;
+        Ok(pre.map_rows_with(n_hidden, parallel, |_, row, out| {
+            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
+                *o = sigmoid(x + b);
+            }
+        }))
     }
 
     /// Samples a binary hidden state from the probabilities.
@@ -121,11 +143,27 @@ pub trait BoltzmannMachine {
     ///
     /// For binary models this is `σ(a + h Wᵀ)`; for Gaussian models it is the
     /// linear mean `a + h Wᵀ` (unit-variance, noise-free reconstruction).
+    /// Runs under the process-wide [`ParallelPolicy::global`].
     ///
     /// # Errors
     ///
     /// Returns an error if `hidden` has the wrong width.
-    fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix>;
+    fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix> {
+        self.reconstruct_visible_with(hidden, &ParallelPolicy::global())
+    }
+
+    /// [`BoltzmannMachine::reconstruct_visible`] under an explicit
+    /// [`ParallelPolicy`]. This is the one method models implement; the
+    /// policy-less form delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `hidden` has the wrong width.
+    fn reconstruct_visible_with(
+        &self,
+        hidden: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> Result<Matrix>;
 
     /// One full Gibbs round trip `v -> h -> v̂` returning the reconstruction,
     /// using hidden *samples* for the downward pass (CD-1 convention).
@@ -149,10 +187,41 @@ pub trait BoltzmannMachine {
     ///
     /// Propagates shape errors.
     fn reconstruction_error(&self, visible: &Matrix) -> Result<f64> {
-        let hidden = self.hidden_probabilities(visible)?;
-        let recon = self.reconstruct_visible(&hidden)?;
-        let diff = visible.sub(&recon)?;
-        Ok(diff.as_slice().iter().map(|x| x * x).sum::<f64>() / diff.len() as f64)
+        self.reconstruction_error_with(visible, &ParallelPolicy::global())
+    }
+
+    /// [`BoltzmannMachine::reconstruction_error`] under an explicit
+    /// [`ParallelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    fn reconstruction_error_with(
+        &self,
+        visible: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> Result<f64> {
+        let hidden = self.hidden_probabilities_with(visible, parallel)?;
+        let recon = self.reconstruct_visible_with(&hidden, parallel)?;
+        if visible.shape() != recon.shape() {
+            return Err(RbmError::VisibleSizeMismatch {
+                data: visible.cols(),
+                model: recon.cols(),
+            });
+        }
+        // Row-wise squared-error reduction: per-row sums run in parallel
+        // (each row is one unit, so the result is identical for every
+        // thread count), then combine serially in row order.
+        let per_row = visible.reduce_rows_with(parallel, |i, row| {
+            row.iter()
+                .zip(recon.row(i))
+                .map(|(&v, &r)| {
+                    let d = v - r;
+                    d * d
+                })
+                .sum()
+        });
+        Ok(per_row.iter().sum::<f64>() / visible.len() as f64)
     }
 }
 

@@ -21,7 +21,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sls_clustering::{AffinityPropagation, Clusterer, DensityPeaks, KMeans};
 use sls_consensus::{LocalSupervisionBuilder, SupervisionSummary, VotingPolicy};
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// How the input data is prepared before it reaches the energy model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,7 +37,7 @@ pub enum Preprocessing {
 }
 
 /// Configuration shared by all four pipelines.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlsPipelineConfig {
     /// Number of hidden units of the energy model.
     pub n_hidden: usize,
@@ -52,6 +52,49 @@ pub struct SlsPipelineConfig {
     pub voting: VotingPolicy,
     /// Preprocessing applied before training.
     pub preprocessing: Preprocessing,
+    /// Parallel execution policy for the training and feature-extraction
+    /// hot paths. Results are bitwise identical for every policy, so this
+    /// only affects speed. **Process-local**: the field is skipped during
+    /// serialisation (an artifact must not bake in the exporting machine's
+    /// core count) and deserialises to the process-wide policy.
+    pub parallel: ParallelPolicy,
+}
+
+// Hand-written (de)serialisation instead of the derive: `parallel` is an
+// execution-speed knob, not model provenance — writing it would make
+// artifact bytes depend on the exporting machine (`--threads 0` resolves to
+// its core count) and carry that machine's policy into whichever process
+// later reloads the config. It is therefore omitted on output and filled
+// from the process-wide policy on input, which also keeps artifacts written
+// before the parallel layer loading unchanged.
+impl serde::Serialize for SlsPipelineConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n_hidden".to_string(), self.n_hidden.to_value()),
+            ("n_clusters".to_string(), self.n_clusters.to_value()),
+            ("train".to_string(), self.train.to_value()),
+            ("sls".to_string(), self.sls.to_value()),
+            ("voting".to_string(), self.voting.to_value()),
+            ("preprocessing".to_string(), self.preprocessing.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for SlsPipelineConfig {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::mismatch("object", value))?;
+        Ok(Self {
+            n_hidden: serde::Deserialize::from_value(serde::field(entries, "n_hidden")?)?,
+            n_clusters: serde::Deserialize::from_value(serde::field(entries, "n_clusters")?)?,
+            train: serde::Deserialize::from_value(serde::field(entries, "train")?)?,
+            sls: serde::Deserialize::from_value(serde::field(entries, "sls")?)?,
+            voting: serde::Deserialize::from_value(serde::field(entries, "voting")?)?,
+            preprocessing: serde::Deserialize::from_value(serde::field(entries, "preprocessing")?)?,
+            parallel: ParallelPolicy::global(),
+        })
+    }
 }
 
 impl SlsPipelineConfig {
@@ -65,6 +108,7 @@ impl SlsPipelineConfig {
             sls: SlsConfig::paper_grbm(),
             voting: VotingPolicy::Unanimous,
             preprocessing: Preprocessing::Standardize,
+            parallel: ParallelPolicy::global(),
         }
     }
 
@@ -78,6 +122,7 @@ impl SlsPipelineConfig {
             sls: SlsConfig::paper_rbm(),
             voting: VotingPolicy::Unanimous,
             preprocessing: Preprocessing::BinarizeMedian,
+            parallel: ParallelPolicy::global(),
         }
     }
 
@@ -97,6 +142,7 @@ impl SlsPipelineConfig {
             sls: SlsConfig::new(0.5),
             voting: VotingPolicy::Unanimous,
             preprocessing: Preprocessing::Standardize,
+            parallel: ParallelPolicy::global(),
         }
     }
 
@@ -133,6 +179,13 @@ impl SlsPipelineConfig {
     /// Overrides the preprocessing step.
     pub fn with_preprocessing(mut self, preprocessing: Preprocessing) -> Self {
         self.preprocessing = preprocessing;
+        self
+    }
+
+    /// Overrides the parallel execution policy used by training and feature
+    /// extraction. Outputs are bitwise identical for every policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -211,14 +264,16 @@ macro_rules! sls_pipeline {
                     .build_with_clusterers(&clusterers, &preprocessed, rng)?;
                 let mut model =
                     <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
-                let history = model.train(
+                let history = model.train_with(
                     &preprocessed,
                     &supervision,
                     self.config.train,
                     self.config.sls,
+                    self.config.parallel,
                     rng,
                 )?;
-                let hidden_features = model.hidden_features(&preprocessed)?;
+                let hidden_features =
+                    model.hidden_features_with(&preprocessed, &self.config.parallel)?;
                 Ok(PipelineOutcome {
                     hidden_features,
                     preprocessed,
@@ -262,9 +317,11 @@ macro_rules! baseline_pipeline {
                     preprocess(data, self.config.preprocessing)?;
                 let mut model =
                     <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
-                let history =
-                    CdTrainer::new(self.config.train)?.train(&mut model, &preprocessed, rng)?;
-                let hidden_features = model.hidden_probabilities(&preprocessed)?;
+                let history = CdTrainer::new(self.config.train)?
+                    .with_parallel(self.config.parallel)
+                    .train(&mut model, &preprocessed, rng)?;
+                let hidden_features =
+                    model.hidden_probabilities_with(&preprocessed, &self.config.parallel)?;
                 Ok(PipelineOutcome {
                     hidden_features,
                     preprocessed,
@@ -331,13 +388,67 @@ mod tests {
             .with_voting(VotingPolicy::Majority)
             .with_preprocessing(Preprocessing::None)
             .with_train(TrainConfig::quick().with_epochs(1))
-            .with_sls(SlsConfig::new(0.9));
+            .with_sls(SlsConfig::new(0.9))
+            .with_parallel(ParallelPolicy::new(2).with_min_rows_per_thread(8));
         assert_eq!(c.n_hidden, 5);
         assert_eq!(c.n_clusters, 4);
         assert_eq!(c.voting, VotingPolicy::Majority);
         assert_eq!(c.preprocessing, Preprocessing::None);
         assert_eq!(c.train.epochs, 1);
         assert_eq!(c.sls.eta, 0.9);
+        assert_eq!(c.parallel.threads, 2);
+        assert_eq!(c.parallel.min_rows_per_thread, 8);
+    }
+
+    #[test]
+    fn parallel_policy_is_process_local_not_persisted() {
+        // The policy is an execution-speed knob: serialised configs must be
+        // byte-identical across machines and thread settings, and a config
+        // (from any era, including pre-parallel-layer artifacts) must
+        // deserialise to the loading process's own policy.
+        let config = SlsPipelineConfig::quick_demo()
+            .with_parallel(ParallelPolicy::new(16).with_min_rows_per_thread(2));
+        let value = serde::Serialize::to_value(&config);
+        let serde::Value::Object(entries) = &value else {
+            panic!("config serialises to an object");
+        };
+        assert!(
+            entries.iter().all(|(key, _)| key != "parallel"),
+            "the execution policy must not be baked into artifacts"
+        );
+        assert_eq!(
+            value,
+            serde::Serialize::to_value(&config.with_parallel(ParallelPolicy::serial())),
+            "serialised bytes must not depend on the policy"
+        );
+        let back = <SlsPipelineConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(back.n_hidden, config.n_hidden);
+        assert_eq!(back.train, config.train);
+        assert_eq!(back.parallel, ParallelPolicy::global());
+    }
+
+    #[test]
+    fn parallel_pipeline_reproduces_serial_pipeline_bitwise() {
+        // End-to-end reproducibility: the full pipeline (supervision
+        // construction, sls training, feature extraction) must give the same
+        // bits regardless of the thread count.
+        let ds = dataset();
+        let serial = SlsGrbmPipeline::new(
+            SlsPipelineConfig::quick_demo().with_parallel(ParallelPolicy::serial()),
+        )
+        .run(ds.features(), &mut rng())
+        .unwrap();
+        let parallel = SlsGrbmPipeline::new(
+            SlsPipelineConfig::quick_demo()
+                .with_parallel(ParallelPolicy::new(4).with_min_rows_per_thread(1)),
+        )
+        .run(ds.features(), &mut rng())
+        .unwrap();
+        assert_eq!(
+            serial.hidden_features.as_slice(),
+            parallel.hidden_features.as_slice()
+        );
+        assert_eq!(serial.model_params, parallel.model_params);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::model::{sigmoid, BoltzmannMachine, RbmParams, VisibleKind};
 use crate::Result;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// Restricted Boltzmann machine with binary visible and hidden units
 /// (Section III-A). The visible layer is reconstructed through a sigmoid
@@ -78,11 +78,19 @@ impl BoltzmannMachine for Rbm {
         VisibleKind::Binary
     }
 
-    fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix> {
-        let pre = hidden
-            .matmul_transpose_right(&self.params.weights)?
-            .add_row_broadcast(&self.params.visible_bias)?;
-        Ok(pre.map(sigmoid))
+    fn reconstruct_visible_with(
+        &self,
+        hidden: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> Result<Matrix> {
+        let pre = hidden.matmul_transpose_right_with(&self.params.weights, parallel)?;
+        // Bias broadcast and sigmoid fused into one row-wise pass.
+        let bias = &self.params.visible_bias;
+        Ok(pre.map_rows_with(bias.len(), parallel, |_, row, out| {
+            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
+                *o = sigmoid(x + b);
+            }
+        }))
     }
 }
 

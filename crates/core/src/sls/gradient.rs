@@ -25,7 +25,7 @@
 
 use crate::model::{sigmoid, RbmParams};
 use crate::Result;
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// Gradient of the constrict/disperse loss with respect to the weights and
 /// hidden biases. The visible biases do not appear in the loss
@@ -64,11 +64,14 @@ impl SlsBatchGradients {
 /// * `hidden` — the corresponding hidden probabilities.
 /// * `clusters` — local clusters as lists of **row indices into the batch**;
 ///   clusters with fewer than two members are ignored.
+/// * `parallel` — execution policy for the `Vᵀ·E` constrict statistics (the
+///   only product here that grows with the data dimensionality).
 pub(crate) fn sls_batch_gradients(
     params: &RbmParams,
     visible: &Matrix,
     hidden: &Matrix,
     clusters: &[Vec<usize>],
+    parallel: &ParallelPolicy,
 ) -> Result<SlsBatchGradients> {
     let n_visible = params.n_visible();
     let n_hidden = params.n_hidden();
@@ -97,7 +100,9 @@ pub(crate) fn sls_batch_gradients(
             }
         }
         // ∂/∂W of Σ_{s<t} ‖h_s - h_t‖² = 2 m · VᵀE ; normalised by N_h.
-        let dw_k = v_rows.matmul_transpose_left(&e)?.scale(2.0 * m / nh);
+        let dw_k = v_rows
+            .matmul_transpose_left_with(&e, parallel)?
+            .scale(2.0 * m / nh);
         grads.dw = grads.dw.add(&dw_k)?;
         // ∂/∂b is the same expression without the v factor.
         for (j, col_sum) in e.column_sums().iter().enumerate() {
@@ -208,6 +213,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
     use sls_linalg::MatrixRandomExt;
 
+    /// Serial policy shared by the numeric tests.
+    const POL: ParallelPolicy = ParallelPolicy {
+        threads: 1,
+        min_rows_per_thread: 64,
+    };
+
     fn setup() -> (RbmParams, Matrix, Vec<Vec<usize>>) {
         let mut rng = ChaCha8Rng::seed_from_u64(55);
         let params = RbmParams {
@@ -233,7 +244,7 @@ mod tests {
     fn gradient_matches_finite_differences_for_weights() {
         let (params, visible, clusters) = setup();
         let hidden = hidden_of(&params, &visible);
-        let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+        let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
         let eps = 1e-6;
         for &(i, j) in &[(0usize, 0usize), (2, 1), (4, 3), (1, 2)] {
             let mut plus = params.clone();
@@ -255,7 +266,7 @@ mod tests {
     fn gradient_matches_finite_differences_for_hidden_bias() {
         let (params, visible, clusters) = setup();
         let hidden = hidden_of(&params, &visible);
-        let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+        let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
         let eps = 1e-6;
         for j in 0..4 {
             let mut plus = params.clone();
@@ -277,11 +288,11 @@ mod tests {
     fn no_supervision_gives_zero_gradient() {
         let (params, visible, _) = setup();
         let hidden = hidden_of(&params, &visible);
-        let grads = sls_batch_gradients(&params, &visible, &hidden, &[]).unwrap();
+        let grads = sls_batch_gradients(&params, &visible, &hidden, &[], &POL).unwrap();
         assert_eq!(grads.dw.frobenius_norm(), 0.0);
         assert!(grads.db.iter().all(|&x| x == 0.0));
         // Singleton clusters are equally ignored.
-        let grads = sls_batch_gradients(&params, &visible, &hidden, &[vec![3]]).unwrap();
+        let grads = sls_batch_gradients(&params, &visible, &hidden, &[vec![3]], &POL).unwrap();
         assert_eq!(grads.dw.frobenius_norm(), 0.0);
         assert_eq!(sls_loss(&params, &visible, &[vec![3]]).unwrap(), 0.0);
     }
@@ -296,7 +307,7 @@ mod tests {
         assert!(before >= 0.0);
         for _ in 0..50 {
             let hidden = hidden_of(&params, &visible);
-            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
             params.weights = params.weights.add(&grads.dw.scale(-0.5)).unwrap();
             for (b, g) in params.hidden_bias.iter_mut().zip(&grads.db) {
                 *b -= 0.5 * g;
@@ -312,7 +323,7 @@ mod tests {
         let before = sls_loss(&params, &visible, &clusters).unwrap();
         for _ in 0..100 {
             let hidden = hidden_of(&params, &visible);
-            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
             params.weights = params.weights.add(&grads.dw.scale(-0.2)).unwrap();
             for (b, g) in params.hidden_bias.iter_mut().zip(&grads.db) {
                 *b -= 0.2 * g;
@@ -360,7 +371,7 @@ mod tests {
         let (within_before, between_before) = spread(&params);
         for _ in 0..200 {
             let hidden = hidden_of(&params, &visible);
-            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+            let grads = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
             params.weights = params.weights.add(&grads.dw.scale(-0.3)).unwrap();
             for (b, g) in params.hidden_bias.iter_mut().zip(&grads.db) {
                 *b -= 0.3 * g;
@@ -378,11 +389,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_gradients_are_bitwise_identical_to_serial() {
+        let (params, visible, clusters) = setup();
+        let hidden = hidden_of(&params, &visible);
+        let serial = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
+        for threads in [2, 4, 8] {
+            let policy = ParallelPolicy::new(threads).with_min_rows_per_thread(1);
+            let par = sls_batch_gradients(&params, &visible, &hidden, &clusters, &policy).unwrap();
+            assert_eq!(serial.dw.as_slice(), par.dw.as_slice());
+            assert_eq!(serial.db, par.db);
+        }
+    }
+
+    #[test]
     fn accumulate_sums_gradients() {
         let (params, visible, clusters) = setup();
         let hidden = hidden_of(&params, &visible);
-        let g1 = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
-        let mut total = sls_batch_gradients(&params, &visible, &hidden, &clusters).unwrap();
+        let g1 = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
+        let mut total = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
         total.accumulate(&g1).unwrap();
         assert!(total.dw.approx_eq(&g1.dw.scale(2.0), 1e-12));
         for (t, g) in total.db.iter().zip(&g1.db) {

@@ -11,7 +11,7 @@ use crate::{Grbm, Rbm, Result, TrainConfig, TrainingHistory};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sls_consensus::LocalSupervision;
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 macro_rules! sls_model {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $default_train:expr, $default_sls:expr) => {
@@ -61,12 +61,34 @@ macro_rules! sls_model {
                 sls_config: SlsConfig,
                 rng: &mut impl Rng,
             ) -> Result<TrainingHistory> {
-                SlsTrainer::new(train_config, sls_config)?.train(
-                    &mut self.inner,
+                self.train_with(
                     data,
                     supervision,
+                    train_config,
+                    sls_config,
+                    ParallelPolicy::global(),
                     rng,
                 )
+            }
+
+            /// [`Self::train`] under an explicit parallel execution policy.
+            /// Results are bitwise identical for every policy.
+            ///
+            /// # Errors
+            ///
+            /// Same as [`Self::train`].
+            pub fn train_with(
+                &mut self,
+                data: &Matrix,
+                supervision: &LocalSupervision,
+                train_config: TrainConfig,
+                sls_config: SlsConfig,
+                parallel: ParallelPolicy,
+                rng: &mut impl Rng,
+            ) -> Result<TrainingHistory> {
+                SlsTrainer::new(train_config, sls_config)?
+                    .with_parallel(parallel)
+                    .train(&mut self.inner, data, supervision, rng)
             }
 
             /// Trains with the paper's default hyper-parameters.
@@ -94,6 +116,21 @@ macro_rules! sls_model {
             pub fn hidden_features(&self, data: &Matrix) -> Result<Matrix> {
                 self.inner.hidden_probabilities(data)
             }
+
+            /// [`Self::hidden_features`] under an explicit parallel
+            /// execution policy.
+            ///
+            /// # Errors
+            ///
+            /// Returns a shape error if `data` does not match the visible
+            /// layer.
+            pub fn hidden_features_with(
+                &self,
+                data: &Matrix,
+                parallel: &ParallelPolicy,
+            ) -> Result<Matrix> {
+                self.inner.hidden_probabilities_with(data, parallel)
+            }
         }
 
         impl BoltzmannMachine for $name {
@@ -109,8 +146,12 @@ macro_rules! sls_model {
                 self.inner.visible_kind()
             }
 
-            fn reconstruct_visible(&self, hidden: &Matrix) -> Result<Matrix> {
-                self.inner.reconstruct_visible(hidden)
+            fn reconstruct_visible_with(
+                &self,
+                hidden: &Matrix,
+                parallel: &ParallelPolicy,
+            ) -> Result<Matrix> {
+                self.inner.reconstruct_visible_with(hidden, parallel)
             }
         }
     };

@@ -7,7 +7,7 @@ use crate::sls::{sls_batch_gradients, SlsConfig};
 use crate::{EpochStats, RbmError, Result, TrainConfig, TrainingHistory};
 use rand::Rng;
 use sls_consensus::LocalSupervision;
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// Trainer implementing the paper's update rules: for each mini-batch the
 /// weight and hidden-bias updates combine the CD gradient (weight η·ε) with
@@ -19,10 +19,13 @@ use sls_linalg::Matrix;
 pub struct SlsTrainer {
     train: TrainConfig,
     sls: SlsConfig,
+    parallel: ParallelPolicy,
 }
 
 impl SlsTrainer {
-    /// Creates a trainer after validating both configurations.
+    /// Creates a trainer after validating both configurations. The trainer
+    /// starts with the process-wide [`ParallelPolicy::global`]; override it
+    /// with [`SlsTrainer::with_parallel`].
     ///
     /// # Errors
     ///
@@ -31,7 +34,18 @@ impl SlsTrainer {
     pub fn new(train: TrainConfig, sls: SlsConfig) -> Result<Self> {
         train.validate()?;
         sls.validate()?;
-        Ok(Self { train, sls })
+        Ok(Self {
+            train,
+            sls,
+            parallel: ParallelPolicy::global(),
+        })
+    }
+
+    /// Sets the parallel execution policy for the training hot path. Results
+    /// are bitwise identical for every policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The CD training configuration.
@@ -42,6 +56,11 @@ impl SlsTrainer {
     /// The sls configuration.
     pub fn sls_config(&self) -> &SlsConfig {
         &self.sls
+    }
+
+    /// The active parallel execution policy.
+    pub fn parallel(&self) -> &ParallelPolicy {
+        &self.parallel
     }
 
     /// Trains `model` on `data` guided by the local supervision.
@@ -87,18 +106,25 @@ impl SlsTrainer {
                 // row indices.
                 let batch_clusters = clusters_in_batch(chunk, &membership, n_local_clusters);
 
-                let cd = cd_batch_gradients(model, &batch, self.train.cd_steps, rng)?;
+                let cd =
+                    cd_batch_gradients(model, &batch, self.train.cd_steps, &self.parallel, rng)?;
 
                 // Supervision gradients on both phases (Eqs. 27–32): the data
                 // phase uses (V, H_data); the reconstruction phase uses
                 // (V_recon, H_recon) for the same instances.
-                let mut sls_grads =
-                    sls_batch_gradients(model.params(), &batch, &cd.hidden_data, &batch_clusters)?;
+                let mut sls_grads = sls_batch_gradients(
+                    model.params(),
+                    &batch,
+                    &cd.hidden_data,
+                    &batch_clusters,
+                    &self.parallel,
+                )?;
                 let recon_grads = sls_batch_gradients(
                     model.params(),
                     &cd.visible_recon,
                     &cd.hidden_recon,
                     &batch_clusters,
+                    &self.parallel,
                 )?;
                 sls_grads.accumulate(&recon_grads)?;
 
@@ -130,7 +156,7 @@ impl SlsTrainer {
             }
             history.epochs.push(EpochStats {
                 epoch,
-                reconstruction_error: model.reconstruction_error(data)?,
+                reconstruction_error: model.reconstruction_error_with(data, &self.parallel)?,
             });
         }
         Ok(history)
@@ -271,6 +297,33 @@ mod tests {
             .unwrap();
         assert_eq!(history.epochs.len(), 10);
         assert!(rbm.params().is_finite());
+    }
+
+    #[test]
+    fn parallel_sls_training_is_bitwise_identical_to_serial() {
+        let mut r = rng();
+        let data = Matrix::random_bernoulli(50, 10, 0.4, &mut r);
+        let labels: Vec<usize> = (0..50).map(|i| i % 3).collect();
+        let supervision = supervision_from_labels(&labels, 8);
+        let train_one = |parallel: ParallelPolicy| {
+            let mut model = Rbm::new(10, 4, &mut ChaCha8Rng::seed_from_u64(4));
+            SlsTrainer::new(TrainConfig::quick().with_epochs(4), SlsConfig::new(0.5))
+                .unwrap()
+                .with_parallel(parallel)
+                .train(
+                    &mut model,
+                    &data,
+                    &supervision,
+                    &mut ChaCha8Rng::seed_from_u64(5),
+                )
+                .unwrap();
+            model
+        };
+        let serial = train_one(ParallelPolicy::serial());
+        for threads in [2, 8] {
+            let par = train_one(ParallelPolicy::new(threads).with_min_rows_per_thread(1));
+            assert_eq!(serial.params(), par.params(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   standard library's slice behaviour.
 //! * Randomized constructors take an explicit `&mut impl Rng` so experiments
 //!   are reproducible end to end from a single seed.
+//! * The matrix products and row-wise maps/reductions have row-partitioned
+//!   parallel variants behind [`ParallelPolicy`] (see the `*_with` methods);
+//!   parallel results are **bitwise identical** to serial ones, so turning
+//!   parallelism on never changes a reproduced number.
 //!
 //! ## Quick example
 //!
@@ -39,6 +43,7 @@ mod error;
 mod matrix;
 mod norms;
 mod ops;
+mod parallel;
 mod random;
 mod stats;
 mod vector;
@@ -46,6 +51,7 @@ mod vector;
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use norms::{euclidean_distance, pairwise_distances, squared_euclidean_distance};
+pub use parallel::{ParallelPolicy, DEFAULT_MIN_ROWS_PER_THREAD, ENV_MIN_ROWS, ENV_THREADS};
 pub use random::MatrixRandomExt;
 pub use stats::{ColumnStats, Standardizer};
 pub use vector::{

@@ -8,102 +8,49 @@
 //! [`Matrix::matmul_transpose_left`] compute the latter two without
 //! materialising the transpose.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{LinalgError, Matrix, ParallelPolicy, Result};
 
 impl Matrix {
     /// Standard matrix product `self · other`.
+    ///
+    /// Runs under the process-wide [`ParallelPolicy::global`] (serial unless
+    /// configured otherwise); see [`Matrix::matmul_with`] for an explicit
+    /// policy. All products are IEEE-faithful: a NaN or infinity anywhere in
+    /// either operand propagates into the result, even when the matching
+    /// element of the other operand is zero.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols() != other.rows() {
-            return Err(LinalgError::ShapeMismatch {
-                op: "matmul",
-                left: self.shape(),
-                right: other.shape(),
-            });
-        }
-        let (n, k, m) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(n, m);
-        // i-k-j loop order keeps the inner loop contiguous over `other`'s rows
-        // and `out`'s rows, which is the cache-friendly order for row-major
-        // storage.
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for j in 0..m {
-                    out_row[j] += a_ip * b_row[j];
-                }
-            }
-        }
-        Ok(out)
+        self.matmul_with(other, &ParallelPolicy::global())
     }
 
     /// Product with the right operand transposed: `self · otherᵀ`.
     ///
-    /// Both operands must have the same number of columns.
+    /// Both operands must have the same number of columns. Runs under the
+    /// process-wide [`ParallelPolicy::global`]; see
+    /// [`Matrix::matmul_transpose_right_with`] for an explicit policy.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.cols()`.
     pub fn matmul_transpose_right(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols() != other.cols() {
-            return Err(LinalgError::ShapeMismatch {
-                op: "matmul_transpose_right",
-                left: self.shape(),
-                right: other.shape(),
-            });
-        }
-        let (n, m) = (self.rows(), other.rows());
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, out_val) in out_row.iter_mut().enumerate().take(m) {
-                *out_val = crate::vector::dot(a_row, other.row(j));
-            }
-        }
-        Ok(out)
+        self.matmul_transpose_right_with(other, &ParallelPolicy::global())
     }
 
     /// Product with the left operand transposed: `selfᵀ · other`.
     ///
     /// Both operands must have the same number of rows. This is the shape of
-    /// the CD statistics `Vᵀ H` (a `n_visible x n_hidden` matrix).
+    /// the CD statistics `Vᵀ H` (a `n_visible x n_hidden` matrix). Runs under
+    /// the process-wide [`ParallelPolicy::global`]; see
+    /// [`Matrix::matmul_transpose_left_with`] for an explicit policy.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != other.rows()`.
     pub fn matmul_transpose_left(&self, other: &Matrix) -> Result<Matrix> {
-        if self.rows() != other.rows() {
-            return Err(LinalgError::ShapeMismatch {
-                op: "matmul_transpose_left",
-                left: self.shape(),
-                right: other.shape(),
-            });
-        }
-        let (k, n, m) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(n, m);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a_pi) in a_row.iter().enumerate().take(n) {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for j in 0..m {
-                    out_row[j] += a_pi * b_row[j];
-                }
-            }
-        }
-        Ok(out)
+        self.matmul_transpose_left_with(other, &ParallelPolicy::global())
     }
 
     /// Element-wise sum `self + other`.
@@ -234,10 +181,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols()];
+        // No zero-skip on `xi`: `0.0 × NaN` must stay NaN (IEEE) so a
+        // diverged matrix is never masked by a sparse vector.
         for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
             crate::vector::axpy(xi, self.row(i), &mut out);
         }
         Ok(out)
@@ -385,13 +331,50 @@ mod tests {
     }
 
     #[test]
-    fn matmul_skips_zero_entries_correctly() {
-        // Regression guard for the `a_ip == 0.0` fast path: zeros must not
-        // change the result.
+    fn matmul_handles_sparse_left_operand() {
         let sparse = Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
         let c = sparse.matmul(&b()).unwrap();
         let dense_equiv =
             Matrix::from_rows(&[vec![20.0, 22.0, 24.0], vec![21.0, 24.0, 27.0]]).unwrap();
         assert_eq!(c, dense_equiv);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_past_zero_entries() {
+        // Regression: a `a_ip == 0.0 { continue; }` shortcut used to skip
+        // `0.0 × NaN`, so a diverged weight matrix went undetected whenever
+        // the left operand had zeros — the common case on binarized data.
+        let mostly_zero = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        let mut diverged = b();
+        diverged[(0, 1)] = f64::NAN;
+        let c = mostly_zero.matmul(&diverged).unwrap();
+        // Row 0 multiplies the NaN row of `diverged` by 0.0: still NaN.
+        assert!(c[(0, 1)].is_nan());
+        assert!(c[(1, 1)].is_nan());
+        assert!(!c.is_finite());
+
+        // Same IEEE semantics for infinities: 0.0 × inf = NaN.
+        let mut inf = b();
+        inf[(0, 0)] = f64::INFINITY;
+        let c = mostly_zero.matmul(&inf).unwrap();
+        assert!(c[(1, 0)].is_nan());
+    }
+
+    #[test]
+    fn transpose_left_and_vecmat_propagate_nan_past_zero_entries() {
+        // `matmul_transpose_left` skipped on zeros of the (transposed) left
+        // operand; `vecmat` skipped on zeros of the vector. Both must
+        // propagate NaN from the other operand.
+        let left = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0]]).unwrap();
+        let mut right = Matrix::from_rows(&[vec![1.0], vec![f64::NAN]]).unwrap();
+        let c = left.matmul_transpose_left(&right).unwrap();
+        assert!(c[(0, 0)].is_nan(), "column of zeros × NaN row must be NaN");
+        assert!(c[(1, 0)].is_nan());
+        right[(1, 0)] = 1.0;
+        assert!(left.matmul_transpose_left(&right).unwrap().is_finite());
+
+        let m = Matrix::from_rows(&[vec![f64::NAN, 1.0], vec![2.0, 3.0]]).unwrap();
+        let out = m.vecmat(&[0.0, 1.0]).unwrap();
+        assert!(out[0].is_nan(), "0.0 × NaN row must poison the output");
     }
 }

@@ -1,0 +1,556 @@
+//! Row-partitioned parallel execution for the matrix kernels.
+//!
+//! Every product in the workspace's hot paths — `V·W` (visible → hidden
+//! pre-activations), `H·Wᵀ` (reconstruction) and `Vᵀ·H` (CD statistics) —
+//! writes each output row independently, so the natural parallel
+//! decomposition is to hand contiguous blocks of *output rows* to scoped
+//! threads ([`std::thread::scope`], no extra dependency, no `'static`
+//! bounds).
+//!
+//! ## Bitwise reproducibility
+//!
+//! Row partitioning never splits the accumulation of a single output
+//! element across threads: each output row is produced by exactly one
+//! thread running the exact serial inner loop, in the exact serial
+//! accumulation order. Parallel results are therefore **bitwise identical**
+//! to serial results for every thread count — the paper's tables reproduce
+//! identically whether a run used 1 thread or 16. The property tests in
+//! `tests/properties.rs` assert this across random shapes and policies.
+//!
+//! ## Policy
+//!
+//! [`ParallelPolicy`] carries the thread budget and a `min_rows_per_thread`
+//! cutover: a kernel only fans out when every thread would receive at least
+//! that many rows, so small matrices (single serving rows, tiny batches)
+//! never pay thread-spawn latency. The process-wide default policy is
+//! serial; it can be overridden programmatically
+//! ([`ParallelPolicy::set_global`]) or through the environment
+//! (`SLS_PARALLEL_THREADS`, `SLS_PARALLEL_MIN_ROWS`), which is how CI runs
+//! the whole test suite with parallel kernels forced on.
+
+use crate::{LinalgError, Matrix, Result};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+/// Default `min_rows_per_thread`: small enough that training-scale matrices
+/// fan out, large enough that single-row serving requests stay serial.
+pub const DEFAULT_MIN_ROWS_PER_THREAD: usize = 64;
+
+/// Environment variable naming the global thread budget (`0` = one thread
+/// per available core).
+pub const ENV_THREADS: &str = "SLS_PARALLEL_THREADS";
+
+/// Environment variable overriding the global `min_rows_per_thread` cutover.
+pub const ENV_MIN_ROWS: &str = "SLS_PARALLEL_MIN_ROWS";
+
+static GLOBAL_INIT: Once = Once::new();
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);
+static GLOBAL_MIN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_MIN_ROWS_PER_THREAD);
+
+/// How (and whether) the matrix kernels fan work out across threads.
+///
+/// A policy is a plain value: cheap to copy, serialisable (it travels
+/// inside `SlsPipelineConfig`), and inert — `threads = 1` *is* the serial
+/// implementation, not a special case around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelPolicy {
+    /// Maximum number of worker threads a kernel may use (at least 1).
+    pub threads: usize,
+    /// A kernel stays serial unless every thread would receive at least
+    /// this many output rows.
+    pub min_rows_per_thread: usize,
+}
+
+impl Default for ParallelPolicy {
+    /// The default policy is serial — parallelism is always opt-in.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ParallelPolicy {
+    /// Strictly serial execution (1 thread).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
+        }
+    }
+
+    /// A policy with the given thread budget; `0` resolves to one thread
+    /// per available core.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: resolve_threads(threads),
+            min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
+        }
+    }
+
+    /// One thread per available core.
+    pub fn auto() -> Self {
+        Self::new(0)
+    }
+
+    /// Overrides the serial cutover (clamped to at least 1 row per thread).
+    pub fn with_min_rows_per_thread(mut self, min_rows_per_thread: usize) -> Self {
+        self.min_rows_per_thread = min_rows_per_thread.max(1);
+        self
+    }
+
+    /// `true` if this policy can never fan out.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Number of threads a kernel producing `rows` output rows should use
+    /// under this policy: capped by the thread budget and by the cutover
+    /// (`rows / min_rows_per_thread`), never below 1.
+    pub fn effective_threads(&self, rows: usize) -> usize {
+        let per_thread = self.min_rows_per_thread.max(1);
+        self.threads.max(1).min(rows / per_thread).max(1)
+    }
+
+    /// The process-wide default policy consulted by the plain (`_with`-less)
+    /// kernel methods.
+    ///
+    /// On first use it is initialised from the environment: `SLS_PARALLEL_THREADS`
+    /// (`0` = one thread per core) and `SLS_PARALLEL_MIN_ROWS`. Without those
+    /// variables the default is serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics on first use if either variable is set to a value that is not
+    /// a non-negative integer — a typo must not silently disable the
+    /// parallel path the variable was set to force.
+    pub fn global() -> Self {
+        init_global_from_env();
+        Self {
+            threads: GLOBAL_THREADS.load(Ordering::Relaxed),
+            min_rows_per_thread: GLOBAL_MIN_ROWS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces the process-wide default policy.
+    ///
+    /// Because parallel results are bitwise identical to serial results,
+    /// changing the global policy never changes any computed value — only
+    /// how many threads compute it.
+    pub fn set_global(policy: ParallelPolicy) {
+        // Mark env initialisation as done so a later `global()` cannot
+        // clobber an explicit override.
+        GLOBAL_INIT.call_once(|| {});
+        GLOBAL_THREADS.store(policy.threads.max(1), Ordering::Relaxed);
+        GLOBAL_MIN_ROWS.store(policy.min_rows_per_thread.max(1), Ordering::Relaxed);
+    }
+}
+
+/// Resolves a requested thread count: `0` means one thread per core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+fn init_global_from_env() {
+    GLOBAL_INIT.call_once(|| {
+        if let Some(threads) = read_env_usize(ENV_THREADS) {
+            GLOBAL_THREADS.store(resolve_threads(threads), Ordering::Relaxed);
+        }
+        if let Some(min_rows) = read_env_usize(ENV_MIN_ROWS) {
+            GLOBAL_MIN_ROWS.store(min_rows.max(1), Ordering::Relaxed);
+        }
+    });
+}
+
+/// Reads an integer environment variable. A *set but unparsable* value
+/// panics instead of being silently ignored: the variable's whole purpose
+/// is forcing the parallel path (e.g. CI's correctness gate), and a typo
+/// that quietly fell back to serial would make that gate test nothing.
+fn read_env_usize(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(value) => Some(value),
+        Err(_) => panic!("{name} must be a non-negative integer, got `{raw}`"),
+    }
+}
+
+/// Splits `out` into contiguous row blocks and runs `work` on each block,
+/// on `threads` scoped threads (or inline when `threads <= 1`).
+///
+/// `work` receives the half-open range of row indices it owns and the
+/// mutable storage of exactly those rows. Blocks differ in size by at most
+/// one row.
+fn for_each_row_block(
+    out: &mut [f64],
+    rows: usize,
+    row_width: usize,
+    threads: usize,
+    work: &(impl Fn(Range<usize>, &mut [f64]) + Sync),
+) {
+    let threads = threads.min(rows).max(1);
+    if threads == 1 {
+        work(0..rows, out);
+        return;
+    }
+    let base = rows / threads;
+    let extra = rows % threads;
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        for t in 0..threads {
+            let block_rows = base + usize::from(t < extra);
+            let (block, tail) = rest.split_at_mut(block_rows * row_width);
+            rest = tail;
+            let range = start..start + block_rows;
+            start += block_rows;
+            scope.spawn(move || work(range, block));
+        }
+    });
+}
+
+impl Matrix {
+    /// [`Matrix::matmul`] under an explicit [`ParallelPolicy`]: output rows
+    /// are partitioned across threads; each row keeps the serial
+    /// accumulation order, so the result is bitwise identical to serial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn matmul_with(&self, other: &Matrix, policy: &ParallelPolicy) -> Result<Matrix> {
+        if self.cols() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        if n == 0 || m == 0 {
+            return Ok(out);
+        }
+        let threads = policy.effective_threads(n);
+        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+            // i-p-j order keeps the inner loop contiguous over `other`'s rows
+            // and the output row. No zero-skip on `a_ip`: `0.0 × NaN` must
+            // produce NaN (IEEE), so a diverged operand is never masked.
+            for (i, out_row) in range.zip(block.chunks_mut(m)) {
+                let a_row = self.row(i);
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    let b_row = other.row(p);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * b;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_transpose_right`] under an explicit
+    /// [`ParallelPolicy`]; bitwise identical to serial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_right_with(
+        &self,
+        other: &Matrix,
+        policy: &ParallelPolicy,
+    ) -> Result<Matrix> {
+        if self.cols() != other.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_right",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (n, m) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(n, m);
+        if n == 0 || m == 0 {
+            return Ok(out);
+        }
+        let threads = policy.effective_threads(n);
+        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+            for (i, out_row) in range.zip(block.chunks_mut(m)) {
+                let a_row = self.row(i);
+                for (j, out_val) in out_row.iter_mut().enumerate() {
+                    *out_val = crate::vector::dot(a_row, other.row(j));
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_transpose_left`] under an explicit
+    /// [`ParallelPolicy`]: the `n_cols(self) x n_cols(other)` output is
+    /// partitioned by output rows; every thread scans the shared operand
+    /// rows in the serial order, so each output element accumulates in the
+    /// serial order and the result is bitwise identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != other.rows()`.
+    pub fn matmul_transpose_left_with(
+        &self,
+        other: &Matrix,
+        policy: &ParallelPolicy,
+    ) -> Result<Matrix> {
+        if self.rows() != other.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_transpose_left",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let (k, n, m) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(n, m);
+        if n == 0 || m == 0 {
+            return Ok(out);
+        }
+        let threads = policy.effective_threads(n);
+        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+            // p-outer order keeps `other`'s rows streaming through cache;
+            // each thread touches only its own band of output rows. The
+            // per-element accumulation order (ascending p) matches serial
+            // exactly. No zero-skip (IEEE NaN propagation, see `matmul_with`).
+            for p in 0..k {
+                let a_row = self.row(p);
+                let b_row = other.row(p);
+                for (local, i) in range.clone().enumerate() {
+                    let a_pi = a_row[i];
+                    let out_row = &mut block[local * m..(local + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a_pi * b;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Row-wise map: builds an `rows x out_cols` matrix where row `i` is
+    /// produced by `f(i, self.row(i), out_row)`, with rows partitioned
+    /// across threads. Rows are independent, so the result is identical for
+    /// every thread count. This is the workhorse behind the fused
+    /// bias-broadcast + activation passes in the RBM hot paths (an
+    /// element-wise map is the `out_cols == self.cols()` special case).
+    pub fn map_rows_with(
+        &self,
+        out_cols: usize,
+        policy: &ParallelPolicy,
+        f: impl Fn(usize, &[f64], &mut [f64]) + Sync,
+    ) -> Matrix {
+        let n = self.rows();
+        let mut out = Matrix::zeros(n, out_cols);
+        if n == 0 || out_cols == 0 {
+            return out;
+        }
+        let threads = policy.effective_threads(n);
+        for_each_row_block(out.as_mut_slice(), n, out_cols, threads, &|range, block| {
+            for (i, out_row) in range.zip(block.chunks_mut(out_cols)) {
+                f(i, self.row(i), out_row);
+            }
+        });
+        out
+    }
+
+    /// Row-wise reduction: one `f(i, row)` value per row, computed with rows
+    /// partitioned across threads. Identical for every thread count.
+    pub fn reduce_rows_with(
+        &self,
+        policy: &ParallelPolicy,
+        f: impl Fn(usize, &[f64]) -> f64 + Sync,
+    ) -> Vec<f64> {
+        let n = self.rows();
+        let mut out = vec![0.0; n];
+        if n == 0 {
+            return out;
+        }
+        let threads = policy.effective_threads(n);
+        for_each_row_block(&mut out, n, 1, threads, &|range, block| {
+            for (i, slot) in range.zip(block.iter_mut()) {
+                *slot = f(i, self.row(i));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixRandomExt;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(77)
+    }
+
+    fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    fn eager(threads: usize) -> ParallelPolicy {
+        ParallelPolicy::new(threads).with_min_rows_per_thread(1)
+    }
+
+    #[test]
+    fn policy_defaults_and_builders() {
+        let p = ParallelPolicy::default();
+        assert!(p.is_serial());
+        assert_eq!(p.threads, 1);
+        let q = ParallelPolicy::new(8).with_min_rows_per_thread(16);
+        assert_eq!(q.threads, 8);
+        assert_eq!(q.min_rows_per_thread, 16);
+        assert!(!q.is_serial());
+        // 0 resolves to the core count, which is at least 1.
+        assert!(ParallelPolicy::auto().threads >= 1);
+        // min_rows_per_thread never drops below 1.
+        assert_eq!(
+            ParallelPolicy::serial()
+                .with_min_rows_per_thread(0)
+                .min_rows_per_thread,
+            1
+        );
+    }
+
+    #[test]
+    fn effective_threads_respects_budget_and_cutover() {
+        let p = ParallelPolicy::new(4).with_min_rows_per_thread(64);
+        assert_eq!(p.effective_threads(0), 1);
+        assert_eq!(p.effective_threads(63), 1); // below cutover: serial
+        assert_eq!(p.effective_threads(128), 2); // 2 threads x 64 rows
+        assert_eq!(p.effective_threads(100_000), 4); // capped by budget
+        assert_eq!(ParallelPolicy::serial().effective_threads(100_000), 1);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_bitwise() {
+        let mut r = rng();
+        let a = Matrix::random_normal(37, 19, 0.0, 1.0, &mut r);
+        let b = Matrix::random_normal(19, 23, 0.0, 1.0, &mut r);
+        let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = a.matmul_with(&b, &eager(threads)).unwrap();
+            assert!(bitwise_eq(&serial, &par), "threads = {threads}");
+        }
+        assert!(bitwise_eq(&serial, &a.matmul(&b).unwrap()));
+    }
+
+    #[test]
+    fn parallel_transpose_products_match_serial_bitwise() {
+        let mut r = rng();
+        let a = Matrix::random_normal(41, 17, 0.0, 1.0, &mut r);
+        let b = Matrix::random_normal(29, 17, 0.0, 1.0, &mut r);
+        let serial_tr = a
+            .matmul_transpose_right_with(&b, &ParallelPolicy::serial())
+            .unwrap();
+        let h = Matrix::random_normal(41, 11, 0.0, 1.0, &mut r);
+        let serial_tl = a
+            .matmul_transpose_left_with(&h, &ParallelPolicy::serial())
+            .unwrap();
+        for threads in [2, 5, 8] {
+            let par_tr = a.matmul_transpose_right_with(&b, &eager(threads)).unwrap();
+            assert!(bitwise_eq(&serial_tr, &par_tr), "tr threads = {threads}");
+            let par_tl = a.matmul_transpose_left_with(&h, &eager(threads)).unwrap();
+            assert!(bitwise_eq(&serial_tl, &par_tl), "tl threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_validate_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let p = eager(4);
+        assert!(a.matmul_with(&Matrix::zeros(3, 3), &p).is_err());
+        assert!(a
+            .matmul_transpose_right_with(&Matrix::zeros(2, 3), &p)
+            .is_err());
+        assert!(a
+            .matmul_transpose_left_with(&Matrix::zeros(2, 2), &p)
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_shapes_are_handled() {
+        let p = eager(8);
+        let empty = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(empty.matmul_with(&b, &p).unwrap().shape(), (0, 3));
+        let no_cols = Matrix::zeros(4, 5)
+            .matmul_with(&Matrix::zeros(5, 0), &p)
+            .unwrap();
+        assert_eq!(no_cols.shape(), (4, 0));
+        assert_eq!(
+            empty.map_rows_with(5, &p, |_, _, _| unreachable!()).shape(),
+            (0, 5)
+        );
+        assert_eq!(empty.reduce_rows_with(&p, |_, r| r.len() as f64), vec![]);
+    }
+
+    #[test]
+    fn map_rows_with_matches_elementwise_map() {
+        let mut r = rng();
+        let m = Matrix::random_normal(33, 7, 0.0, 2.0, &mut r);
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let serial = m.map(sigmoid);
+        let par = m.map_rows_with(7, &eager(4), |_, row, out| {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o = sigmoid(x);
+            }
+        });
+        assert!(bitwise_eq(&serial, &par));
+    }
+
+    #[test]
+    fn map_rows_and_reduce_rows_partition_correctly() {
+        let mut r = rng();
+        let m = Matrix::random_normal(25, 6, 0.0, 1.0, &mut r);
+        let doubled = m.map_rows_with(6, &eager(3), |_, row, out| {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o = 2.0 * x;
+            }
+        });
+        assert!(bitwise_eq(&doubled, &m.scale(2.0)));
+        // Row index is passed through correctly.
+        let idx = m.reduce_rows_with(&eager(5), |i, _| i as f64);
+        assert_eq!(idx, (0..25).map(|i| i as f64).collect::<Vec<_>>());
+        let sums = m.reduce_rows_with(&eager(5), |_, row| row.iter().sum());
+        let serial_sums = m.reduce_rows_with(&ParallelPolicy::serial(), |_, row| row.iter().sum());
+        assert_eq!(sums, serial_sums);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let mut r = rng();
+        let a = Matrix::random_normal(3, 4, 0.0, 1.0, &mut r);
+        let b = Matrix::random_normal(4, 2, 0.0, 1.0, &mut r);
+        let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
+        let par = a.matmul_with(&b, &eager(16)).unwrap();
+        assert!(bitwise_eq(&serial, &par));
+    }
+
+    #[test]
+    fn global_policy_round_trips() {
+        // Safe to exercise concurrently with other tests: the global policy
+        // only chooses a thread count, never a numeric result.
+        let before = ParallelPolicy::global();
+        ParallelPolicy::set_global(ParallelPolicy::new(3).with_min_rows_per_thread(7));
+        let p = ParallelPolicy::global();
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.min_rows_per_thread, 7);
+        ParallelPolicy::set_global(before);
+        assert_eq!(ParallelPolicy::global(), before);
+    }
+}

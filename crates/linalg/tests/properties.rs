@@ -5,7 +5,7 @@
 //! generated matrices rather than hand-picked examples.
 
 use proptest::prelude::*;
-use sls_linalg::{euclidean_distance, pairwise_distances, Matrix, Standardizer};
+use sls_linalg::{euclidean_distance, pairwise_distances, Matrix, ParallelPolicy, Standardizer};
 
 /// Strategy producing a matrix with the given bounds on shape and values in
 /// [-10, 10].
@@ -25,6 +25,40 @@ fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
             .prop_map(move |d| Matrix::from_vec(k, m, d).unwrap());
         (a, b)
     })
+}
+
+/// Like [`matmul_pair`] but with row counts large enough to cross the
+/// serial/parallel cutover and give every thread multiple rows.
+fn large_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..40usize, 1..12usize, 1..12usize).prop_flat_map(|(n, k, m)| {
+        let a = proptest::collection::vec(-5.0..5.0f64, n * k)
+            .prop_map(move |d| Matrix::from_vec(n, k, d).unwrap());
+        let b = proptest::collection::vec(-5.0..5.0f64, k * m)
+            .prop_map(move |d| Matrix::from_vec(k, m, d).unwrap());
+        (a, b)
+    })
+}
+
+/// Policies covering thread counts 1–8 and cutovers around the partition
+/// boundaries (including `min_rows_per_thread` values that force serial
+/// execution for most shapes — the cutover itself is under test).
+fn policy_strategy() -> impl Strategy<Value = ParallelPolicy> {
+    (1..=8usize, 1..=9usize).prop_map(|(threads, min_rows)| {
+        // 9 maps to a cutover larger than any generated row count, forcing
+        // the serial path through the parallel entry points.
+        let min_rows = if min_rows == 9 { 64 } else { min_rows };
+        ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows)
+    })
+}
+
+/// Exact bitwise equality (`f64::to_bits`), stricter than `==` (which treats
+/// `0.0 == -0.0`): the reproducibility contract of the parallel layer.
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 proptest! {
@@ -55,6 +89,85 @@ proptest! {
         prop_assert!(gram.approx_eq(&via, 1e-9));
         // Keep `b` used so the pair strategy stays meaningful.
         prop_assert_eq!(b.rows(), a.cols());
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_identical_to_serial(
+        (a, b) in large_matmul_pair(),
+        policy in policy_strategy(),
+    ) {
+        let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
+        let parallel = a.matmul_with(&b, &policy).unwrap();
+        prop_assert!(bitwise_eq(&serial, &parallel), "policy {policy:?}");
+    }
+
+    #[test]
+    fn parallel_matmul_transpose_right_is_bitwise_identical_to_serial(
+        (a, b) in large_matmul_pair(),
+        policy in policy_strategy(),
+    ) {
+        // `a` (n x k) times rows of `bᵀ`-shaped operand: reuse `b` transposed
+        // so the column counts match.
+        let bt = b.transpose();
+        let serial = a.matmul_transpose_right_with(&bt, &ParallelPolicy::serial()).unwrap();
+        let parallel = a.matmul_transpose_right_with(&bt, &policy).unwrap();
+        prop_assert!(bitwise_eq(&serial, &parallel), "policy {policy:?}");
+    }
+
+    #[test]
+    fn parallel_matmul_transpose_left_is_bitwise_identical_to_serial(
+        (a, b) in large_matmul_pair(),
+        policy in policy_strategy(),
+    ) {
+        // Vᵀ·H with V = a (n x k) and H (n x m): build H with a's row count.
+        let h = Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            a.row(i).iter().sum::<f64>() * 0.25 + j as f64
+        });
+        let serial = a.matmul_transpose_left_with(&h, &ParallelPolicy::serial()).unwrap();
+        let parallel = a.matmul_transpose_left_with(&h, &policy).unwrap();
+        prop_assert!(bitwise_eq(&serial, &parallel), "policy {policy:?}");
+    }
+
+    #[test]
+    fn parallel_map_and_reduce_are_bitwise_identical_to_serial(
+        m in matrix_strategy(40, 8),
+        policy in policy_strategy(),
+    ) {
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let cols = m.cols();
+        let fused = |_: usize, row: &[f64], out: &mut [f64]| {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o = sigmoid(x);
+            }
+        };
+        let serial_map = m.map_rows_with(cols, &ParallelPolicy::serial(), fused);
+        let parallel_map = m.map_rows_with(cols, &policy, fused);
+        prop_assert!(bitwise_eq(&serial_map, &parallel_map));
+
+        let norm = |_: usize, row: &[f64]| row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let serial_reduce = m.reduce_rows_with(&ParallelPolicy::serial(), norm);
+        let parallel_reduce = m.reduce_rows_with(&policy, norm);
+        let same = serial_reduce
+            .iter()
+            .zip(&parallel_reduce)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        prop_assert!(same);
+    }
+
+    #[test]
+    fn cutover_boundary_keeps_results_identical(
+        (a, b) in large_matmul_pair(),
+        threads in 2..=8usize,
+    ) {
+        // Pin min_rows_per_thread exactly at / around the row count so the
+        // serial<->parallel decision flips within one test case.
+        let n = a.rows();
+        for min_rows in [n.saturating_sub(1).max(1), n, n + 1] {
+            let policy = ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows);
+            let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
+            let parallel = a.matmul_with(&b, &policy).unwrap();
+            prop_assert!(bitwise_eq(&serial, &parallel), "min_rows {min_rows}");
+        }
     }
 
     #[test]

@@ -75,26 +75,40 @@ fn read_limited_line(reader: &mut impl BufRead) -> Result<Option<String>> {
 
 /// Reads headers until the blank line, returning the `Content-Length` value
 /// (0 when absent).
+///
+/// Duplicate `Content-Length` headers with *identical* values are collapsed,
+/// duplicates with *conflicting* values are rejected — the two behaviours
+/// RFC 7230 §3.3.2 permits. Letting a later value silently win is the
+/// request-smuggling primitive: two parsers disagreeing on where a body ends
+/// disagree on where the next request starts.
 fn read_content_length(reader: &mut impl BufRead) -> Result<usize> {
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for _ in 0..MAX_HEADER_LINES {
         let Some(line) = read_limited_line(reader)? else {
             return Err(protocol_error("connection closed inside headers"));
         };
         let line = line.trim_end();
         if line.is_empty() {
-            return Ok(content_length);
+            return Ok(content_length.unwrap_or(0));
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))?;
-                if content_length > MAX_BODY_BYTES {
+                if parsed > MAX_BODY_BYTES {
                     return Err(protocol_error(format!(
-                        "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                        "body of {parsed} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
                     )));
+                }
+                match content_length {
+                    Some(existing) if existing != parsed => {
+                        return Err(protocol_error(format!(
+                            "conflicting Content-Length headers ({existing} vs {parsed})"
+                        )));
+                    }
+                    _ => content_length = Some(parsed),
                 }
             }
         }
@@ -274,6 +288,34 @@ mod tests {
         ]
         .concat();
         assert!(read_request(&mut huge_header.as_slice()).is_err());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        // Request-smuggling guard (RFC 7230 §3.3.2): two different
+        // Content-Length values mean two parsers can disagree on where the
+        // body ends — reject instead of letting the last value win.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhi~~~";
+        let err = read_request(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("conflicting Content-Length"));
+        // Same on the response side.
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab";
+        assert!(read_response(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn identical_duplicate_content_length_is_collapsed() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\ncontent-length: 2\r\n\r\nhi";
+        let req = read_request(&mut wire.as_slice()).unwrap();
+        assert_eq!(req.body, "hi");
+    }
+
+    #[test]
+    fn comma_joined_content_length_is_rejected() {
+        // `Content-Length: 5, 5` (folded duplicates) is not a valid usize —
+        // it must error rather than parse as something surprising.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello";
+        assert!(read_request(&mut wire.as_slice()).is_err());
     }
 
     #[test]

@@ -4,12 +4,20 @@
 //! ```sh
 //! sls-serve export --out artifacts [--name quick_demo] [--model sls-grbm]
 //!                  [--instances 90] [--dims 8] [--clusters 3] [--seed 2023]
+//!                  [--threads N] [--min-par-rows N]
 //! sls-serve serve  --dir artifacts [--addr 127.0.0.1:7878] [--workers 8]
+//!                  [--threads N] [--min-par-rows N]
 //! ```
+//!
+//! `--threads` sets the parallel linalg policy (`0` = one thread per core,
+//! default `1` = serial unless `SLS_PARALLEL_THREADS` is set);
+//! `--min-par-rows` sets the serial cutover (matrices with fewer output rows
+//! per thread stay serial). Results are bitwise identical for every policy.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
+use sls_linalg::ParallelPolicy;
 use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
 use sls_serve::{ModelRegistry, Server};
 use std::collections::BTreeMap;
@@ -18,7 +26,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
                    [--instances N] [--dims N] [--clusters N] [--seed N]
-  sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]";
+                   [--threads N] [--min-par-rows N]
+  sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]
+                   [--threads N] [--min-par-rows N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +62,23 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
     Ok(flags)
 }
 
+/// Builds the linalg parallel policy from `--threads` / `--min-par-rows`,
+/// falling back to the process-wide default (which honours
+/// `SLS_PARALLEL_THREADS` / `SLS_PARALLEL_MIN_ROWS`).
+fn parallel_policy(flags: &BTreeMap<String, String>) -> Result<ParallelPolicy, String> {
+    let global = ParallelPolicy::global();
+    let policy = match flags.get("threads") {
+        Some(raw) => {
+            let threads: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --threads"))?;
+            ParallelPolicy::new(threads).with_min_rows_per_thread(global.min_rows_per_thread)
+        }
+        None => global,
+    };
+    Ok(policy.with_min_rows_per_thread(parsed(flags, "min-par-rows", policy.min_rows_per_thread)?))
+}
+
 fn parsed<T: std::str::FromStr>(
     flags: &BTreeMap<String, String>,
     name: &str,
@@ -76,6 +103,8 @@ fn run_export(args: &[String]) -> Result<(), String> {
             "--dims",
             "--clusters",
             "--seed",
+            "--threads",
+            "--min-par-rows",
         ],
     )?;
     let out = flags
@@ -101,10 +130,15 @@ fn run_export(args: &[String]) -> Result<(), String> {
     let dataset = SyntheticBlobs::new(instances, dims, clusters)
         .separation(5.0)
         .generate(&mut rng);
-    let config = SlsPipelineConfig::quick_demo().with_clusters(clusters);
+    let parallel = parallel_policy(&flags)?;
+    let config = SlsPipelineConfig::quick_demo()
+        .with_clusters(clusters)
+        .with_parallel(parallel);
     eprintln!(
-        "training {} on {instances}x{dims} synthetic blobs ({clusters} clusters, seed {seed})...",
-        kind.as_str()
+        "training {} on {instances}x{dims} synthetic blobs ({clusters} clusters, seed {seed}, \
+         {} linalg thread(s))...",
+        kind.as_str(),
+        parallel.threads
     );
     let fitted = PipelineArtifact::fit(kind, config, dataset.features(), &mut rng)
         .map_err(|e| format!("training failed: {e}"))?;
@@ -131,7 +165,16 @@ fn run_export(args: &[String]) -> Result<(), String> {
 }
 
 fn run_serve(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["--dir", "--addr", "--workers"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "--dir",
+            "--addr",
+            "--workers",
+            "--threads",
+            "--min-par-rows",
+        ],
+    )?;
     let dir = flags
         .get("dir")
         .cloned()
@@ -158,12 +201,18 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             artifact.n_hidden()
         );
     }
-    let server =
-        Server::bind(addr.as_str(), registry, workers).map_err(|e| format!("bind failed: {e}"))?;
+    let parallel = parallel_policy(&flags)?;
+    let server = Server::bind(addr.as_str(), registry, workers)
+        .map_err(|e| format!("bind failed: {e}"))?
+        .with_parallel(parallel);
     let local = server
         .local_addr()
         .map_err(|e| format!("local address unavailable: {e}"))?;
-    eprintln!("serving on http://{local} with {workers} workers (Ctrl-C to stop)");
+    eprintln!(
+        "serving on http://{local} with {workers} workers, {} linalg thread(s) per request \
+         (Ctrl-C to stop)",
+        parallel.threads
+    );
     let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
     handle.join();
     Ok(())

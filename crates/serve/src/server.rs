@@ -23,6 +23,7 @@ use crate::http::{read_request, write_response, Request};
 use crate::registry::ModelRegistry;
 use crate::Result;
 use serde::Serialize;
+use sls_linalg::ParallelPolicy;
 use sls_rbm_core::PipelineArtifact;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -41,11 +42,14 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<ModelRegistry>,
     workers: usize,
+    parallel: ParallelPolicy,
 }
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port) with a pool of
-    /// `workers` threads (clamped to at least 1).
+    /// `workers` threads (clamped to at least 1). Inference micro-batches
+    /// run under the process-wide [`ParallelPolicy::global`] unless
+    /// overridden with [`Server::with_parallel`].
     ///
     /// # Errors
     ///
@@ -55,7 +59,16 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             registry: Arc::new(registry),
             workers: workers.max(1),
+            parallel: ParallelPolicy::global(),
         })
+    }
+
+    /// Sets the parallel execution policy for inference micro-batches
+    /// (the matrix multiply behind `/features` and `/assign`). Responses
+    /// are bitwise identical for every policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The address the listener is bound to.
@@ -83,10 +96,11 @@ impl Server {
             let listener = Arc::clone(&listener);
             let registry = Arc::clone(&self.registry);
             let shutdown = Arc::clone(&shutdown);
+            let parallel = self.parallel;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("sls-serve-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&listener, &registry, &shutdown))?,
+                    .spawn(move || worker_loop(&listener, &registry, &parallel, &shutdown))?,
             );
         }
         Ok(ServerHandle {
@@ -138,7 +152,12 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(listener: &TcpListener, registry: &ModelRegistry, shutdown: &AtomicBool) {
+fn worker_loop(
+    listener: &TcpListener,
+    registry: &ModelRegistry,
+    parallel: &ParallelPolicy,
+    shutdown: &AtomicBool,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -160,26 +179,41 @@ fn worker_loop(listener: &TcpListener, registry: &ModelRegistry, shutdown: &Atom
         }
         // A broken client connection must not take the worker down; the
         // error is simply dropped with the connection.
-        let _ = handle_connection(stream, registry);
+        let _ = handle_connection(stream, registry, parallel);
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &ModelRegistry) -> Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    parallel: &ParallelPolicy,
+) -> Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let (status, body) = match read_request(&mut reader) {
-        Ok(request) => route(registry, &request),
+        Ok(request) => route_with(registry, &request, parallel),
         Err(e) => error_body(400, format!("malformed request: {e}")),
     };
     let mut stream = stream;
     write_response(&mut stream, status, &body)
 }
 
-/// Routes one parsed request to its handler, returning `(status, body)`.
+/// Routes one parsed request to its handler under the process-wide
+/// [`ParallelPolicy::global`], returning `(status, body)`.
 ///
 /// Exposed for direct unit testing without sockets.
 pub fn route(registry: &ModelRegistry, request: &Request) -> (u16, String) {
+    route_with(registry, request, &ParallelPolicy::global())
+}
+
+/// [`route`] under an explicit parallel execution policy for the inference
+/// micro-batches.
+pub fn route_with(
+    registry: &ModelRegistry,
+    request: &Request,
+    parallel: &ParallelPolicy,
+) -> (u16, String) {
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -201,7 +235,7 @@ pub fn route(registry: &ModelRegistry, request: &Request) -> (u16, String) {
         ),
         ("POST", ["models", name, "features"]) => {
             with_model_rows(registry, name, &request.body, |artifact, matrix| {
-                let features = artifact.features(matrix)?;
+                let features = artifact.features_with(matrix, parallel)?;
                 Ok(json_body(
                     200,
                     &FeaturesResponse {
@@ -213,7 +247,7 @@ pub fn route(registry: &ModelRegistry, request: &Request) -> (u16, String) {
         }
         ("POST", ["models", name, "assign"]) => {
             with_model_rows(registry, name, &request.body, |artifact, matrix| {
-                let assignments = artifact.assign(matrix)?;
+                let assignments = artifact.assign_with(matrix, parallel)?;
                 Ok(json_body(
                     200,
                     &AssignResponse {
@@ -391,8 +425,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_routing_answers_byte_identical_responses() {
+        // The serving contract of the parallel layer: a client can never
+        // tell from a response body how many threads computed it.
+        let registry = registry();
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4],[1.0,1.1,1.2,1.3],[2.0,2.1,2.2,2.3]]}";
+        for path in ["/models/demo/features", "/models/demo/assign"] {
+            let request = request("POST", path, body);
+            let serial = route_with(&registry, &request, &ParallelPolicy::serial());
+            let parallel = route_with(
+                &registry,
+                &request,
+                &ParallelPolicy::new(4).with_min_rows_per_thread(1),
+            );
+            assert_eq!(serial, parallel, "path {path}");
+            assert_eq!(serial.0, 200);
+        }
+    }
+
+    #[test]
     fn server_binds_ephemeral_port_and_shuts_down() {
-        let server = Server::bind("127.0.0.1:0", registry(), 2).unwrap();
+        let server = Server::bind("127.0.0.1:0", registry(), 2)
+            .unwrap()
+            .with_parallel(ParallelPolicy::new(2));
         let addr = server.local_addr().unwrap();
         assert_ne!(addr.port(), 0);
         let handle = server.start().unwrap();
