@@ -14,7 +14,13 @@
 //! * `pipeline_transform` — full-dataset hidden-feature extraction, the
 //!   batch-transform / serving micro-batch shape;
 //! * `matmul`, `matmul_transpose_left`, `matmul_transpose_right` — the three
-//!   product kernels in isolation.
+//!   product kernels in isolation;
+//! * `small_batch_{8,32,128}` — the serving micro-batch hot path
+//!   (`hidden_probabilities` on 8/32/128-row batches), timed per call under
+//!   three dispatch modes: `serial`, `spawn` (scoped threads per call) and
+//!   `pool` (the persistent worker pool). At these row counts the thread
+//!   spawn overhead dominates the kernel, which is exactly what the pool
+//!   exists to remove.
 //!
 //! Every section runs serially and under 2, 4, 8 threads plus the machine's
 //! core count; speedups are relative to the serial run *on this machine*.
@@ -37,7 +43,11 @@ struct Measurement {
     section: String,
     /// Thread budget of the policy (1 = serial).
     threads: usize,
-    /// Best-of-`reps` wall-clock time in milliseconds.
+    /// Dispatch mode: `serial`, `spawn` (scoped threads per call) or
+    /// `pool` (persistent worker pool).
+    mode: String,
+    /// Best-of-`reps` wall-clock time in milliseconds (per call for the
+    /// `small_batch_*` sections).
     millis: f64,
     /// Serial best time divided by this configuration's best time.
     speedup_vs_serial: f64,
@@ -146,6 +156,7 @@ fn run(args: &[String]) -> Result<(), String> {
         } else {
             ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows)
         };
+        let mode = if threads == 1 { "serial" } else { "spawn" };
 
         // One CD training epoch, the end-to-end number.
         let cd_millis = best_of(reps, || {
@@ -159,7 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .expect("training");
             (start.elapsed(), model)
         });
-        push(&mut results, "cd_epoch", threads, cd_millis);
+        push(&mut results, "cd_epoch", threads, mode, cd_millis);
 
         // Full-dataset feature extraction (pipeline transform / serving
         // micro-batch shape).
@@ -175,6 +186,7 @@ fn run(args: &[String]) -> Result<(), String> {
             &mut results,
             "pipeline_transform",
             threads,
+            mode,
             transform_millis,
         );
 
@@ -184,7 +196,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let out = data.matmul_with(&weights, &policy).expect("matmul");
             (start.elapsed(), out)
         });
-        push(&mut results, "matmul", threads, mm);
+        push(&mut results, "matmul", threads, mode, mm);
         let tl = best_of(reps, || {
             let start = Instant::now();
             let out = data
@@ -192,7 +204,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .expect("matmul_transpose_left");
             (start.elapsed(), out)
         });
-        push(&mut results, "matmul_transpose_left", threads, tl);
+        push(&mut results, "matmul_transpose_left", threads, mode, tl);
         let tr = best_of(reps, || {
             let start = Instant::now();
             // H·Wᵀ: both operands have `hidden` columns.
@@ -201,7 +213,43 @@ fn run(args: &[String]) -> Result<(), String> {
                 .expect("matmul_transpose_right");
             (start.elapsed(), out)
         });
-        push(&mut results, "matmul_transpose_right", threads, tr);
+        push(&mut results, "matmul_transpose_right", threads, mode, tr);
+    }
+
+    // Spawn-per-call vs persistent pool on serving micro-batches: the row
+    // counts where per-call thread spawns dominate the kernel itself. Each
+    // configuration is timed per call over a batch of iterations; the pool
+    // is warmed before timing so the numbers compare steady-state dispatch,
+    // not pool construction.
+    let small_threads = 4usize;
+    let iters = if quick { 60 } else { 300 };
+    let spawn_policy = ParallelPolicy::new(small_threads).with_min_rows_per_thread(2);
+    let pool_policy = spawn_policy.with_pool(true);
+    let _ = sls_linalg::WorkerPool::global();
+    let model = Rbm::new(visible, hidden, &mut ChaCha8Rng::seed_from_u64(7));
+    for &rows in &[8usize, 32, 128] {
+        let batch = Matrix::random_bernoulli(rows, visible, 0.3, &mut rng);
+        let section = format!("small_batch_{rows}");
+        for (mode, policy) in [
+            ("serial", ParallelPolicy::serial()),
+            ("spawn", spawn_policy),
+            ("pool", pool_policy),
+        ] {
+            let millis = best_of(reps, || {
+                let start = Instant::now();
+                let mut last = None;
+                for _ in 0..iters {
+                    last = Some(
+                        model
+                            .hidden_probabilities_with(&batch, &policy)
+                            .expect("small-batch features"),
+                    );
+                }
+                (start.elapsed(), last)
+            }) / iters as f64;
+            let threads = if mode == "serial" { 1 } else { small_threads };
+            push(&mut results, &section, threads, mode, millis);
+        }
     }
 
     // Reproducibility spot-check before writing the report: the parallel
@@ -219,6 +267,19 @@ fn run(args: &[String]) -> Result<(), String> {
         serial.as_slice(),
         parallel.as_slice(),
         "parallel result diverged from serial"
+    );
+    let pooled = data
+        .matmul_with(
+            &weights,
+            &ParallelPolicy::new(*thread_counts.last().unwrap())
+                .with_min_rows_per_thread(1)
+                .with_pool(true),
+        )
+        .expect("matmul");
+    assert_eq!(
+        serial.as_slice(),
+        pooled.as_slice(),
+        "pooled result diverged from serial"
     );
 
     let report = Report {
@@ -238,8 +299,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
     for m in &report.results {
         eprintln!(
-            "  {:<24} threads={:<2} {:>9.2} ms  ({:.2}x vs serial)",
-            m.section, m.threads, m.millis, m.speedup_vs_serial
+            "  {:<24} threads={:<2} {:<6} {:>10.4} ms  ({:.2}x vs serial)",
+            m.section, m.threads, m.mode, m.millis, m.speedup_vs_serial
         );
     }
     eprintln!("wrote {out}");
@@ -261,7 +322,7 @@ fn best_of<T>(reps: usize, mut work: impl FnMut() -> (std::time::Duration, T)) -
 
 /// Appends a measurement, deriving the speedup from the section's serial
 /// (threads = 1) entry, which is always pushed first.
-fn push(results: &mut Vec<Measurement>, section: &str, threads: usize, millis: f64) {
+fn push(results: &mut Vec<Measurement>, section: &str, threads: usize, mode: &str, millis: f64) {
     let serial_millis = results
         .iter()
         .find(|m| m.section == section && m.threads == 1)
@@ -269,6 +330,7 @@ fn push(results: &mut Vec<Measurement>, section: &str, threads: usize, millis: f
     results.push(Measurement {
         section: section.to_string(),
         threads,
+        mode: mode.to_string(),
         millis,
         speedup_vs_serial: serial_millis / millis,
     });

@@ -130,20 +130,37 @@ impl FittedPreprocessor {
         }
     }
 
-    /// Applies the fitted transformation to `rows`.
+    /// Applies the fitted transformation to `rows` under the process-wide
+    /// [`ParallelPolicy::global`]; see [`FittedPreprocessor::transform_with`]
+    /// for an explicit policy.
     ///
     /// # Errors
     ///
     /// Returns a shape error if `rows` has a different column count than the
     /// data the preprocessor was fitted on.
     pub fn transform(&self, rows: &Matrix) -> Result<Matrix> {
+        self.transform_with(rows, &ParallelPolicy::global())
+    }
+
+    /// [`FittedPreprocessor::transform`] under an explicit parallel
+    /// execution policy: rows transform independently (row-wise map in the
+    /// linalg layer), so results are bitwise identical for every policy.
+    /// This puts the serving path's preprocessing on the same worker pool
+    /// as its matmul instead of leaving it the only serial stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `rows` has a different column count than the
+    /// data the preprocessor was fitted on.
+    pub fn transform_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Matrix> {
         match self {
-            FittedPreprocessor::Standardize(s) => Ok(s.transform(rows)?),
+            FittedPreprocessor::Standardize(s) => Ok(s.transform_with(rows, parallel)?),
             FittedPreprocessor::BinarizeMedian(b) => {
-                b.transform(rows).map_err(|e| RbmError::InvalidConfig {
-                    name: "preprocessing",
-                    message: e.to_string(),
-                })
+                b.transform_with(rows, parallel)
+                    .map_err(|e| RbmError::InvalidConfig {
+                        name: "preprocessing",
+                        message: e.to_string(),
+                    })
             }
             FittedPreprocessor::Identity => Ok(rows.clone()),
         }
@@ -346,7 +363,7 @@ impl PipelineArtifact {
     ///
     /// Returns shape errors if `rows` does not match the visible layer.
     pub fn features_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Matrix> {
-        let pre = self.preprocessor.transform(rows)?;
+        let pre = self.preprocessor.transform_with(rows, parallel)?;
         self.params.check_data(&pre)?;
         let logits = pre.matmul_with(&self.params.weights, parallel)?;
         // Bias broadcast and sigmoid fused into one row-wise pass, matching
@@ -600,6 +617,65 @@ mod tests {
         let f = fitted();
         assert!(f.artifact.features(&Matrix::zeros(2, 9)).is_err());
         assert!(f.artifact.assign(&Matrix::zeros(2, 9)).is_err());
+    }
+
+    #[test]
+    fn preprocessor_transform_with_matches_serial_for_every_variant() {
+        let train = Matrix::from_fn(20, 6, |i, j| (i as f64) * 0.3 - (j as f64) * 1.7);
+        let unseen = Matrix::from_fn(33, 6, |i, j| (i as f64) * 0.9 + (j as f64));
+        let variants = [
+            FittedPreprocessor::fit(Preprocessing::Standardize, &train).unwrap(),
+            FittedPreprocessor::fit(Preprocessing::BinarizeMedian, &train).unwrap(),
+            FittedPreprocessor::fit(Preprocessing::None, &train).unwrap(),
+        ];
+        for pre in &variants {
+            let serial = pre
+                .transform_with(&unseen, &ParallelPolicy::serial())
+                .unwrap();
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(4)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool);
+                let par = pre.transform_with(&unseen, &policy).unwrap();
+                let same = serial
+                    .as_slice()
+                    .iter()
+                    .zip(par.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{:?} pool = {pool}", pre.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_inference_is_bitwise_identical_to_serial() {
+        let f = fitted();
+        let rows = Matrix::from_fn(48, 5, |i, j| (i as f64) * 0.11 - (j as f64) * 0.7);
+        let serial = f
+            .artifact
+            .features_with(&rows, &ParallelPolicy::serial())
+            .unwrap();
+        let serial_assign = f
+            .artifact
+            .assign_with(&rows, &ParallelPolicy::serial())
+            .unwrap();
+        for pool in [false, true] {
+            let policy = ParallelPolicy::new(4)
+                .with_min_rows_per_thread(1)
+                .with_pool(pool);
+            let par = f.artifact.features_with(&rows, &policy).unwrap();
+            let same = serial
+                .as_slice()
+                .iter()
+                .zip(par.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "pool = {pool}");
+            assert_eq!(
+                f.artifact.assign_with(&rows, &policy).unwrap(),
+                serial_assign,
+                "pool = {pool}"
+            );
+        }
     }
 
     #[test]

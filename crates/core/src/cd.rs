@@ -11,7 +11,7 @@ use crate::model::BoltzmannMachine;
 use crate::{RbmError, Result, TrainConfig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy};
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy, WorkerPool};
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -198,17 +198,23 @@ impl CdTrainer {
     /// Returns [`RbmError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: TrainConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Self {
-            config,
-            parallel: ParallelPolicy::global(),
-        })
+        Ok(Self::with_parallel_policy(config, ParallelPolicy::global()))
     }
 
     /// Sets the parallel execution policy for the training hot path. Results
     /// are bitwise identical for every policy.
-    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
-        self.parallel = parallel;
-        self
+    pub fn with_parallel(self, parallel: ParallelPolicy) -> Self {
+        Self::with_parallel_policy(self.config, parallel)
+    }
+
+    fn with_parallel_policy(config: TrainConfig, parallel: ParallelPolicy) -> Self {
+        if parallel.pool {
+            // Warm the persistent pool once at trainer construction: every
+            // mini-batch of every epoch then reuses the same workers instead
+            // of paying per-call thread spawns (or a first-batch pool start).
+            let _ = WorkerPool::global();
+        }
+        Self { config, parallel }
     }
 
     /// The active configuration.
@@ -465,6 +471,14 @@ mod tests {
             ParallelPolicy::serial(),
             ParallelPolicy::new(4).with_min_rows_per_thread(1),
             ParallelPolicy::new(7).with_min_rows_per_thread(2),
+            // Persistent-pool dispatch: same identity contract, reusing the
+            // process-global workers across all epochs.
+            ParallelPolicy::new(4)
+                .with_min_rows_per_thread(1)
+                .with_pool(true),
+            ParallelPolicy::new(7)
+                .with_min_rows_per_thread(2)
+                .with_pool(true),
         ] {
             let mut model = Rbm::new(6, 4, &mut rng());
             CdTrainer::new(config)

@@ -213,10 +213,16 @@ pub struct PipelineOutcome {
 
 /// Fits the preprocessor on `data` and transforms `data` with it — the one
 /// preprocessing path, shared with served artifacts so training-time and
-/// serving-time transforms cannot diverge.
-fn preprocess(data: &Matrix, preprocessing: Preprocessing) -> Result<(FittedPreprocessor, Matrix)> {
+/// serving-time transforms cannot diverge. The transform runs under the
+/// pipeline's parallel policy (row-independent, bitwise identical for
+/// every policy).
+fn preprocess(
+    data: &Matrix,
+    preprocessing: Preprocessing,
+    parallel: &ParallelPolicy,
+) -> Result<(FittedPreprocessor, Matrix)> {
     let fitted = FittedPreprocessor::fit(preprocessing, data)?;
-    let transformed = fitted.transform(data)?;
+    let transformed = fitted.transform_with(data, parallel)?;
     Ok((fitted, transformed))
 }
 
@@ -257,7 +263,7 @@ macro_rules! sls_pipeline {
             /// errors.
             pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
                 let (preprocessor, preprocessed) =
-                    preprocess(data, self.config.preprocessing)?;
+                    preprocess(data, self.config.preprocessing, &self.config.parallel)?;
                 let clusterers = base_clusterers(self.config.n_clusters);
                 let supervision = LocalSupervisionBuilder::new(self.config.n_clusters)
                     .with_policy(self.config.voting)
@@ -314,7 +320,7 @@ macro_rules! baseline_pipeline {
             /// Propagates preprocessing and training errors.
             pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
                 let (preprocessor, preprocessed) =
-                    preprocess(data, self.config.preprocessing)?;
+                    preprocess(data, self.config.preprocessing, &self.config.parallel)?;
                 let mut model =
                     <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);
                 let history = CdTrainer::new(self.config.train)?

@@ -217,6 +217,7 @@ mod tests {
     const POL: ParallelPolicy = ParallelPolicy {
         threads: 1,
         min_rows_per_thread: 64,
+        pool: false,
     };
 
     fn setup() -> (RbmParams, Matrix, Vec<Vec<usize>>) {

@@ -38,13 +38,24 @@ impl SlsTrainer {
             train,
             sls,
             parallel: ParallelPolicy::global(),
-        })
+        }
+        .warmed())
     }
 
     /// Sets the parallel execution policy for the training hot path. Results
     /// are bitwise identical for every policy.
     pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
         self.parallel = parallel;
+        self.warmed()
+    }
+
+    /// Warms the persistent pool once at trainer construction when the
+    /// policy uses it, so every mini-batch of every epoch reuses the same
+    /// workers.
+    fn warmed(self) -> Self {
+        if self.parallel.pool {
+            let _ = sls_linalg::WorkerPool::global();
+        }
         self
     }
 
@@ -323,6 +334,17 @@ mod tests {
         for threads in [2, 8] {
             let par = train_one(ParallelPolicy::new(threads).with_min_rows_per_thread(1));
             assert_eq!(serial.params(), par.params(), "threads = {threads}");
+            // Same identity through the persistent worker pool.
+            let pooled = train_one(
+                ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(true),
+            );
+            assert_eq!(
+                serial.params(),
+                pooled.params(),
+                "pooled threads = {threads}"
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::{DatasetError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::{Matrix, Standardizer};
+use sls_linalg::{Matrix, ParallelPolicy, Standardizer};
 
 /// Standardises every column to zero mean and unit variance.
 ///
@@ -74,13 +74,28 @@ impl MedianBinarizer {
     }
 
     /// Binarises `data` against the fitted thresholds: entries strictly above
-    /// the column threshold become `1.0`, the rest `0.0`.
+    /// the column threshold become `1.0`, the rest `0.0`. Runs under the
+    /// process-wide [`ParallelPolicy::global`]; see
+    /// [`MedianBinarizer::transform_with`] for an explicit policy.
     ///
     /// # Errors
     ///
     /// Returns a shape error if `data` has a different number of columns than
     /// the fitted matrix.
     pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        self.transform_with(data, &ParallelPolicy::global())
+    }
+
+    /// [`MedianBinarizer::transform`] under an explicit parallel execution
+    /// policy: rows binarise independently through
+    /// [`Matrix::map_rows_with`], so results are identical for every policy
+    /// (the output is exactly `0.0`/`1.0` either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `data` has a different number of columns than
+    /// the fitted matrix.
+    pub fn transform_with(&self, data: &Matrix, policy: &ParallelPolicy) -> Result<Matrix> {
         if data.cols() != self.thresholds.len() {
             return Err(DatasetError::Linalg(
                 sls_linalg::LinalgError::ShapeMismatch {
@@ -90,13 +105,12 @@ impl MedianBinarizer {
                 },
             ));
         }
-        let mut out = Matrix::zeros(data.rows(), data.cols());
-        for i in 0..data.rows() {
-            for (j, &t) in self.thresholds.iter().enumerate() {
-                out[(i, j)] = if data[(i, j)] > t { 1.0 } else { 0.0 };
+        let thresholds = &self.thresholds;
+        Ok(data.map_rows_with(data.cols(), policy, |_, row, out| {
+            for ((o, &x), &t) in out.iter_mut().zip(row).zip(thresholds) {
+                *o = if x > t { 1.0 } else { 0.0 };
             }
-        }
-        Ok(out)
+        }))
     }
 }
 
@@ -173,6 +187,22 @@ mod tests {
         let d = data();
         let fitted = MedianBinarizer::fit(&d).transform(&d).unwrap();
         assert_eq!(fitted, binarize_median(&d));
+    }
+
+    #[test]
+    fn median_binarizer_transform_with_matches_serial_for_every_policy() {
+        let b = MedianBinarizer::fit(&data());
+        let unseen = Matrix::from_fn(29, 2, |i, j| (i as f64) * 0.9 + (j as f64) * 123.0);
+        let serial = b
+            .transform_with(&unseen, &ParallelPolicy::serial())
+            .unwrap();
+        for pool in [false, true] {
+            let policy = ParallelPolicy::new(4)
+                .with_min_rows_per_thread(1)
+                .with_pool(pool);
+            let par = b.transform_with(&unseen, &policy).unwrap();
+            assert_eq!(par, serial, "pool = {pool}");
+        }
     }
 
     #[test]

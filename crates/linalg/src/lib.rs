@@ -23,7 +23,9 @@
 //! * The matrix products and row-wise maps/reductions have row-partitioned
 //!   parallel variants behind [`ParallelPolicy`] (see the `*_with` methods);
 //!   parallel results are **bitwise identical** to serial ones, so turning
-//!   parallelism on never changes a reproduced number.
+//!   parallelism on never changes a reproduced number. Fanned-out kernels
+//!   run on scoped threads or, with the policy's `pool` flag, on the
+//!   persistent [`WorkerPool`] that removes per-call thread-spawn latency.
 //!
 //! ## Quick example
 //!
@@ -44,6 +46,7 @@ mod matrix;
 mod norms;
 mod ops;
 mod parallel;
+mod pool;
 mod random;
 mod stats;
 mod vector;
@@ -51,7 +54,10 @@ mod vector;
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use norms::{euclidean_distance, pairwise_distances, squared_euclidean_distance};
-pub use parallel::{ParallelPolicy, DEFAULT_MIN_ROWS_PER_THREAD, ENV_MIN_ROWS, ENV_THREADS};
+pub use parallel::{
+    ParallelPolicy, DEFAULT_MIN_ROWS_PER_THREAD, ENV_MIN_ROWS, ENV_POOL, ENV_THREADS,
+};
+pub use pool::{PoolScope, WorkerPool};
 pub use random::MatrixRandomExt;
 pub use stats::{ColumnStats, Standardizer};
 pub use vector::{

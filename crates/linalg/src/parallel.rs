@@ -25,13 +25,23 @@
 //! never pay thread-spawn latency. The process-wide default policy is
 //! serial; it can be overridden programmatically
 //! ([`ParallelPolicy::set_global`]) or through the environment
-//! (`SLS_PARALLEL_THREADS`, `SLS_PARALLEL_MIN_ROWS`), which is how CI runs
-//! the whole test suite with parallel kernels forced on.
+//! (`SLS_PARALLEL_THREADS`, `SLS_PARALLEL_MIN_ROWS`, `SLS_PARALLEL_POOL`),
+//! which is how CI runs the whole test suite with parallel kernels forced
+//! on.
+//!
+//! ## Dispatch: spawn-per-call vs the persistent pool
+//!
+//! A fanned-out kernel executes its row bands either on fresh scoped
+//! threads (`pool = false`, the spawn-per-call path) or on the process-wide
+//! persistent [`WorkerPool`] (`pool = true`), which removes the ~10–50 µs
+//! thread-spawn cost from every call — the difference that makes small
+//! serving micro-batches profitable to parallelise. Both paths run the
+//! identical per-row code, so the choice never changes a single output bit.
 
+use crate::pool::WorkerPool;
 use crate::{LinalgError, Matrix, Result};
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Once;
 
 /// Default `min_rows_per_thread`: small enough that training-scale matrices
@@ -45,22 +55,73 @@ pub const ENV_THREADS: &str = "SLS_PARALLEL_THREADS";
 /// Environment variable overriding the global `min_rows_per_thread` cutover.
 pub const ENV_MIN_ROWS: &str = "SLS_PARALLEL_MIN_ROWS";
 
+/// Environment variable enabling the persistent worker pool for the global
+/// policy (`1`/`true` to enable, `0`/`false` to disable).
+pub const ENV_POOL: &str = "SLS_PARALLEL_POOL";
+
 static GLOBAL_INIT: Once = Once::new();
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);
 static GLOBAL_MIN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_MIN_ROWS_PER_THREAD);
+static GLOBAL_POOL: AtomicBool = AtomicBool::new(false);
 
 /// How (and whether) the matrix kernels fan work out across threads.
 ///
-/// A policy is a plain value: cheap to copy, serialisable (it travels
-/// inside `SlsPipelineConfig`), and inert — `threads = 1` *is* the serial
-/// implementation, not a special case around it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// A policy is a plain value: cheap to copy, serialisable (though nothing
+/// in the workspace persists one — `SlsPipelineConfig` deliberately skips
+/// its policy so artifacts never bake in a machine's core count), and
+/// inert — `threads = 1` *is* the serial implementation, not a special
+/// case around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelPolicy {
     /// Maximum number of worker threads a kernel may use (at least 1).
     pub threads: usize,
     /// A kernel stays serial unless every thread would receive at least
     /// this many output rows.
     pub min_rows_per_thread: usize,
+    /// Execute row bands on the process-wide persistent [`WorkerPool`]
+    /// instead of spawning scoped threads per call. Outputs are bitwise
+    /// identical either way; the pool only removes per-call spawn latency.
+    pub pool: bool,
+}
+
+// Hand-written (de)serialisation instead of the derive: `ParallelPolicy`
+// has been a public `Serialize`/`Deserialize` type since before the `pool`
+// field existed, so policy JSON persisted by earlier builds lacks the
+// field. The vendored derive treats every named field as required (it
+// skips attributes, so `#[serde(default)]` would be silently ignored);
+// these impls accept a missing `pool` as `false` — the exact behaviour of
+// the builds that wrote such documents.
+impl serde::Serialize for ParallelPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("threads".to_string(), self.threads.to_value()),
+            (
+                "min_rows_per_thread".to_string(),
+                self.min_rows_per_thread.to_value(),
+            ),
+            ("pool".to_string(), self.pool.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for ParallelPolicy {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::mismatch("object", value))?;
+        let pool = match entries.iter().find(|(name, _)| name == "pool") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => false,
+        };
+        Ok(Self {
+            threads: serde::Deserialize::from_value(serde::field(entries, "threads")?)?,
+            min_rows_per_thread: serde::Deserialize::from_value(serde::field(
+                entries,
+                "min_rows_per_thread",
+            )?)?,
+            pool,
+        })
+    }
 }
 
 impl Default for ParallelPolicy {
@@ -76,6 +137,7 @@ impl ParallelPolicy {
         Self {
             threads: 1,
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
+            pool: false,
         }
     }
 
@@ -85,6 +147,7 @@ impl ParallelPolicy {
         Self {
             threads: resolve_threads(threads),
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
+            pool: false,
         }
     }
 
@@ -97,6 +160,27 @@ impl ParallelPolicy {
     pub fn with_min_rows_per_thread(mut self, min_rows_per_thread: usize) -> Self {
         self.min_rows_per_thread = min_rows_per_thread.max(1);
         self
+    }
+
+    /// Routes fanned-out kernels through the process-wide persistent
+    /// [`WorkerPool`] instead of spawning scoped threads per call. Results
+    /// are bitwise identical either way.
+    pub fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Parses the boolean spellings accepted wherever a pool flag is read —
+    /// the `SLS_PARALLEL_POOL` environment variable and CLI `--pool` flags:
+    /// `1`/`true` and `0`/`false`, case-insensitively, ignoring surrounding
+    /// whitespace. One parser for every surface, so no spelling is accepted
+    /// in one place and rejected in another.
+    pub fn parse_bool(raw: &str) -> Option<bool> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" => Some(true),
+            "0" | "false" => Some(false),
+            _ => None,
+        }
     }
 
     /// `true` if this policy can never fan out.
@@ -116,19 +200,22 @@ impl ParallelPolicy {
     /// kernel methods.
     ///
     /// On first use it is initialised from the environment: `SLS_PARALLEL_THREADS`
-    /// (`0` = one thread per core) and `SLS_PARALLEL_MIN_ROWS`. Without those
-    /// variables the default is serial.
+    /// (`0` = one thread per core), `SLS_PARALLEL_MIN_ROWS` and
+    /// `SLS_PARALLEL_POOL` (`1`/`true` routes kernels through the
+    /// persistent worker pool). Without those variables the default is
+    /// serial.
     ///
     /// # Panics
     ///
-    /// Panics on first use if either variable is set to a value that is not
-    /// a non-negative integer — a typo must not silently disable the
-    /// parallel path the variable was set to force.
+    /// Panics on first use if any of the variables is set to an unparsable
+    /// value — a typo must not silently disable the parallel path the
+    /// variable was set to force.
     pub fn global() -> Self {
         init_global_from_env();
         Self {
             threads: GLOBAL_THREADS.load(Ordering::Relaxed),
             min_rows_per_thread: GLOBAL_MIN_ROWS.load(Ordering::Relaxed),
+            pool: GLOBAL_POOL.load(Ordering::Relaxed),
         }
     }
 
@@ -143,6 +230,7 @@ impl ParallelPolicy {
         GLOBAL_INIT.call_once(|| {});
         GLOBAL_THREADS.store(policy.threads.max(1), Ordering::Relaxed);
         GLOBAL_MIN_ROWS.store(policy.min_rows_per_thread.max(1), Ordering::Relaxed);
+        GLOBAL_POOL.store(policy.pool, Ordering::Relaxed);
     }
 }
 
@@ -165,6 +253,9 @@ fn init_global_from_env() {
         if let Some(min_rows) = read_env_usize(ENV_MIN_ROWS) {
             GLOBAL_MIN_ROWS.store(min_rows.max(1), Ordering::Relaxed);
         }
+        if let Some(pool) = read_env_bool(ENV_POOL) {
+            GLOBAL_POOL.store(pool, Ordering::Relaxed);
+        }
     });
 }
 
@@ -180,38 +271,75 @@ fn read_env_usize(name: &str) -> Option<usize> {
     }
 }
 
-/// Splits `out` into contiguous row blocks and runs `work` on each block,
-/// on `threads` scoped threads (or inline when `threads <= 1`).
+/// Reads a boolean environment variable (`1`/`true`/`0`/`false`), with the
+/// same set-but-unparsable panic policy as [`read_env_usize`].
+fn read_env_bool(name: &str) -> Option<bool> {
+    let raw = std::env::var(name).ok()?;
+    match ParallelPolicy::parse_bool(&raw) {
+        Some(value) => Some(value),
+        None => panic!("{name} must be one of 1/true/0/false, got `{raw}`"),
+    }
+}
+
+/// Splits `out` into contiguous row blocks and runs `work` on each block
+/// under `policy` — inline when the effective thread count is 1, otherwise
+/// on scoped threads (spawn-per-call) or the persistent [`WorkerPool`].
 ///
 /// `work` receives the half-open range of row indices it owns and the
 /// mutable storage of exactly those rows. Blocks differ in size by at most
-/// one row.
+/// one row. On the pool path the calling thread executes the first block
+/// itself, so `threads` bands use the submitter plus `threads - 1` workers.
+///
+/// When already running *on* a pool worker (a nested pooled kernel inside a
+/// row closure), the work runs inline instead: the pool's help-while-wait
+/// scheduling makes nested dispatch deadlock-free regardless, but skipping
+/// the queue round-trip is cheaper and the inline result is bitwise
+/// identical anyway.
 fn for_each_row_block(
     out: &mut [f64],
     rows: usize,
     row_width: usize,
-    threads: usize,
+    policy: &ParallelPolicy,
     work: &(impl Fn(Range<usize>, &mut [f64]) + Sync),
 ) {
-    let threads = threads.min(rows).max(1);
+    let mut threads = policy.effective_threads(rows).min(rows).max(1);
+    if threads > 1 && policy.pool && WorkerPool::on_worker_thread() {
+        threads = 1;
+    }
     if threads == 1 {
         work(0..rows, out);
         return;
     }
     let base = rows / threads;
     let extra = rows % threads;
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0;
-        for t in 0..threads {
-            let block_rows = base + usize::from(t < extra);
-            let (block, tail) = rest.split_at_mut(block_rows * row_width);
-            rest = tail;
-            let range = start..start + block_rows;
-            start += block_rows;
-            scope.spawn(move || work(range, block));
-        }
-    });
+    let mut blocks = Vec::with_capacity(threads);
+    let mut rest = out;
+    let mut start = 0;
+    for t in 0..threads {
+        let block_rows = base + usize::from(t < extra);
+        let (block, tail) = rest.split_at_mut(block_rows * row_width);
+        rest = tail;
+        blocks.push((start..start + block_rows, block));
+        start += block_rows;
+    }
+    if policy.pool {
+        WorkerPool::global().scope(|scope| {
+            let mut blocks = blocks.into_iter();
+            let (first_range, first_block) = blocks.next().expect("threads >= 2 blocks");
+            for (range, block) in blocks {
+                scope.spawn(move || work(range, block));
+            }
+            // The submitter is a full participant: it processes the first
+            // band while the workers process the rest.
+            work(first_range, first_block);
+        });
+    } else {
+        std::thread::scope(|scope| {
+            for (range, block) in blocks {
+                scope.spawn(move || work(range, block));
+            }
+        });
+    }
 }
 
 impl Matrix {
@@ -235,8 +363,7 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
-        let threads = policy.effective_threads(n);
-        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
             // i-p-j order keeps the inner loop contiguous over `other`'s rows
             // and the output row. No zero-skip on `a_ip`: `0.0 × NaN` must
             // produce NaN (IEEE), so a diverged operand is never masked.
@@ -276,8 +403,7 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
-        let threads = policy.effective_threads(n);
-        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
             for (i, out_row) in range.zip(block.chunks_mut(m)) {
                 let a_row = self.row(i);
                 for (j, out_val) in out_row.iter_mut().enumerate() {
@@ -314,8 +440,7 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
-        let threads = policy.effective_threads(n);
-        for_each_row_block(out.as_mut_slice(), n, m, threads, &|range, block| {
+        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
             // p-outer order keeps `other`'s rows streaming through cache;
             // each thread touches only its own band of output rows. The
             // per-element accumulation order (ascending p) matches serial
@@ -352,8 +477,7 @@ impl Matrix {
         if n == 0 || out_cols == 0 {
             return out;
         }
-        let threads = policy.effective_threads(n);
-        for_each_row_block(out.as_mut_slice(), n, out_cols, threads, &|range, block| {
+        for_each_row_block(out.as_mut_slice(), n, out_cols, policy, &|range, block| {
             for (i, out_row) in range.zip(block.chunks_mut(out_cols)) {
                 f(i, self.row(i), out_row);
             }
@@ -373,8 +497,7 @@ impl Matrix {
         if n == 0 {
             return out;
         }
-        let threads = policy.effective_threads(n);
-        for_each_row_block(&mut out, n, 1, threads, &|range, block| {
+        for_each_row_block(&mut out, n, 1, policy, &|range, block| {
             for (i, slot) in range.zip(block.iter_mut()) {
                 *slot = f(i, self.row(i));
             }
@@ -411,9 +534,13 @@ mod tests {
         let p = ParallelPolicy::default();
         assert!(p.is_serial());
         assert_eq!(p.threads, 1);
-        let q = ParallelPolicy::new(8).with_min_rows_per_thread(16);
+        assert!(!p.pool, "pooled dispatch must be opt-in");
+        let q = ParallelPolicy::new(8)
+            .with_min_rows_per_thread(16)
+            .with_pool(true);
         assert_eq!(q.threads, 8);
         assert_eq!(q.min_rows_per_thread, 16);
+        assert!(q.pool);
         assert!(!q.is_serial());
         // 0 resolves to the core count, which is at least 1.
         assert!(ParallelPolicy::auto().threads >= 1);
@@ -424,6 +551,38 @@ mod tests {
                 .min_rows_per_thread,
             1
         );
+    }
+
+    #[test]
+    fn policy_serde_round_trips_and_reads_pre_pool_documents() {
+        let p = ParallelPolicy::new(3)
+            .with_min_rows_per_thread(7)
+            .with_pool(true);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ParallelPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // Policy JSON written before the `pool` field existed still loads,
+        // with the old behaviour (no pool).
+        let legacy = "{\"threads\": 5, \"min_rows_per_thread\": 2}";
+        let back: ParallelPolicy = serde_json::from_str(legacy).unwrap();
+        assert_eq!(
+            back,
+            ParallelPolicy::new(5)
+                .with_min_rows_per_thread(2)
+                .with_pool(false)
+        );
+    }
+
+    #[test]
+    fn pool_flag_bool_spellings() {
+        for raw in ["1", "true", "TRUE", " True "] {
+            assert_eq!(ParallelPolicy::parse_bool(raw), Some(true), "{raw}");
+        }
+        for raw in ["0", "false", "FALSE", " False "] {
+            assert_eq!(ParallelPolicy::parse_bool(raw), Some(false), "{raw}");
+        }
+        assert_eq!(ParallelPolicy::parse_bool("yes"), None);
+        assert_eq!(ParallelPolicy::parse_bool(""), None);
     }
 
     #[test]
@@ -539,6 +698,67 @@ mod tests {
         let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
         let par = a.matmul_with(&b, &eager(16)).unwrap();
         assert!(bitwise_eq(&serial, &par));
+        let pooled = a.matmul_with(&b, &eager(16).with_pool(true)).unwrap();
+        assert!(bitwise_eq(&serial, &pooled));
+    }
+
+    #[test]
+    fn pooled_kernels_match_serial_bitwise_for_all_five_kernels() {
+        let mut r = rng();
+        let a = Matrix::random_normal(43, 18, 0.0, 1.0, &mut r);
+        let w = Matrix::random_normal(18, 9, 0.0, 1.0, &mut r);
+        let h = Matrix::random_normal(43, 9, 0.0, 1.0, &mut r);
+        let serial = ParallelPolicy::serial();
+        for threads in [2, 4, 8] {
+            let pooled = eager(threads).with_pool(true);
+            assert!(bitwise_eq(
+                &a.matmul_with(&w, &serial).unwrap(),
+                &a.matmul_with(&w, &pooled).unwrap(),
+            ));
+            assert!(bitwise_eq(
+                &a.matmul_transpose_right_with(&a, &serial).unwrap(),
+                &a.matmul_transpose_right_with(&a, &pooled).unwrap(),
+            ));
+            assert!(bitwise_eq(
+                &a.matmul_transpose_left_with(&h, &serial).unwrap(),
+                &a.matmul_transpose_left_with(&h, &pooled).unwrap(),
+            ));
+            let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+            let fused = |_: usize, row: &[f64], out: &mut [f64]| {
+                for (o, &x) in out.iter_mut().zip(row) {
+                    *o = sigmoid(x);
+                }
+            };
+            assert!(bitwise_eq(
+                &a.map_rows_with(18, &serial, fused),
+                &a.map_rows_with(18, &pooled, fused),
+            ));
+            let norm = |_: usize, row: &[f64]| row.iter().map(|x| x * x).sum::<f64>();
+            let s = a.reduce_rows_with(&serial, norm);
+            let p = a.reduce_rows_with(&pooled, norm);
+            assert!(s.iter().zip(&p).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn nested_pooled_kernel_runs_inline_without_deadlock() {
+        // A pooled kernel whose row closure itself invokes a pooled kernel
+        // must not wait on the pool from a pool worker; the nested call runs
+        // inline. If the fallback regressed, this test would hang rather
+        // than fail — it is the liveness guard for nested dispatch.
+        let mut r = rng();
+        let m = Matrix::random_normal(24, 6, 0.0, 1.0, &mut r);
+        let w = Matrix::random_normal(6, 3, 0.0, 1.0, &mut r);
+        let pooled = eager(4).with_pool(true);
+        let out = m.map_rows_with(3, &pooled, |i, _, out_row| {
+            // Nested pooled product over the shared operands.
+            let inner = m.matmul_with(&w, &pooled).unwrap();
+            out_row.copy_from_slice(inner.row(i));
+        });
+        assert!(bitwise_eq(
+            &out,
+            &m.matmul_with(&w, &ParallelPolicy::serial()).unwrap()
+        ));
     }
 
     #[test]

@@ -1,0 +1,535 @@
+//! A persistent worker pool for the parallel kernels.
+//!
+//! The scoped-thread dispatch in [`crate::ParallelPolicy`]'s kernels spawns
+//! OS threads on every call (~10–50 µs each), which erases the multi-core
+//! win exactly where it matters most: small serving micro-batches, where the
+//! kernel itself runs for comparable time. [`WorkerPool`] removes that cost
+//! by parking N long-lived workers on a shared injector queue
+//! ([`std::sync::Mutex`] + [`std::sync::Condvar`], no new dependencies) and
+//! handing them row-band tasks through [`WorkerPool::scope`].
+//!
+//! ## Borrowed-closure dispatch
+//!
+//! [`std::thread::scope`] lets spawned closures borrow from the caller's
+//! stack because the compiler proves every thread is joined before the scope
+//! returns. A long-lived pool cannot get that proof from the compiler, so
+//! [`WorkerPool::scope`] reconstructs the same guarantee by hand: every task
+//! spawned through a [`PoolScope`] is counted on a completion latch, and
+//! `scope` does not return — not even by unwinding — until the latch has
+//! seen every task finish. Only then can the borrows the tasks captured go
+//! out of scope, which is what makes the internal lifetime erasure sound.
+//!
+//! ## Panic propagation
+//!
+//! A panicking task never takes a worker down: the panic payload is caught
+//! on the worker, carried back through the latch, and re-raised on the
+//! submitting thread once all of the scope's tasks have finished — the same
+//! observable behaviour as [`std::thread::scope`]. The pool stays fully
+//! usable afterwards (it does not poison).
+//!
+//! ## Deadlock safety
+//!
+//! A thread waiting on a scope does not merely sleep: it *helps*, draining
+//! queued jobs until its own scope completes. A nested `scope` on a pool
+//! worker — or a pooled kernel reached through an intermediate spawn-path
+//! scoped thread — therefore executes its jobs itself rather than waiting
+//! for a worker that is blocked further up the same call stack, so no
+//! nesting shape can deadlock the pool. Independently, worker threads are
+//! marked with a thread-local flag ([`WorkerPool::on_worker_thread`]) that
+//! lets the kernels skip the queue entirely for directly nested dispatch
+//! and run inline — bitwise identical, and cheaper than help-routing.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// A queued unit of work: a type-erased closure plus its completion latch.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// `true` on threads owned by any [`WorkerPool`].
+    static ON_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Locks a mutex, recovering from poisoning: the pool's shared state is a
+/// plain job queue whose invariants hold between every two statements, and
+/// user panics are caught before they can unwind through a held guard, so a
+/// poisoned lock only ever means "some unrelated thread panicked" — refusing
+/// to continue would turn one propagated panic into a deadlocked pool.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The injector queue shared by all workers of one pool.
+struct Shared {
+    queue: Mutex<Injector>,
+    /// Signalled when a job is pushed or shutdown begins.
+    work_ready: Condvar,
+}
+
+struct Injector {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Completion latch of one [`PoolScope`]: how many spawned tasks are still
+/// running, plus the first panic payload any of them raised.
+struct Latch {
+    state: Mutex<LatchState>,
+    all_done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                pending: 0,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Registers one more in-flight task.
+    fn add_task(&self) {
+        lock(&self.state).pending += 1;
+    }
+
+    /// Marks one task finished, recording its panic payload if it is the
+    /// scope's first.
+    fn finish_task(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = lock(&self.state);
+        state.pending -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Takes the first recorded panic payload, if any task panicked.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock(&self.state).panic.take()
+    }
+}
+
+/// A fixed-size pool of persistent worker threads executing borrowed
+/// closures submitted through [`WorkerPool::scope`].
+///
+/// Dropping the pool shuts it down cleanly: the workers finish every job
+/// already queued (there can be none unless a scope is still waiting on
+/// them), then exit and are joined.
+///
+/// ```
+/// use sls_linalg::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let data = vec![1.0f64, 2.0, 3.0, 4.0];
+/// let (left, right) = data.split_at(2);
+/// let mut sums = [0.0f64; 2];
+/// let (s0, s1) = sums.split_at_mut(1);
+/// pool.scope(|scope| {
+///     scope.spawn(|| s0[0] = left.iter().sum());
+///     scope.spawn(|| s1[0] = right.iter().sum());
+/// });
+/// assert_eq!(sums, [3.0, 7.0]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts a pool with `workers` persistent threads (clamped to at
+    /// least 1 — a pool with no workers could never run a queued job).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Injector {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sls-pool-worker-{id}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// `true` when called from a thread owned by any [`WorkerPool`].
+    ///
+    /// Kernels use this to short-circuit directly nested dispatch: a task
+    /// already running on a pool worker executes nested row bands inline
+    /// instead of round-tripping them through the queue. This is an
+    /// optimisation, not the liveness guarantee — waiting scopes help drain
+    /// the queue (see [`WorkerPool::scope`]), so even un-flagged nesting
+    /// cannot deadlock.
+    pub fn on_worker_thread() -> bool {
+        ON_POOL_WORKER.with(Cell::get)
+    }
+
+    /// The process-global pool used by the kernels when a
+    /// [`crate::ParallelPolicy`] has its `pool` flag set.
+    ///
+    /// Lazily started on first use with one worker per available core minus
+    /// one (at least one) — the submitting thread always executes one row
+    /// band itself, so workers + submitter together saturate the machine.
+    /// The pool lives for the rest of the process; it is an execution
+    /// resource, never part of any serialized artifact.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            WorkerPool::new(cores.saturating_sub(1).max(1))
+        })
+    }
+
+    /// Runs `f` with a [`PoolScope`] through which it can spawn tasks that
+    /// borrow from the enclosing stack frame, then blocks until every
+    /// spawned task has finished.
+    ///
+    /// The calling thread is expected to do a share of the work itself
+    /// inside `f` (the kernels run their first row band inline) — `scope`
+    /// only sleeps once `f` returns and tasks are still in flight.
+    ///
+    /// # Panics
+    ///
+    /// If a spawned task panics, the first panic payload is re-raised here
+    /// after all tasks of the scope have finished, mirroring
+    /// [`std::thread::scope`]. If `f` itself panics, its panic propagates —
+    /// also only after every already-spawned task has finished, so borrowed
+    /// data is never freed under a running task.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'_, 'env>) -> R,
+    {
+        let latch = Arc::new(Latch::new());
+        let scope = PoolScope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            _env: PhantomData,
+        };
+
+        /// Waits for the scope's tasks on *every* exit path, including the
+        /// caller's closure unwinding: the lifetime-erasure safety argument
+        /// requires that no task can outlive this stack frame.
+        struct WaitGuard<'a> {
+            pool: &'a WorkerPool,
+            latch: &'a Latch,
+        }
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.pool.help_until_done(self.latch);
+            }
+        }
+
+        let result = {
+            let _guard = WaitGuard {
+                pool: self,
+                latch: &latch,
+            };
+            f(&scope)
+        };
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Blocks until `latch` has counted every task of one scope as
+    /// finished, executing queued jobs — this scope's or any other's —
+    /// while waiting.
+    ///
+    /// The helping is what makes `scope` deadlock-free under *any* nesting:
+    /// a scope waited on from a pool worker (re-entrant `scope`), or from a
+    /// thread a pool worker is itself blocked on (a pooled kernel reached
+    /// through an intermediate spawn-path scoped thread), drains its own
+    /// jobs instead of waiting for a worker that will never come. Once the
+    /// queue is observed empty, every remaining task of this scope is
+    /// already running on some other thread, so a plain condvar wait cannot
+    /// strand work. That rests on an invariant the borrow checker enforces:
+    /// spawning onto a scope ends when its closure returns, because
+    /// [`PoolScope::spawn`] bounds tasks by `'env` (stricter than
+    /// [`std::thread::scope`]'s `'scope`), so a task can never capture the
+    /// scope handle and spawn siblings later — the attempt is a compile
+    /// error (`E0521`, borrowed data escapes the closure).
+    fn help_until_done(&self, latch: &Latch) {
+        loop {
+            if lock(&latch.state).pending == 0 {
+                return;
+            }
+            let job = lock(&self.shared.queue).jobs.pop_front();
+            match job {
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => {
+                    let mut state = lock(&latch.state);
+                    while state.pending > 0 {
+                        state = latch
+                            .all_done
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Scope handle passed to the closure of [`WorkerPool::scope`].
+///
+/// `'env` is the lifetime of borrows captured by spawned tasks; it is
+/// invariant (as in [`std::thread::Scope`]) so the compiler cannot shrink it
+/// to something that dies before `scope` returns.
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    latch: Arc<Latch>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope")
+            .field("pool", self.pool)
+            .finish()
+    }
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Queues `task` on the pool. It may borrow anything that outlives the
+    /// enclosing [`WorkerPool::scope`] call.
+    ///
+    /// Unlike [`std::thread::Scope::spawn`], the task is bounded by `'env`
+    /// rather than a `'scope` lifetime, so a task **cannot capture the
+    /// scope handle** and spawn siblings from inside the pool — such code
+    /// fails to compile. This is deliberate: the scope's wait logic relies
+    /// on no task being spawned after the scope closure returns (open a
+    /// nested [`WorkerPool::scope`] from within a task instead; that is
+    /// fully supported).
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.latch.add_task();
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
+        // SAFETY: the closure only has to live for the duration of the
+        // enclosing `WorkerPool::scope` call, because `scope` blocks (on the
+        // latch this task was just registered with) until the task has
+        // finished — on the normal path and, via `WaitGuard`, when
+        // unwinding. Erasing the lifetime to `'static` therefore never lets
+        // the task observe a dead borrow; the transmute only changes the
+        // trait object's lifetime bound, not its layout.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        };
+        let job: Job = Box::new(move || {
+            let panic = catch_unwind(AssertUnwindSafe(task)).err();
+            latch.finish_task(panic);
+        });
+        let mut queue = lock(&self.pool.shared.queue);
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.pool.shared.work_ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    ON_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                // Drain-then-exit ordering: shutdown is only honoured once
+                // the queue is empty, so a dropping pool never strands a
+                // queued job (and with it a waiting scope).
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // The job wrapper already catches user panics; running it bare would
+        // still be safe, but the belt-and-braces catch keeps a worker alive
+        // even if a panic payload's own destructor panics.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_borrowed_tasks_to_completion() {
+        let pool = WorkerPool::new(3);
+        let input: Vec<f64> = (0..100).map(f64::from).collect();
+        let mut out = vec![0.0; 100];
+        let mut chunks: Vec<&mut [f64]> = out.chunks_mut(30).collect();
+        pool.scope(|scope| {
+            for (c, chunk) in chunks.iter_mut().enumerate() {
+                let input = &input;
+                scope.spawn(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = input[c * 30 + i] * 2.0;
+                    }
+                });
+            }
+        });
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, (i as f64) * 2.0);
+        }
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let pool = WorkerPool::new(1);
+        let value = pool.scope(|scope| {
+            scope.spawn(|| {});
+            42
+        });
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.scope(|_| "done"), "done");
+    }
+
+    #[test]
+    fn more_tasks_than_workers_all_run() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let done = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn worker_threads_are_flagged() {
+        assert!(!WorkerPool::on_worker_thread());
+        let pool = WorkerPool::new(1);
+        let mut seen = false;
+        pool.scope(|scope| {
+            scope.spawn(|| seen = WorkerPool::on_worker_thread());
+        });
+        assert!(seen);
+        assert!(!WorkerPool::on_worker_thread());
+    }
+
+    #[test]
+    fn reentrant_scope_on_a_pool_worker_completes() {
+        // A task running on the pool's only worker opens a nested scope on
+        // the same pool: the nested jobs can never be picked up by a free
+        // worker, so the waiting task must drain them itself
+        // (help-while-wait). Before that scheduling, this test deadlocked.
+        let pool = WorkerPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            let (pool, count) = (&pool, &count);
+            outer.spawn(move || {
+                pool.scope(|inner| {
+                    for _ in 0..4 {
+                        inner.spawn(|| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().workers() >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

@@ -6,7 +6,7 @@
 //! applied to any matrix with the same number of columns, including the
 //! reconstructed visible layer.
 
-use crate::{LinalgError, Matrix, Result};
+use crate::{LinalgError, Matrix, ParallelPolicy, Result};
 use serde::{Deserialize, Serialize};
 
 /// Per-column mean and standard deviation of a data matrix.
@@ -71,13 +71,29 @@ impl Standardizer {
         &self.stats
     }
 
-    /// Applies the transformation to `data`.
+    /// Applies the transformation to `data` under the process-wide
+    /// [`ParallelPolicy::global`]; see [`Standardizer::transform_with`] for
+    /// an explicit policy.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
     /// from the fitted data.
     pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        self.transform_with(data, &ParallelPolicy::global())
+    }
+
+    /// [`Standardizer::transform`] under an explicit parallel execution
+    /// policy: rows are transformed independently through
+    /// [`Matrix::map_rows_with`], so results are bitwise identical for
+    /// every policy. This is the serving-path variant — preprocessing a
+    /// micro-batch rides the same pool the matmul uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column count differs
+    /// from the fitted data.
+    pub fn transform_with(&self, data: &Matrix, policy: &ParallelPolicy) -> Result<Matrix> {
         if data.cols() != self.stats.means.len() {
             return Err(LinalgError::ShapeMismatch {
                 op: "Standardizer::transform",
@@ -85,19 +101,14 @@ impl Standardizer {
                 right: (1, self.stats.means.len()),
             });
         }
-        let mut out = data.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            for (j, x) in row.iter_mut().enumerate() {
-                let std = if self.stats.stds[j] > 0.0 {
-                    self.stats.stds[j]
-                } else {
-                    1.0
-                };
-                *x = (*x - self.stats.means[j]) / std;
+        let means = &self.stats.means;
+        let stds = &self.stats.stds;
+        Ok(data.map_rows_with(data.cols(), policy, |_, row, out| {
+            for (j, (o, &x)) in out.iter_mut().zip(row).enumerate() {
+                let std = if stds[j] > 0.0 { stds[j] } else { 1.0 };
+                *o = (x - means[j]) / std;
             }
-        }
-        Ok(out)
+        }))
     }
 
     /// Inverts the transformation (used to map reconstructions back to the
@@ -221,6 +232,25 @@ mod tests {
         let wrong = Matrix::zeros(2, 5);
         assert!(s.transform(&wrong).is_err());
         assert!(s.inverse_transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn standardizer_transform_with_is_bitwise_identical_across_policies() {
+        let d = Matrix::from_fn(37, 5, |i, j| (i as f64) * 0.7 - (j as f64) * 1.3);
+        let s = Standardizer::fit(&d).unwrap();
+        let serial = s.transform_with(&d, &ParallelPolicy::serial()).unwrap();
+        for pool in [false, true] {
+            let policy = ParallelPolicy::new(4)
+                .with_min_rows_per_thread(1)
+                .with_pool(pool);
+            let par = s.transform_with(&d, &policy).unwrap();
+            let same = serial
+                .as_slice()
+                .iter()
+                .zip(par.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "pool = {pool}");
+        }
     }
 
     #[test]

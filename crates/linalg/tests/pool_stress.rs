@@ -1,0 +1,239 @@
+//! Concurrency stress tests for the persistent [`WorkerPool`].
+//!
+//! The pool replaces `std::thread::scope`'s compiler-enforced lifetime
+//! guarantees with hand-rolled synchronisation (Mutex + Condvar injector,
+//! completion latch, lifetime-erased closures), so this suite attacks the
+//! hand-rolled parts directly: many threads submitting concurrently,
+//! repeated construct/submit/drop cycles, panic propagation to the
+//! submitter, and pool usability after panics. The bitwise-identity
+//! guarantees of the pooled *kernels* live in `properties.rs`; this file is
+//! about the pool machinery itself.
+
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy, WorkerPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn many_threads_submitting_scopes_concurrently() {
+    // 8 submitters × 50 scopes × 4 tasks, all against one 3-worker pool:
+    // the injector queue and latch bookkeeping must never lose or double-run
+    // a task.
+    let pool = WorkerPool::new(3);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for submitter in 0..8usize {
+            let pool = &pool;
+            let total = &total;
+            s.spawn(move || {
+                for round in 0..50usize {
+                    let mut parts = [0usize; 4];
+                    let mut slots: Vec<&mut usize> = parts.iter_mut().collect();
+                    pool.scope(|scope| {
+                        for (t, slot) in slots.iter_mut().enumerate() {
+                            scope.spawn(move || **slot = submitter + round + t);
+                        }
+                    });
+                    for (t, part) in parts.iter().enumerate() {
+                        assert_eq!(*part, submitter + round + t);
+                    }
+                    total.fetch_add(4, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 8 * 50 * 4);
+}
+
+#[test]
+fn many_threads_running_pooled_kernels_concurrently() {
+    // The same contention profile the HTTP server produces: several threads
+    // pushing micro-batches through pooled kernels (which all share the
+    // process-global pool) at once. Every result must stay bitwise equal to
+    // the serial reference.
+    let mut rng = rand_seed();
+    let data = Matrix::random_normal(64, 12, 0.0, 1.0, &mut rng);
+    let weights = Matrix::random_normal(12, 7, 0.0, 1.0, &mut rng);
+    let reference = data
+        .matmul_with(&weights, &ParallelPolicy::serial())
+        .unwrap();
+    let pooled = ParallelPolicy::new(4)
+        .with_min_rows_per_thread(1)
+        .with_pool(true);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let (data, weights, reference, pooled) = (&data, &weights, &reference, &pooled);
+            s.spawn(move || {
+                for _ in 0..40 {
+                    let out = data.matmul_with(weights, pooled).unwrap();
+                    assert!(bitwise_eq(&out, reference));
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn repeated_submit_and_drop_cycles() {
+    // Construct → submit → drop, many times over: shutdown must join every
+    // worker without stranding queued jobs, and a fresh pool must come up
+    // clean each time.
+    for cycle in 0..40usize {
+        let pool = WorkerPool::new(1 + cycle % 4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16, "cycle {cycle}");
+        drop(pool);
+    }
+}
+
+#[test]
+fn worker_panic_propagates_to_the_submitter() {
+    let pool = WorkerPool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            scope.spawn(|| panic!("deliberate worker panic"));
+        });
+    }));
+    let payload = result.expect_err("the task panic must reach the submitter");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("");
+    assert!(
+        message.contains("deliberate worker panic"),
+        "unexpected payload: {message:?}"
+    );
+}
+
+#[test]
+fn pool_stays_usable_after_worker_panics() {
+    // Not poisoned: after (repeated) task panics the same pool must keep
+    // accepting and completing work, and the sibling tasks of a panicking
+    // scope must still run to completion before the panic is re-raised.
+    let pool = WorkerPool::new(2);
+    for round in 0..5usize {
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("round {round}"));
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "round {round}: panic must propagate");
+        assert_eq!(
+            survivors.load(Ordering::Relaxed),
+            8,
+            "round {round}: sibling tasks must finish before the panic re-raises"
+        );
+        // And the pool still does real work afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for i in 0..10usize {
+                let sum = &sum;
+                scope.spawn(move || {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55, "round {round}");
+    }
+}
+
+#[test]
+fn panic_in_the_scope_closure_waits_for_spawned_tasks() {
+    // If the *submitting* closure panics after spawning, `scope` must still
+    // wait for the in-flight tasks (they borrow the submitter's stack)
+    // before unwinding.
+    let pool = WorkerPool::new(2);
+    let finished = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            panic!("submitter panic");
+        });
+    }));
+    assert!(result.is_err());
+    assert_eq!(finished.load(Ordering::Relaxed), 4);
+    // Pool is still alive.
+    pool.scope(|scope| scope.spawn(|| {}));
+}
+
+#[test]
+fn mixed_dispatch_nesting_cannot_deadlock() {
+    // The nastiest nesting shape: a pooled kernel's row closure runs a
+    // spawn-path kernel, whose scoped threads (which carry no pool-worker
+    // flag) each run a pooled kernel again. The intermediate scoped threads
+    // queue jobs while the pool's worker may be blocked further up this
+    // very call stack — only help-while-wait scheduling lets the scoped
+    // threads drain their own jobs. On a 1-worker global pool (1-core CI
+    // container) this deadlocked before that scheduling existed.
+    let mut rng = rand_seed();
+    let m = Matrix::random_normal(8, 5, 0.0, 1.0, &mut rng);
+    let w = Matrix::random_normal(5, 3, 0.0, 1.0, &mut rng);
+    let spawn = ParallelPolicy::new(2).with_min_rows_per_thread(1);
+    let pooled = spawn.with_pool(true);
+    let reference = m.matmul_with(&w, &ParallelPolicy::serial()).unwrap();
+    let out = m.map_rows_with(3, &pooled, |i, _, out_row| {
+        // Spawn-path kernel: its scoped threads are not pool workers...
+        let inner = m.map_rows_with(3, &spawn, |j, _, inner_row| {
+            // ...yet they submit pooled work again.
+            let prod = m.matmul_with(&w, &pooled).unwrap();
+            inner_row.copy_from_slice(prod.row(j));
+        });
+        out_row.copy_from_slice(inner.row(i));
+    });
+    assert!(bitwise_eq(&out, &reference));
+}
+
+#[test]
+fn pooled_kernel_panic_propagates_and_the_global_pool_survives() {
+    // End-to-end through a kernel: a panicking row closure must surface on
+    // the calling thread, and the process-global pool must keep serving
+    // kernels afterwards.
+    let m = Matrix::from_fn(32, 4, |i, j| (i + j) as f64);
+    let pooled = ParallelPolicy::new(4)
+        .with_min_rows_per_thread(1)
+        .with_pool(true);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        m.map_rows_with(4, &pooled, |i, row, out| {
+            assert!(i < 16, "deliberate kernel panic on row {i}");
+            out.copy_from_slice(row);
+        })
+    }));
+    assert!(result.is_err(), "row-closure panic must reach the caller");
+    let doubled = m.map_rows_with(4, &pooled, |_, row, out| {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o = 2.0 * x;
+        }
+    });
+    assert!(bitwise_eq(&doubled, &m.scale(2.0)));
+}
+
+fn rand_seed() -> rand_chacha::ChaCha8Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha8Rng::seed_from_u64(2024)
+}

@@ -39,15 +39,20 @@ fn large_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
-/// Policies covering thread counts 1–8 and cutovers around the partition
+/// Policies covering thread counts 1–8, cutovers around the partition
 /// boundaries (including `min_rows_per_thread` values that force serial
-/// execution for most shapes — the cutover itself is under test).
+/// execution for most shapes — the cutover itself is under test) and both
+/// dispatch modes: spawn-per-call scoped threads and the persistent worker
+/// pool. Every bitwise-identity property below therefore holds for the
+/// pooled kernels too.
 fn policy_strategy() -> impl Strategy<Value = ParallelPolicy> {
-    (1..=8usize, 1..=9usize).prop_map(|(threads, min_rows)| {
+    (1..=8usize, 1..=9usize, 0..2usize).prop_map(|(threads, min_rows, pool)| {
         // 9 maps to a cutover larger than any generated row count, forcing
         // the serial path through the parallel entry points.
         let min_rows = if min_rows == 9 { 64 } else { min_rows };
-        ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows)
+        ParallelPolicy::new(threads)
+            .with_min_rows_per_thread(min_rows)
+            .with_pool(pool == 1)
     })
 }
 
@@ -160,13 +165,18 @@ proptest! {
         threads in 2..=8usize,
     ) {
         // Pin min_rows_per_thread exactly at / around the row count so the
-        // serial<->parallel decision flips within one test case.
+        // serial<->parallel decision flips within one test case — for both
+        // dispatch modes.
         let n = a.rows();
         for min_rows in [n.saturating_sub(1).max(1), n, n + 1] {
-            let policy = ParallelPolicy::new(threads).with_min_rows_per_thread(min_rows);
-            let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
-            let parallel = a.matmul_with(&b, &policy).unwrap();
-            prop_assert!(bitwise_eq(&serial, &parallel), "min_rows {min_rows}");
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(min_rows)
+                    .with_pool(pool);
+                let serial = a.matmul_with(&b, &ParallelPolicy::serial()).unwrap();
+                let parallel = a.matmul_with(&b, &policy).unwrap();
+                prop_assert!(bitwise_eq(&serial, &parallel), "min_rows {min_rows} pool {pool}");
+            }
         }
     }
 

@@ -4,15 +4,19 @@
 //! ```sh
 //! sls-serve export --out artifacts [--name quick_demo] [--model sls-grbm]
 //!                  [--instances 90] [--dims 8] [--clusters 3] [--seed 2023]
-//!                  [--threads N] [--min-par-rows N]
+//!                  [--threads N] [--min-par-rows N] [--pool 0|1]
 //! sls-serve serve  --dir artifacts [--addr 127.0.0.1:7878] [--workers 8]
-//!                  [--threads N] [--min-par-rows N]
+//!                  [--threads N] [--min-par-rows N] [--pool 0|1]
 //! ```
 //!
 //! `--threads` sets the parallel linalg policy (`0` = one thread per core,
 //! default `1` = serial unless `SLS_PARALLEL_THREADS` is set);
 //! `--min-par-rows` sets the serial cutover (matrices with fewer output rows
-//! per thread stay serial). Results are bitwise identical for every policy.
+//! per thread stay serial); `--pool 1` routes fanned-out kernels through the
+//! persistent worker pool (constructed at bind time, shared by all HTTP
+//! workers) instead of spawning threads per call — the right choice for
+//! small-batch serving, also reachable via `SLS_PARALLEL_POOL=1`. Results
+//! are bitwise identical for every policy.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -26,9 +30,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
                    [--instances N] [--dims N] [--clusters N] [--seed N]
-                   [--threads N] [--min-par-rows N]
+                   [--threads N] [--min-par-rows N] [--pool 0|1]
   sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]
-                   [--threads N] [--min-par-rows N]";
+                   [--threads N] [--min-par-rows N] [--pool 0|1]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,9 +66,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
     Ok(flags)
 }
 
-/// Builds the linalg parallel policy from `--threads` / `--min-par-rows`,
-/// falling back to the process-wide default (which honours
-/// `SLS_PARALLEL_THREADS` / `SLS_PARALLEL_MIN_ROWS`).
+/// Builds the linalg parallel policy from `--threads` / `--min-par-rows` /
+/// `--pool`, falling back to the process-wide default (which honours
+/// `SLS_PARALLEL_THREADS` / `SLS_PARALLEL_MIN_ROWS` / `SLS_PARALLEL_POOL`).
 fn parallel_policy(flags: &BTreeMap<String, String>) -> Result<ParallelPolicy, String> {
     let global = ParallelPolicy::global();
     let policy = match flags.get("threads") {
@@ -72,11 +76,22 @@ fn parallel_policy(flags: &BTreeMap<String, String>) -> Result<ParallelPolicy, S
             let threads: usize = raw
                 .parse()
                 .map_err(|_| format!("invalid value `{raw}` for --threads"))?;
-            ParallelPolicy::new(threads).with_min_rows_per_thread(global.min_rows_per_thread)
+            ParallelPolicy::new(threads)
+                .with_min_rows_per_thread(global.min_rows_per_thread)
+                .with_pool(global.pool)
         }
         None => global,
     };
-    Ok(policy.with_min_rows_per_thread(parsed(flags, "min-par-rows", policy.min_rows_per_thread)?))
+    let pool = match flags.get("pool") {
+        None => policy.pool,
+        // Same parser as SLS_PARALLEL_POOL, so no spelling works in the
+        // environment but fails on the command line.
+        Some(raw) => ParallelPolicy::parse_bool(raw)
+            .ok_or_else(|| format!("invalid value `{raw}` for --pool (use 0/1/true/false)"))?,
+    };
+    Ok(policy
+        .with_min_rows_per_thread(parsed(flags, "min-par-rows", policy.min_rows_per_thread)?)
+        .with_pool(pool))
 }
 
 fn parsed<T: std::str::FromStr>(
@@ -105,6 +120,7 @@ fn run_export(args: &[String]) -> Result<(), String> {
             "--seed",
             "--threads",
             "--min-par-rows",
+            "--pool",
         ],
     )?;
     let out = flags
@@ -173,6 +189,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--workers",
             "--threads",
             "--min-par-rows",
+            "--pool",
         ],
     )?;
     let dir = flags
@@ -210,8 +227,13 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("local address unavailable: {e}"))?;
     eprintln!(
         "serving on http://{local} with {workers} workers, {} linalg thread(s) per request \
-         (Ctrl-C to stop)",
-        parallel.threads
+         ({} dispatch; Ctrl-C to stop)",
+        parallel.threads,
+        if parallel.pool {
+            "persistent-pool"
+        } else {
+            "spawn-per-call"
+        }
     );
     let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
     handle.join();

@@ -23,7 +23,7 @@ use crate::http::{read_request, write_response, Request};
 use crate::registry::ModelRegistry;
 use crate::Result;
 use serde::Serialize;
-use sls_linalg::ParallelPolicy;
+use sls_linalg::{ParallelPolicy, WorkerPool};
 use sls_rbm_core::PipelineArtifact;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -51,22 +51,36 @@ impl Server {
     /// run under the process-wide [`ParallelPolicy::global`] unless
     /// overridden with [`Server::with_parallel`].
     ///
+    /// When the policy enables pooled dispatch, the persistent linalg
+    /// [`WorkerPool`] is constructed here, at bind time: one pool, shared
+    /// by all HTTP workers for the server's lifetime, instead of scoped
+    /// thread spawns inside every request.
+    ///
     /// # Errors
     ///
     /// Returns I/O errors from binding.
     pub fn bind(addr: impl ToSocketAddrs, registry: ModelRegistry, workers: usize) -> Result<Self> {
+        let parallel = ParallelPolicy::global();
+        if parallel.pool {
+            let _ = WorkerPool::global();
+        }
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             registry: Arc::new(registry),
             workers: workers.max(1),
-            parallel: ParallelPolicy::global(),
+            parallel,
         })
     }
 
     /// Sets the parallel execution policy for inference micro-batches
     /// (the matrix multiply behind `/features` and `/assign`). Responses
-    /// are bitwise identical for every policy.
+    /// are bitwise identical for every policy. A pooled policy starts the
+    /// shared persistent [`WorkerPool`] immediately, so the first request
+    /// never pays pool construction.
     pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        if parallel.pool {
+            let _ = WorkerPool::global();
+        }
         self.parallel = parallel;
         self
     }
@@ -440,6 +454,15 @@ mod tests {
             );
             assert_eq!(serial, parallel, "path {path}");
             assert_eq!(serial.0, 200);
+            // Persistent-pool dispatch answers the same bytes too.
+            let pooled = route_with(
+                &registry,
+                &request,
+                &ParallelPolicy::new(4)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(true),
+            );
+            assert_eq!(serial, pooled, "pooled path {path}");
         }
     }
 
@@ -452,6 +475,37 @@ mod tests {
         assert_ne!(addr.port(), 0);
         let handle = server.start().unwrap();
         assert_eq!(handle.addr(), addr);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn server_with_pooled_policy_serves_and_shuts_down() {
+        // Bind-time pool construction plus real requests through the pooled
+        // inference path, answered by concurrent HTTP workers sharing one
+        // linalg worker pool.
+        let server = Server::bind("127.0.0.1:0", registry(), 2)
+            .unwrap()
+            .with_parallel(
+                ParallelPolicy::new(4)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(true),
+            );
+        let addr = server.local_addr().unwrap();
+        let handle = server.start().unwrap();
+        let client = crate::Client::new(addr);
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4],[1.0,1.1,1.2,1.3],[2.0,2.1,2.2,2.3]]}";
+        let reference = route_with(
+            &registry(),
+            &request("POST", "/models/demo/features", body),
+            &ParallelPolicy::serial(),
+        );
+        for _ in 0..4 {
+            let response = client
+                .request("POST", "/models/demo/features", body)
+                .expect("pooled inference request");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, reference.1);
+        }
         handle.shutdown();
     }
 }
