@@ -290,11 +290,12 @@ fn read_env_bool(name: &str) -> Option<bool> {
 /// one row. On the pool path the calling thread executes the first block
 /// itself, so `threads` bands use the submitter plus `threads - 1` workers.
 ///
-/// When already running *on* a pool worker (a nested pooled kernel inside a
-/// row closure), the work runs inline instead: the pool's help-while-wait
-/// scheduling makes nested dispatch deadlock-free regardless, but skipping
-/// the queue round-trip is cheaper and the inline result is bitwise
-/// identical anyway.
+/// When already executing a pool job (a nested pooled kernel inside a row
+/// closure — whether that closure runs on a worker thread or on a scope
+/// waiter's help path), the work runs inline instead: the pool's
+/// help-while-wait scheduling makes nested dispatch deadlock-free
+/// regardless, but skipping the queue round-trip is cheaper and the inline
+/// result is bitwise identical anyway.
 fn for_each_row_block(
     out: &mut [f64],
     rows: usize,

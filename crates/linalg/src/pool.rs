@@ -27,17 +27,25 @@
 //! observable behaviour as [`std::thread::scope`]. The pool stays fully
 //! usable afterwards (it does not poison).
 //!
-//! ## Deadlock safety
+//! ## Deadlock safety and help scheduling
 //!
 //! A thread waiting on a scope does not merely sleep: it *helps*, draining
-//! queued jobs until its own scope completes. A nested `scope` on a pool
-//! worker — or a pooled kernel reached through an intermediate spawn-path
-//! scoped thread — therefore executes its jobs itself rather than waiting
-//! for a worker that is blocked further up the same call stack, so no
-//! nesting shape can deadlock the pool. Independently, worker threads are
-//! marked with a thread-local flag ([`WorkerPool::on_worker_thread`]) that
-//! lets the kernels skip the queue entirely for directly nested dispatch
-//! and run inline — bitwise identical, and cheaper than help-routing.
+//! its own scope's queued jobs until the scope completes. A nested `scope`
+//! on a pool worker — or a pooled kernel reached through an intermediate
+//! spawn-path scoped thread — therefore executes its jobs itself rather
+//! than waiting for a worker that is blocked further up the same call
+//! stack, so no nesting shape can deadlock the pool. Helping is bounded to
+//! the waiting scope's *own* jobs: a small serving scope never gets stuck
+//! executing an unrelated scope's long-running band (say, a large training
+//! job) before it can observe its own completion. Once none of its jobs
+//! remain queued, the stragglers are already running on other threads and
+//! the waiter sleeps on the scope's latch.
+//!
+//! Every pool job — whether picked up by a worker or executed by a helping
+//! waiter — runs with a thread-local flag set
+//! ([`WorkerPool::on_worker_thread`]) that lets the kernels skip the queue
+//! entirely for nested dispatch and run inline — bitwise identical, and
+//! cheaper than help-routing.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -47,12 +55,38 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
-/// A queued unit of work: a type-erased closure plus its completion latch.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued unit of work: a type-erased closure tagged with the identity of
+/// the scope it belongs to, so helping threads can pick out their own
+/// scope's jobs from the shared queue.
+struct Job {
+    /// Address of the owning scope's [`Latch`] — used purely as an
+    /// identity, never dereferenced. It cannot dangle-and-collide while the
+    /// job is queued: the job's closure holds an `Arc` to that latch, so
+    /// the allocation outlives the job.
+    scope: usize,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
 
 thread_local! {
-    /// `true` on threads owned by any [`WorkerPool`].
+    /// `true` on threads owned by any [`WorkerPool`], and on any thread for
+    /// the duration of a pool job it executes on the help path.
     static ON_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Executes a job with the pool flag raised, restoring the caller's flag
+/// state afterwards. Kernels consult the flag to run nested dispatch
+/// inline, and that must hold on the help path exactly as it does on a
+/// worker thread. The job's own wrapper already catches user panics; the
+/// nested catch here exists for one exotic escape: a caught panic payload
+/// whose *own destructor* panics when dropped. The payload is dropped by
+/// the inner `drop`, inside the outer catch, so even that cannot kill a
+/// worker thread or double-panic a helping caller's unwind.
+fn run_flagged(run: Box<dyn FnOnce() + Send>) {
+    let was = ON_POOL_WORKER.with(|flag| flag.replace(true));
+    let _ = catch_unwind(AssertUnwindSafe(move || {
+        drop(catch_unwind(AssertUnwindSafe(run)));
+    }));
+    ON_POOL_WORKER.with(|flag| flag.set(was));
 }
 
 /// Locks a mutex, recovering from poisoning: the pool's shared state is a
@@ -186,14 +220,15 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// `true` when called from a thread owned by any [`WorkerPool`].
+    /// `true` when called from a thread owned by any [`WorkerPool`], or
+    /// while the calling thread is executing a pool job on the help path
+    /// (a scope waiter draining its own jobs — see [`WorkerPool::scope`]).
     ///
-    /// Kernels use this to short-circuit directly nested dispatch: a task
-    /// already running on a pool worker executes nested row bands inline
-    /// instead of round-tripping them through the queue. This is an
-    /// optimisation, not the liveness guarantee — waiting scopes help drain
-    /// the queue (see [`WorkerPool::scope`]), so even un-flagged nesting
-    /// cannot deadlock.
+    /// Kernels use this to short-circuit nested dispatch: a task already
+    /// executing on behalf of the pool runs nested row bands inline instead
+    /// of round-tripping them through the queue. This is an optimisation,
+    /// not the liveness guarantee — waiting scopes help drain the queue, so
+    /// even un-flagged nesting cannot deadlock.
     pub fn on_worker_thread() -> bool {
         ON_POOL_WORKER.with(Cell::get)
     }
@@ -269,32 +304,46 @@ impl WorkerPool {
     }
 
     /// Blocks until `latch` has counted every task of one scope as
-    /// finished, executing queued jobs — this scope's or any other's —
-    /// while waiting.
+    /// finished, executing that scope's still-queued jobs while waiting.
     ///
     /// The helping is what makes `scope` deadlock-free under *any* nesting:
     /// a scope waited on from a pool worker (re-entrant `scope`), or from a
     /// thread a pool worker is itself blocked on (a pooled kernel reached
     /// through an intermediate spawn-path scoped thread), drains its own
-    /// jobs instead of waiting for a worker that will never come. Once the
-    /// queue is observed empty, every remaining task of this scope is
-    /// already running on some other thread, so a plain condvar wait cannot
-    /// strand work. That rests on an invariant the borrow checker enforces:
-    /// spawning onto a scope ends when its closure returns, because
-    /// [`PoolScope::spawn`] bounds tasks by `'env` (stricter than
+    /// jobs instead of waiting for a worker that will never come.
+    ///
+    /// Help is bounded to the waiting scope's own jobs on purpose: popping
+    /// arbitrary queue entries would let a thread waiting on a small
+    /// serving scope get stuck under an unrelated scope's long-running band
+    /// (unbounded added tail latency for pooled micro-batch requests under
+    /// mixed training+serving load). Liveness does not need cross-scope
+    /// help — unrelated queued jobs are drained by the workers and by their
+    /// *own* waiting submitters.
+    ///
+    /// Once none of this scope's jobs remain queued, every remaining task
+    /// is already running on some other thread, so a plain condvar wait
+    /// cannot strand work. That rests on an invariant the borrow checker
+    /// enforces: spawning onto a scope ends when its closure returns,
+    /// because [`PoolScope::spawn`] bounds tasks by `'env` (stricter than
     /// [`std::thread::scope`]'s `'scope`), so a task can never capture the
     /// scope handle and spawn siblings later — the attempt is a compile
     /// error (`E0521`, borrowed data escapes the closure).
     fn help_until_done(&self, latch: &Latch) {
+        let own = latch as *const Latch as usize;
         loop {
             if lock(&latch.state).pending == 0 {
                 return;
             }
-            let job = lock(&self.shared.queue).jobs.pop_front();
+            let job = {
+                let mut queue = lock(&self.shared.queue);
+                queue
+                    .jobs
+                    .iter()
+                    .position(|job| job.scope == own)
+                    .and_then(|at| queue.jobs.remove(at))
+            };
             match job {
-                Some(job) => {
-                    let _ = catch_unwind(AssertUnwindSafe(job));
-                }
+                Some(job) => run_flagged(job.run),
                 None => {
                     let mut state = lock(&latch.state);
                     while state.pending > 0 {
@@ -367,10 +416,13 @@ impl<'env> PoolScope<'_, 'env> {
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
         };
-        let job: Job = Box::new(move || {
-            let panic = catch_unwind(AssertUnwindSafe(task)).err();
-            latch.finish_task(panic);
-        });
+        let job = Job {
+            scope: Arc::as_ptr(&self.latch) as usize,
+            run: Box::new(move || {
+                let panic = catch_unwind(AssertUnwindSafe(task)).err();
+                latch.finish_task(panic);
+            }),
+        };
         let mut queue = lock(&self.pool.shared.queue);
         queue.jobs.push_back(job);
         drop(queue);
@@ -399,17 +451,17 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // The job wrapper already catches user panics; running it bare would
-        // still be safe, but the belt-and-braces catch keeps a worker alive
-        // even if a panic payload's own destructor panics.
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        // `run_flagged` re-raises the (already set) worker flag around the
+        // job and, belt-and-braces, keeps the worker alive even if a panic
+        // payload's own destructor panics.
+        run_flagged(job.run);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn scope_runs_borrowed_tasks_to_completion() {
@@ -479,11 +531,54 @@ mod tests {
     fn worker_threads_are_flagged() {
         assert!(!WorkerPool::on_worker_thread());
         let pool = WorkerPool::new(1);
-        let mut seen = false;
+        let on_worker = AtomicBool::new(false);
+        let picked_up = AtomicBool::new(false);
         pool.scope(|scope| {
-            scope.spawn(|| seen = WorkerPool::on_worker_thread());
+            scope.spawn(|| {
+                on_worker.store(WorkerPool::on_worker_thread(), Ordering::SeqCst);
+                picked_up.store(true, Ordering::SeqCst);
+            });
+            // Hold the scope closure open until a worker has run the task:
+            // the submitter only starts helping once this closure returns,
+            // so the flag above is guaranteed to have been read on a
+            // genuine worker thread, never on the help path.
+            while !picked_up.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
         });
-        assert!(seen);
+        assert!(on_worker.load(Ordering::SeqCst));
+        assert!(!WorkerPool::on_worker_thread());
+    }
+
+    #[test]
+    fn helped_jobs_run_with_the_pool_flag() {
+        // One worker, kept busy by the first task until the second task has
+        // run; the only thread that can run the second task is therefore
+        // the submitter's help loop — which must raise the pool flag around
+        // it and lower it again afterwards.
+        let pool = WorkerPool::new(1);
+        let worker_busy = AtomicBool::new(false);
+        let release_worker = AtomicBool::new(false);
+        let helped_flag = AtomicBool::new(false);
+        let helper = Mutex::new(None::<std::thread::ThreadId>);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                worker_busy.store(true, Ordering::SeqCst);
+                while !release_worker.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            });
+            while !worker_busy.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            scope.spawn(|| {
+                helped_flag.store(WorkerPool::on_worker_thread(), Ordering::SeqCst);
+                *lock(&helper) = Some(std::thread::current().id());
+                release_worker.store(true, Ordering::SeqCst);
+            });
+        });
+        assert!(helped_flag.load(Ordering::SeqCst));
+        assert_eq!(*lock(&helper), Some(std::thread::current().id()));
         assert!(!WorkerPool::on_worker_thread());
     }
 

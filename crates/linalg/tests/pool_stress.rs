@@ -53,6 +53,43 @@ fn many_threads_submitting_scopes_concurrently() {
 }
 
 #[test]
+fn help_is_bounded_to_the_submitters_own_scope() {
+    // A thread waiting on its scope helps only with that scope's jobs, so a
+    // task must execute either on a pool worker thread or on the thread
+    // that submitted it — never on an unrelated scope's waiting submitter
+    // (that cross-scope "help" is exactly what would let a long training
+    // band add unbounded latency to a small serving scope). With 8
+    // submitters hammering a 2-worker pool, cross-scope helping — if it
+    // existed — would trip this assertion readily.
+    let pool = WorkerPool::new(2);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let pool = &pool;
+            s.spawn(move || {
+                let submitter = std::thread::current().id();
+                for _ in 0..50 {
+                    pool.scope(|scope| {
+                        for _ in 0..4 {
+                            scope.spawn(move || {
+                                let current = std::thread::current();
+                                let on_pool_worker = current
+                                    .name()
+                                    .is_some_and(|name| name.starts_with("sls-pool-worker-"));
+                                assert!(
+                                    on_pool_worker || current.id() == submitter,
+                                    "task ran on a foreign thread: {:?}",
+                                    current.name()
+                                );
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn many_threads_running_pooled_kernels_concurrently() {
     // The same contention profile the HTTP server produces: several threads
     // pushing micro-batches through pooled kernels (which all share the
