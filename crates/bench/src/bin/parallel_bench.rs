@@ -1,9 +1,10 @@
 //! `parallel_bench`: measures the parallel linalg layer against serial
-//! execution and emits `BENCH_parallel.json` — the repo's first standing
-//! performance data point.
+//! execution and emits `BENCH_parallel.json` — the repo's standing
+//! performance data point, generated per commit by the CI `perf-tracking`
+//! job on the 4-core runner.
 //!
 //! ```sh
-//! parallel_bench [--out BENCH_parallel.json] [--quick] [--reps 3]
+//! parallel_bench [--out BENCH_parallel.json] [--quick] [--reps 3] [--gate TOL]
 //! ```
 //!
 //! Sections:
@@ -14,25 +15,42 @@
 //! * `pipeline_transform` — full-dataset hidden-feature extraction, the
 //!   batch-transform / serving micro-batch shape;
 //! * `matmul`, `matmul_transpose_left`, `matmul_transpose_right` — the three
-//!   product kernels in isolation;
+//!   product kernels in isolation; at one thread and at the core count each
+//!   also runs with the SIMD layer forced to its scalar fallback
+//!   (`*_simd_off` modes), so the vectorisation win is measured rather than
+//!   asserted;
 //! * `small_batch_{8,32,128}` — the serving micro-batch hot path
 //!   (`hidden_probabilities` on 8/32/128-row batches), timed per call under
 //!   three dispatch modes: `serial`, `spawn` (scoped threads per call) and
 //!   `pool` (the persistent worker pool). At these row counts the thread
 //!   spawn overhead dominates the kernel, which is exactly what the pool
-//!   exists to remove.
+//!   exists to remove;
+//! * `transpose_right_tiling` — `matmul_transpose_right` at the ROADMAP's
+//!   512x256x256 shape: scalar untiled (the pre-SIMD kernel), SIMD untiled,
+//!   SIMD tiled (the shipping configuration) and a same-shape `matmul`
+//!   reference — the acceptance bar is tiled `transpose_right` within 1.4x
+//!   of `matmul`.
 //!
 //! Every section runs serially and under 2, 4, 8 threads plus the machine's
 //! core count; speedups are relative to the serial run *on this machine*.
 //! The report records `available_parallelism` — on a single-core box the
 //! honest speedup is ~1.0 and the multi-threaded numbers measure scheduling
 //! overhead, so read the speedup column together with that field. Outputs
-//! are bitwise identical across thread counts (asserted here too).
+//! are bitwise identical across thread counts and SIMD arms (asserted here
+//! too).
+//!
+//! `--gate TOL` turns the run into a regression gate: after measuring, the
+//! process exits non-zero if pooled dispatch is slower than serial on any
+//! small-batch section, if SIMD is slower than the scalar fallback, or if
+//! fanned-out dispatch at the core count is slower than serial — each
+//! beyond the tolerance factor `TOL` — or if tiled `transpose_right`
+//! misses the 1.4x-of-`matmul` bar. This is how CI turns the committed
+//! report into an enforced baseline instead of a snapshot.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy};
+use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy, SimdPolicy};
 use sls_rbm_core::{BoltzmannMachine, CdTrainer, Rbm, TrainConfig};
 use std::time::Instant;
 
@@ -43,8 +61,11 @@ struct Measurement {
     section: String,
     /// Thread budget of the policy (1 = serial).
     threads: usize,
-    /// Dispatch mode: `serial`, `spawn` (scoped threads per call) or
-    /// `pool` (persistent worker pool).
+    /// Dispatch/execution mode: `serial`, `spawn` (scoped threads per
+    /// call) or `pool` (persistent worker pool); `serial_simd_off` /
+    /// `spawn_simd_off` for the scalar-fallback arms of the kernel
+    /// sections; `scalar_untiled` / `simd_untiled` / `simd_tiled` /
+    /// `matmul_ref` within the `transpose_right_tiling` section.
     mode: String,
     /// Best-of-`reps` wall-clock time in milliseconds (per call for the
     /// `small_batch_*` sections).
@@ -93,6 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut out = "BENCH_parallel.json".to_string();
     let mut quick = false;
     let mut reps = 3usize;
+    let mut gate: Option<f64> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -110,9 +132,21 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "invalid value for --reps".to_string())?;
             }
+            "--gate" => {
+                let tol: f64 = iter
+                    .next()
+                    .ok_or("--gate needs a tolerance factor (e.g. 1.25)".to_string())?
+                    .parse()
+                    .map_err(|_| "invalid value for --gate".to_string())?;
+                if !tol.is_finite() || tol < 1.0 {
+                    return Err("--gate tolerance must be a finite factor >= 1.0".to_string());
+                }
+                gate = Some(tol);
+            }
             other => {
                 return Err(format!(
-                    "unknown flag `{other}`\nusage: parallel_bench [--out PATH] [--quick] [--reps N]"
+                    "unknown flag `{other}`\nusage: parallel_bench [--out PATH] [--quick] \
+                     [--reps N] [--gate TOL]"
                 ));
             }
         }
@@ -190,30 +224,42 @@ fn run(args: &[String]) -> Result<(), String> {
             transform_millis,
         );
 
-        // The three product kernels in isolation.
-        let mm = best_of(reps, || {
-            let start = Instant::now();
-            let out = data.matmul_with(&weights, &policy).expect("matmul");
-            (start.elapsed(), out)
-        });
-        push(&mut results, "matmul", threads, mode, mm);
-        let tl = best_of(reps, || {
-            let start = Instant::now();
-            let out = data
-                .matmul_transpose_left_with(&hidden_like, &policy)
-                .expect("matmul_transpose_left");
-            (start.elapsed(), out)
-        });
-        push(&mut results, "matmul_transpose_left", threads, mode, tl);
-        let tr = best_of(reps, || {
-            let start = Instant::now();
-            // H·Wᵀ: both operands have `hidden` columns.
-            let out = hidden_like
-                .matmul_transpose_right_with(&weights, &policy)
-                .expect("matmul_transpose_right");
-            (start.elapsed(), out)
-        });
-        push(&mut results, "matmul_transpose_right", threads, mode, tr);
+        // The three product kernels in isolation, with the scalar-fallback
+        // SIMD arm measured alongside at one thread and at the core count
+        // (`*_simd_off` modes) so the vectorisation win shows up in the
+        // report.
+        let simd_arms: &[(SimdPolicy, &str)] = if threads == 1 || threads == cores {
+            &[(SimdPolicy::Lanes4, ""), (SimdPolicy::Scalar, "_simd_off")]
+        } else {
+            &[(SimdPolicy::Lanes4, "")]
+        };
+        for &(simd, suffix) in simd_arms {
+            let policy = policy.with_simd(simd);
+            let mode = format!("{mode}{suffix}");
+            let mm = best_of(reps, || {
+                let start = Instant::now();
+                let out = data.matmul_with(&weights, &policy).expect("matmul");
+                (start.elapsed(), out)
+            });
+            push(&mut results, "matmul", threads, &mode, mm);
+            let tl = best_of(reps, || {
+                let start = Instant::now();
+                let out = data
+                    .matmul_transpose_left_with(&hidden_like, &policy)
+                    .expect("matmul_transpose_left");
+                (start.elapsed(), out)
+            });
+            push(&mut results, "matmul_transpose_left", threads, &mode, tl);
+            let tr = best_of(reps, || {
+                let start = Instant::now();
+                // H·Wᵀ: both operands have `hidden` columns.
+                let out = hidden_like
+                    .matmul_transpose_right_with(&weights, &policy)
+                    .expect("matmul_transpose_right");
+                (start.elapsed(), out)
+            });
+            push(&mut results, "matmul_transpose_right", threads, &mode, tr);
+        }
     }
 
     // Spawn-per-call vs persistent pool on serving micro-batches: the row
@@ -252,6 +298,53 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Tiled vs untiled `matmul_transpose_right` at the ROADMAP's
+    // 512x256x256 shape (the one where the dot-product layout used to run
+    // ~2.3x behind `matmul`), single-threaded so the kernel itself is
+    // measured rather than the fan-out. `scalar_untiled` is the pre-SIMD
+    // kernel and the section baseline; `simd_tiled` is the shipping
+    // configuration; `matmul_ref` is the same-shape `matmul` whose 1.4x
+    // envelope is the acceptance bar.
+    let (tile_n, tile_k, tile_m) = if quick { (64, 32, 32) } else { (512, 256, 256) };
+    let tr_left = Matrix::random_normal(tile_n, tile_k, 0.0, 1.0, &mut rng);
+    let tr_right = Matrix::random_normal(tile_m, tile_k, 0.0, 1.0, &mut rng);
+    let mm_right = Matrix::random_normal(tile_k, tile_m, 0.0, 1.0, &mut rng);
+    let serial_policy = ParallelPolicy::serial();
+    let scalar_policy = serial_policy.with_simd(SimdPolicy::Scalar);
+    let tiling = "transpose_right_tiling";
+    let scalar_untiled = best_of(reps, || {
+        let start = Instant::now();
+        let out = tr_left
+            .matmul_transpose_right_tiled_with(&tr_right, &scalar_policy, usize::MAX)
+            .expect("transpose_right");
+        (start.elapsed(), out)
+    });
+    push(&mut results, tiling, 1, "scalar_untiled", scalar_untiled);
+    let simd_untiled = best_of(reps, || {
+        let start = Instant::now();
+        let out = tr_left
+            .matmul_transpose_right_tiled_with(&tr_right, &serial_policy, usize::MAX)
+            .expect("transpose_right");
+        (start.elapsed(), out)
+    });
+    push(&mut results, tiling, 1, "simd_untiled", simd_untiled);
+    let simd_tiled = best_of(reps, || {
+        let start = Instant::now();
+        let out = tr_left
+            .matmul_transpose_right_with(&tr_right, &serial_policy)
+            .expect("transpose_right");
+        (start.elapsed(), out)
+    });
+    push(&mut results, tiling, 1, "simd_tiled", simd_tiled);
+    let matmul_ref = best_of(reps, || {
+        let start = Instant::now();
+        let out = tr_left
+            .matmul_with(&mm_right, &serial_policy)
+            .expect("matmul");
+        (start.elapsed(), out)
+    });
+    push(&mut results, tiling, 1, "matmul_ref", matmul_ref);
+
     // Reproducibility spot-check before writing the report: the parallel
     // product must equal the serial product bit for bit.
     let serial = data
@@ -281,6 +374,28 @@ fn run(args: &[String]) -> Result<(), String> {
         pooled.as_slice(),
         "pooled result diverged from serial"
     );
+    let scalar_fallback = data
+        .matmul_with(
+            &weights,
+            &ParallelPolicy::serial().with_simd(SimdPolicy::Scalar),
+        )
+        .expect("matmul");
+    assert_eq!(
+        serial.as_slice(),
+        scalar_fallback.as_slice(),
+        "scalar-fallback result diverged from the SIMD result"
+    );
+    let tiled = tr_left
+        .matmul_transpose_right_with(&tr_right, &serial_policy)
+        .expect("transpose_right");
+    let untiled_scalar = tr_left
+        .matmul_transpose_right_tiled_with(&tr_right, &scalar_policy, usize::MAX)
+        .expect("transpose_right");
+    assert_eq!(
+        tiled.as_slice(),
+        untiled_scalar.as_slice(),
+        "tiled SIMD transpose_right diverged from untiled scalar"
+    );
 
     let report = Report {
         bench: "parallel".to_string(),
@@ -299,12 +414,106 @@ fn run(args: &[String]) -> Result<(), String> {
 
     for m in &report.results {
         eprintln!(
-            "  {:<24} threads={:<2} {:<6} {:>10.4} ms  ({:.2}x vs serial)",
+            "  {:<24} threads={:<2} {:<16} {:>10.4} ms  ({:.2}x vs serial)",
             m.section, m.threads, m.mode, m.millis, m.speedup_vs_serial
         );
     }
     eprintln!("wrote {out}");
+
+    if let Some(tol) = gate {
+        enforce_gate(&report, tol, cores)?;
+        eprintln!("perf gate passed (tolerance {tol}x)");
+    }
     Ok(())
+}
+
+/// The CI perf gate: every dispatch layer that exists to make things faster
+/// must not be *slower* than its baseline beyond the tolerance factor, and
+/// the tiled `transpose_right` must stay inside the 1.4x `matmul` envelope
+/// the roadmap set. Returns an error listing every violated bound.
+fn enforce_gate(report: &Report, tol: f64, cores: usize) -> Result<(), String> {
+    let find = |section: &str, mode: &str, threads: Option<usize>| -> Option<f64> {
+        report
+            .results
+            .iter()
+            .find(|m| {
+                let threads_match = match threads {
+                    None => true,
+                    Some(t) => m.threads == t,
+                };
+                m.section == section && m.mode == mode && threads_match
+            })
+            .map(|m| m.millis)
+    };
+    let mut violations: Vec<String> = Vec::new();
+    let mut check = |label: String, actual: Option<f64>, budget: Option<f64>| match (actual, budget)
+    {
+        (Some(actual), Some(budget)) => {
+            if actual > budget {
+                violations.push(format!("{label}: {actual:.4} ms > budget {budget:.4} ms"));
+            }
+        }
+        _ => violations.push(format!("{label}: measurement missing")),
+    };
+
+    // Pooled dispatch must not lose to serial on the serving micro-batches
+    // it exists for.
+    for rows in [8usize, 32, 128] {
+        let section = format!("small_batch_{rows}");
+        check(
+            format!("{section}: pool vs serial (x{tol})"),
+            find(&section, "pool", None),
+            find(&section, "serial", None).map(|s| s * tol),
+        );
+    }
+    // The SIMD layer must not lose to its own scalar fallback.
+    for section in ["matmul", "matmul_transpose_left", "matmul_transpose_right"] {
+        check(
+            format!("{section}: simd vs scalar fallback (x{tol})"),
+            find(section, "serial", Some(1)),
+            find(section, "serial_simd_off", Some(1)).map(|s| s * tol),
+        );
+    }
+    // Fanned-out dispatch at the core count must not lose to serial (on a
+    // single-core box the threads == cores entry *is* the serial run, so
+    // this degenerates to a tautology rather than punishing the machine).
+    if cores > 1 {
+        for section in [
+            "cd_epoch",
+            "pipeline_transform",
+            "matmul",
+            "matmul_transpose_left",
+            "matmul_transpose_right",
+        ] {
+            check(
+                format!("{section}: spawn@{cores} threads vs serial (x{tol})"),
+                find(section, "spawn", Some(cores)),
+                find(section, "serial", Some(1)).map(|s| s * tol),
+            );
+        }
+    }
+    // Tiling + SIMD must beat (or at worst match) the old scalar untiled
+    // kernel, and land within the roadmap's 1.4x-of-matmul envelope.
+    check(
+        format!("transpose_right_tiling: simd_tiled vs scalar_untiled (x{tol})"),
+        find("transpose_right_tiling", "simd_tiled", None),
+        find("transpose_right_tiling", "scalar_untiled", None).map(|s| s * tol),
+    );
+    check(
+        "transpose_right_tiling: simd_tiled within 1.4x of matmul_ref".to_string(),
+        find("transpose_right_tiling", "simd_tiled", None),
+        find("transpose_right_tiling", "matmul_ref", None).map(|s| s * 1.4),
+    );
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf gate failed ({} violation(s)):\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        ))
+    }
 }
 
 /// Runs `work` `reps` times and returns the best wall-clock time in

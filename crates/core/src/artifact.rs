@@ -26,7 +26,6 @@
 //! vector products, so a serving layer gets the linalg crate's blocked
 //! matmul for free.
 
-use crate::model::sigmoid;
 use crate::pipeline::{
     GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline, SlsPipelineConfig,
     SlsRbmPipeline,
@@ -369,10 +368,9 @@ impl PipelineArtifact {
         // Bias broadcast and sigmoid fused into one row-wise pass, matching
         // `BoltzmannMachine::hidden_probabilities_with` bit for bit.
         let bias = &self.params.hidden_bias;
+        let simd = parallel.simd;
         Ok(logits.map_rows_with(bias.len(), parallel, |_, row, out| {
-            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
-                *o = sigmoid(x + b);
-            }
+            sls_linalg::simd::fused_bias_sigmoid(row, bias, out, simd);
         }))
     }
 
@@ -421,7 +419,9 @@ impl PipelineArtifact {
     /// # Errors
     ///
     /// Returns [`RbmError::UnsupportedSchemaVersion`] for artifacts written
-    /// by a newer build, and deserialisation errors for malformed input.
+    /// by a newer build, [`RbmError::InvalidConfig`] if the parameters'
+    /// bias lengths disagree with their weight matrix, and deserialisation
+    /// errors for malformed input.
     pub fn from_json(text: &str) -> Result<Self> {
         /// Minimal probe: an object with a `schema_version` field is an
         /// artifact (extra fields are ignored by the facade's derive), while
@@ -438,9 +438,15 @@ impl PipelineArtifact {
                     supported: ARTIFACT_SCHEMA_VERSION,
                 });
             }
-            return Ok(serde_json::from_str::<PipelineArtifact>(text)?);
+            let artifact = serde_json::from_str::<PipelineArtifact>(text)?;
+            // Reject bias/weight shape disagreements here, once, instead of
+            // panicking inside a fused activation pass on the first request
+            // served from the malformed file.
+            artifact.params.check_consistent()?;
+            return Ok(artifact);
         }
         let params: RbmParams = serde_json::from_str(text)?;
+        params.check_consistent()?;
         Ok(Self::from_params(params, ModelKind::Rbm))
     }
 
@@ -574,6 +580,28 @@ mod tests {
         assert_eq!(a.preprocessor, FittedPreprocessor::Identity);
         assert!(a.cluster_head.is_none());
         assert!(a.train_config.is_none());
+    }
+
+    #[test]
+    fn mismatched_bias_lengths_are_rejected_at_load() {
+        // A malformed artifact whose hidden_bias disagrees with the weight
+        // matrix must fail at load, not panic inside the fused activation
+        // pass on the first request served from it.
+        let mut artifact = fitted().artifact;
+        artifact.params.hidden_bias.pop();
+        let json = artifact.to_json_pretty().unwrap();
+        assert!(matches!(
+            PipelineArtifact::from_json(&json),
+            Err(RbmError::InvalidConfig { name: "params", .. })
+        ));
+        // Legacy param-only snapshots get the same check.
+        let mut params = RbmParams::init(4, 2, &mut rng());
+        params.visible_bias.push(0.0);
+        let legacy = serde_json::to_string(&params).unwrap();
+        assert!(matches!(
+            PipelineArtifact::from_json(&legacy),
+            Err(RbmError::InvalidConfig { name: "params", .. })
+        ));
     }
 
     #[test]

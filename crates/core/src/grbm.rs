@@ -55,12 +55,12 @@ impl BoltzmannMachine for Grbm {
         parallel: &ParallelPolicy,
     ) -> Result<Matrix> {
         let pre = hidden.matmul_transpose_right_with(&self.params.weights, parallel)?;
-        // Linear mean `a + h Wᵀ`: bias broadcast as one row-wise pass.
+        // Linear mean `a + h Wᵀ`: bias broadcast as one row-wise pass
+        // through the simd layer (bitwise identical for either knob).
         let bias = &self.params.visible_bias;
+        let simd = parallel.simd;
         Ok(pre.map_rows_with(bias.len(), parallel, |_, row, out| {
-            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
-                *o = x + b;
-            }
+            sls_linalg::simd::fused_bias_add(row, bias, out, simd);
         }))
     }
 }

@@ -48,6 +48,36 @@ impl RbmParams {
         self.weights.cols()
     }
 
+    /// Checks that the parameter shapes agree with each other: the bias
+    /// vectors must match the weight matrix's dimensions.
+    ///
+    /// Persisted parameters deserialise field by field with no cross-field
+    /// validation, so artifact loading calls this to reject a malformed
+    /// file once at load time — the fused activation passes assert these
+    /// lengths per call, and a panic there would cost a serving worker
+    /// thread per request instead of one clean load error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::InvalidConfig`] if either bias length disagrees
+    /// with the weight matrix.
+    pub fn check_consistent(&self) -> Result<()> {
+        if self.visible_bias.len() != self.n_visible() || self.hidden_bias.len() != self.n_hidden()
+        {
+            return Err(RbmError::InvalidConfig {
+                name: "params",
+                message: format!(
+                    "bias lengths ({} visible, {} hidden) do not match the {}x{} weight matrix",
+                    self.visible_bias.len(),
+                    self.hidden_bias.len(),
+                    self.n_visible(),
+                    self.n_hidden()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// `true` if every parameter is finite.
     pub fn is_finite(&self) -> bool {
         self.weights.is_finite()
@@ -117,12 +147,13 @@ pub trait BoltzmannMachine {
         let pre = visible.matmul_with(&params.weights, parallel)?;
         // Bias broadcast and sigmoid fused into one row-wise pass: same
         // per-element arithmetic as broadcast-then-map, one less allocation.
+        // The pass runs through the simd layer under the policy's knob;
+        // results are bitwise identical either way.
         let n_hidden = params.n_hidden();
         let bias = &params.hidden_bias;
+        let simd = parallel.simd;
         Ok(pre.map_rows_with(n_hidden, parallel, |_, row, out| {
-            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
-                *o = sigmoid(x + b);
-            }
+            sls_linalg::simd::fused_bias_sigmoid(row, bias, out, simd);
         }))
     }
 
@@ -225,15 +256,12 @@ pub trait BoltzmannMachine {
     }
 }
 
-/// Numerically stable logistic sigmoid.
+/// Numerically stable logistic sigmoid — the single shared definition lives
+/// in the linalg simd layer so the fused activation passes and the scalar
+/// call sites (e.g. the sls gradient terms) can never drift apart.
 #[inline]
 pub(crate) fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    sls_linalg::simd::sigmoid(x)
 }
 
 #[cfg(test)]
@@ -269,6 +297,24 @@ mod tests {
         assert!(matches!(
             p.check_data(&Matrix::zeros(0, 4)),
             Err(RbmError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn check_consistent_rejects_mismatched_bias_lengths() {
+        let good = RbmParams::init(4, 2, &mut rng());
+        assert!(good.check_consistent().is_ok());
+        let mut short_hidden = good.clone();
+        short_hidden.hidden_bias.pop();
+        assert!(matches!(
+            short_hidden.check_consistent(),
+            Err(RbmError::InvalidConfig { name: "params", .. })
+        ));
+        let mut long_visible = good.clone();
+        long_visible.visible_bias.push(0.0);
+        assert!(matches!(
+            long_visible.check_consistent(),
+            Err(RbmError::InvalidConfig { name: "params", .. })
         ));
     }
 

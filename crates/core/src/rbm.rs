@@ -1,6 +1,6 @@
 //! Binary-binary restricted Boltzmann machine (the paper's `RBM` baseline).
 
-use crate::model::{sigmoid, BoltzmannMachine, RbmParams, VisibleKind};
+use crate::model::{BoltzmannMachine, RbmParams, VisibleKind};
 use crate::Result;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -84,12 +84,12 @@ impl BoltzmannMachine for Rbm {
         parallel: &ParallelPolicy,
     ) -> Result<Matrix> {
         let pre = hidden.matmul_transpose_right_with(&self.params.weights, parallel)?;
-        // Bias broadcast and sigmoid fused into one row-wise pass.
+        // Bias broadcast and sigmoid fused into one row-wise pass through
+        // the simd layer (bitwise identical for either knob setting).
         let bias = &self.params.visible_bias;
+        let simd = parallel.simd;
         Ok(pre.map_rows_with(bias.len(), parallel, |_, row, out| {
-            for ((o, &x), &b) in out.iter_mut().zip(row).zip(bias) {
-                *o = sigmoid(x + b);
-            }
+            sls_linalg::simd::fused_bias_sigmoid(row, bias, out, simd);
         }))
     }
 }

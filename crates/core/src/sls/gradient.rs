@@ -218,6 +218,7 @@ mod tests {
         threads: 1,
         min_rows_per_thread: 64,
         pool: false,
+        simd: sls_linalg::SimdPolicy::Lanes4,
     };
 
     fn setup() -> (RbmParams, Matrix, Vec<Vec<usize>>) {
@@ -395,10 +396,18 @@ mod tests {
         let hidden = hidden_of(&params, &visible);
         let serial = sls_batch_gradients(&params, &visible, &hidden, &clusters, &POL).unwrap();
         for threads in [2, 4, 8] {
-            let policy = ParallelPolicy::new(threads).with_min_rows_per_thread(1);
-            let par = sls_batch_gradients(&params, &visible, &hidden, &clusters, &policy).unwrap();
-            assert_eq!(serial.dw.as_slice(), par.dw.as_slice());
-            assert_eq!(serial.db, par.db);
+            for simd in [
+                sls_linalg::SimdPolicy::Lanes4,
+                sls_linalg::SimdPolicy::Scalar,
+            ] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_simd(simd);
+                let par =
+                    sls_batch_gradients(&params, &visible, &hidden, &clusters, &policy).unwrap();
+                assert_eq!(serial.dw.as_slice(), par.dw.as_slice(), "{policy:?}");
+                assert_eq!(serial.db, par.db, "{policy:?}");
+            }
         }
     }
 

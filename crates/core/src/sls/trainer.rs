@@ -345,6 +345,18 @@ mod tests {
                 pooled.params(),
                 "pooled threads = {threads}"
             );
+            // And with the SIMD layer forced to its scalar fallback: same
+            // canonical reduction order, identical trained parameters.
+            let scalar_simd = train_one(
+                ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_simd(sls_linalg::SimdPolicy::Scalar),
+            );
+            assert_eq!(
+                serial.params(),
+                scalar_simd.params(),
+                "simd-off threads = {threads}"
+            );
         }
     }
 

@@ -164,7 +164,14 @@ impl Matrix {
                 right: (x.len(), 1),
             });
         }
-        Ok(self.row_iter().map(|r| crate::vector::dot(r, x)).collect())
+        // Same canonical-order dot as `matmul_transpose_right`, so a
+        // matrix-vector product stays bitwise-consistent with the one-row
+        // matrix product under every SIMD setting.
+        let simd = ParallelPolicy::global().simd;
+        Ok(self
+            .row_iter()
+            .map(|r| crate::simd::dot(r, x, simd))
+            .collect())
     }
 
     /// Vector-matrix product `xᵀ · self` (row vector times matrix).
@@ -182,9 +189,12 @@ impl Matrix {
         }
         let mut out = vec![0.0; self.cols()];
         // No zero-skip on `xi`: `0.0 × NaN` must stay NaN (IEEE) so a
-        // diverged matrix is never masked by a sparse vector.
+        // diverged matrix is never masked by a sparse vector. The inner
+        // axpy is element-wise, so the SIMD layer keeps the accumulation
+        // order (ascending i) bit-for-bit.
+        let simd = ParallelPolicy::global().simd;
         for (i, &xi) in x.iter().enumerate() {
-            crate::vector::axpy(xi, self.row(i), &mut out);
+            crate::simd::axpy(xi, self.row(i), &mut out, simd);
         }
         Ok(out)
     }

@@ -39,6 +39,7 @@
 //! identical per-row code, so the choice never changes a single output bit.
 
 use crate::pool::WorkerPool;
+use crate::simd::{self, SimdPolicy};
 use crate::{LinalgError, Matrix, Result};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -59,10 +60,17 @@ pub const ENV_MIN_ROWS: &str = "SLS_PARALLEL_MIN_ROWS";
 /// policy (`1`/`true` to enable, `0`/`false` to disable).
 pub const ENV_POOL: &str = "SLS_PARALLEL_POOL";
 
+/// Environment variable selecting the SIMD execution layer for the global
+/// policy (`1`/`true` for the unrolled 4-lane inner loops — the default —
+/// `0`/`false` for the scalar fallback). Outputs are bitwise identical
+/// either way; see [`SimdPolicy`].
+pub const ENV_SIMD: &str = "SLS_SIMD";
+
 static GLOBAL_INIT: Once = Once::new();
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);
 static GLOBAL_MIN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_MIN_ROWS_PER_THREAD);
 static GLOBAL_POOL: AtomicBool = AtomicBool::new(false);
+static GLOBAL_SIMD: AtomicBool = AtomicBool::new(true);
 
 /// How (and whether) the matrix kernels fan work out across threads.
 ///
@@ -82,15 +90,22 @@ pub struct ParallelPolicy {
     /// instead of spawning scoped threads per call. Outputs are bitwise
     /// identical either way; the pool only removes per-call spawn latency.
     pub pool: bool,
+    /// Which inner-loop execution layer the kernels use: the unrolled
+    /// autovectorisable form ([`SimdPolicy::Lanes4`], the default) or the
+    /// scalar fallback. Both compute the same canonical reduction order, so
+    /// outputs are bitwise identical either way.
+    pub simd: SimdPolicy,
 }
 
 // Hand-written (de)serialisation instead of the derive: `ParallelPolicy`
 // has been a public `Serialize`/`Deserialize` type since before the `pool`
-// field existed, so policy JSON persisted by earlier builds lacks the
-// field. The vendored derive treats every named field as required (it
+// and `simd` fields existed, so policy JSON persisted by earlier builds
+// lacks them. The vendored derive treats every named field as required (it
 // skips attributes, so `#[serde(default)]` would be silently ignored);
 // these impls accept a missing `pool` as `false` — the exact behaviour of
-// the builds that wrote such documents.
+// the builds that wrote such documents — and a missing `simd` as enabled,
+// the crate-wide default (safe because the SIMD layer never changes an
+// output bit, unlike `pool = true` which would change *which threads* run).
 impl serde::Serialize for ParallelPolicy {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -100,6 +115,7 @@ impl serde::Serialize for ParallelPolicy {
                 self.min_rows_per_thread.to_value(),
             ),
             ("pool".to_string(), self.pool.to_value()),
+            ("simd".to_string(), self.simd.is_enabled().to_value()),
         ])
     }
 }
@@ -113,6 +129,10 @@ impl serde::Deserialize for ParallelPolicy {
             Some((_, v)) => serde::Deserialize::from_value(v)?,
             None => false,
         };
+        let simd = match entries.iter().find(|(name, _)| name == "simd") {
+            Some((_, v)) => SimdPolicy::from_enabled(serde::Deserialize::from_value(v)?),
+            None => SimdPolicy::default(),
+        };
         Ok(Self {
             threads: serde::Deserialize::from_value(serde::field(entries, "threads")?)?,
             min_rows_per_thread: serde::Deserialize::from_value(serde::field(
@@ -120,6 +140,7 @@ impl serde::Deserialize for ParallelPolicy {
                 "min_rows_per_thread",
             )?)?,
             pool,
+            simd,
         })
     }
 }
@@ -138,6 +159,7 @@ impl ParallelPolicy {
             threads: 1,
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
             pool: false,
+            simd: SimdPolicy::default(),
         }
     }
 
@@ -148,6 +170,7 @@ impl ParallelPolicy {
             threads: resolve_threads(threads),
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
             pool: false,
+            simd: SimdPolicy::default(),
         }
     }
 
@@ -167,6 +190,14 @@ impl ParallelPolicy {
     /// are bitwise identical either way.
     pub fn with_pool(mut self, pool: bool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Selects the inner-loop execution layer (unrolled 4-lane vs scalar
+    /// fallback). Results are bitwise identical either way; see
+    /// [`SimdPolicy`].
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
         self
     }
 
@@ -200,10 +231,11 @@ impl ParallelPolicy {
     /// kernel methods.
     ///
     /// On first use it is initialised from the environment: `SLS_PARALLEL_THREADS`
-    /// (`0` = one thread per core), `SLS_PARALLEL_MIN_ROWS` and
+    /// (`0` = one thread per core), `SLS_PARALLEL_MIN_ROWS`,
     /// `SLS_PARALLEL_POOL` (`1`/`true` routes kernels through the
-    /// persistent worker pool). Without those variables the default is
-    /// serial.
+    /// persistent worker pool) and `SLS_SIMD` (`0`/`false` selects the
+    /// scalar fallback inner loops; default on). Without those variables
+    /// the default is serial with SIMD enabled.
     ///
     /// # Panics
     ///
@@ -216,6 +248,7 @@ impl ParallelPolicy {
             threads: GLOBAL_THREADS.load(Ordering::Relaxed),
             min_rows_per_thread: GLOBAL_MIN_ROWS.load(Ordering::Relaxed),
             pool: GLOBAL_POOL.load(Ordering::Relaxed),
+            simd: SimdPolicy::from_enabled(GLOBAL_SIMD.load(Ordering::Relaxed)),
         }
     }
 
@@ -231,6 +264,7 @@ impl ParallelPolicy {
         GLOBAL_THREADS.store(policy.threads.max(1), Ordering::Relaxed);
         GLOBAL_MIN_ROWS.store(policy.min_rows_per_thread.max(1), Ordering::Relaxed);
         GLOBAL_POOL.store(policy.pool, Ordering::Relaxed);
+        GLOBAL_SIMD.store(policy.simd.is_enabled(), Ordering::Relaxed);
     }
 }
 
@@ -255,6 +289,9 @@ fn init_global_from_env() {
         }
         if let Some(pool) = read_env_bool(ENV_POOL) {
             GLOBAL_POOL.store(pool, Ordering::Relaxed);
+        }
+        if let Some(simd) = read_env_bool(ENV_SIMD) {
+            GLOBAL_SIMD.store(simd, Ordering::Relaxed);
         }
     });
 }
@@ -364,17 +401,17 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
+        let simd = policy.simd;
         for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
             // i-p-j order keeps the inner loop contiguous over `other`'s rows
-            // and the output row. No zero-skip on `a_ip`: `0.0 × NaN` must
-            // produce NaN (IEEE), so a diverged operand is never masked.
+            // and the output row; the inner axpy is element-wise, so the
+            // SIMD layer never changes its accumulation order. No zero-skip
+            // on `a_ip`: `0.0 × NaN` must produce NaN (IEEE), so a diverged
+            // operand is never masked.
             for (i, out_row) in range.zip(block.chunks_mut(m)) {
                 let a_row = self.row(i);
                 for (p, &a_ip) in a_row.iter().enumerate() {
-                    let b_row = other.row(p);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a_ip * b;
-                    }
+                    simd::axpy(a_ip, other.row(p), out_row, simd);
                 }
             }
         });
@@ -382,7 +419,9 @@ impl Matrix {
     }
 
     /// [`Matrix::matmul_transpose_right`] under an explicit
-    /// [`ParallelPolicy`]; bitwise identical to serial.
+    /// [`ParallelPolicy`]; bitwise identical to serial. Uses the default
+    /// cache tile ([`Matrix::transpose_right_tile_rows`]); see
+    /// [`Matrix::matmul_transpose_right_tiled_with`] for an explicit tile.
     ///
     /// # Errors
     ///
@@ -391,6 +430,43 @@ impl Matrix {
         &self,
         other: &Matrix,
         policy: &ParallelPolicy,
+    ) -> Result<Matrix> {
+        self.matmul_transpose_right_tiled_with(
+            other,
+            policy,
+            Self::transpose_right_tile_rows(self.cols()),
+        )
+    }
+
+    /// Default `j`-tile for [`Matrix::matmul_transpose_right_with`]: as many
+    /// right-operand rows (of `cols` f64 elements each) as fit in ~32 KiB —
+    /// an L1d-sized working set — clamped to `[8, 512]`.
+    ///
+    /// This product is dot-product shaped: every output row walks *all* of
+    /// the right operand's rows, so without tiling a right operand larger
+    /// than cache is re-streamed from memory once per output row. Processing
+    /// output columns in tiles keeps each group of right-operand rows hot
+    /// across the whole row band before moving on.
+    pub fn transpose_right_tile_rows(cols: usize) -> usize {
+        const TILE_BYTES: usize = 32 * 1024;
+        (TILE_BYTES / (cols.max(1) * std::mem::size_of::<f64>())).clamp(8, 512)
+    }
+
+    /// [`Matrix::matmul_transpose_right_with`] with an explicit `j`-tile
+    /// (`tile_rows` right-operand rows per tile; values `>= other.rows()`
+    /// disable tiling). Exposed as a tuning/benchmark knob — the tile only
+    /// reorders *which output elements are computed when*; every element is
+    /// still one full [`mod@crate::simd`] dot in the canonical order, so the
+    /// result is bitwise identical for every tile size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_right_tiled_with(
+        &self,
+        other: &Matrix,
+        policy: &ParallelPolicy,
+        tile_rows: usize,
     ) -> Result<Matrix> {
         if self.cols() != other.cols() {
             return Err(LinalgError::ShapeMismatch {
@@ -404,11 +480,16 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
+        let tile = tile_rows.clamp(1, m);
+        let simd = policy.simd;
         for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
-            for (i, out_row) in range.zip(block.chunks_mut(m)) {
-                let a_row = self.row(i);
-                for (j, out_val) in out_row.iter_mut().enumerate() {
-                    *out_val = crate::vector::dot(a_row, other.row(j));
+            for j0 in (0..m).step_by(tile) {
+                let j1 = (j0 + tile).min(m);
+                for (i, out_row) in range.clone().zip(block.chunks_mut(m)) {
+                    let a_row = self.row(i);
+                    for (j, out_val) in (j0..j1).zip(out_row[j0..j1].iter_mut()) {
+                        *out_val = simd::dot(a_row, other.row(j), simd);
+                    }
                 }
             }
         });
@@ -441,20 +522,21 @@ impl Matrix {
         if n == 0 || m == 0 {
             return Ok(out);
         }
+        let simd = policy.simd;
         for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
             // p-outer order keeps `other`'s rows streaming through cache;
             // each thread touches only its own band of output rows. The
             // per-element accumulation order (ascending p) matches serial
-            // exactly. No zero-skip (IEEE NaN propagation, see `matmul_with`).
+            // exactly, and the inner axpy is element-wise so the SIMD layer
+            // preserves it. No zero-skip (IEEE NaN propagation, see
+            // `matmul_with`).
             for p in 0..k {
                 let a_row = self.row(p);
                 let b_row = other.row(p);
                 for (local, i) in range.clone().enumerate() {
                     let a_pi = a_row[i];
                     let out_row = &mut block[local * m..(local + 1) * m];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a_pi * b;
-                    }
+                    simd::axpy(a_pi, b_row, out_row, simd);
                 }
             }
         });
@@ -536,12 +618,15 @@ mod tests {
         assert!(p.is_serial());
         assert_eq!(p.threads, 1);
         assert!(!p.pool, "pooled dispatch must be opt-in");
+        assert_eq!(p.simd, SimdPolicy::Lanes4, "SIMD must be on by default");
         let q = ParallelPolicy::new(8)
             .with_min_rows_per_thread(16)
-            .with_pool(true);
+            .with_pool(true)
+            .with_simd(SimdPolicy::Scalar);
         assert_eq!(q.threads, 8);
         assert_eq!(q.min_rows_per_thread, 16);
         assert!(q.pool);
+        assert_eq!(q.simd, SimdPolicy::Scalar);
         assert!(!q.is_serial());
         // 0 resolves to the core count, which is at least 1.
         assert!(ParallelPolicy::auto().threads >= 1);
@@ -558,12 +643,14 @@ mod tests {
     fn policy_serde_round_trips_and_reads_pre_pool_documents() {
         let p = ParallelPolicy::new(3)
             .with_min_rows_per_thread(7)
-            .with_pool(true);
+            .with_pool(true)
+            .with_simd(SimdPolicy::Scalar);
         let json = serde_json::to_string(&p).unwrap();
         let back: ParallelPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
-        // Policy JSON written before the `pool` field existed still loads,
-        // with the old behaviour (no pool).
+        // Policy JSON written before the `pool` / `simd` fields existed
+        // still loads: no pool (the old behaviour), SIMD on (the default —
+        // safe because the SIMD layer never changes an output bit).
         let legacy = "{\"threads\": 5, \"min_rows_per_thread\": 2}";
         let back: ParallelPolicy = serde_json::from_str(legacy).unwrap();
         assert_eq!(
@@ -572,6 +659,7 @@ mod tests {
                 .with_min_rows_per_thread(2)
                 .with_pool(false)
         );
+        assert_eq!(back.simd, SimdPolicy::Lanes4);
     }
 
     #[test]
@@ -738,6 +826,55 @@ mod tests {
             let s = a.reduce_rows_with(&serial, norm);
             let p = a.reduce_rows_with(&pooled, norm);
             assert!(s.iter().zip(&p).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn transpose_right_is_bitwise_identical_for_every_tile_size() {
+        // The tile only reorders which output elements are computed when;
+        // each element is still one full canonical-order dot, so any tile —
+        // including "no tiling" (tile >= m) — must reproduce the default
+        // result bit for bit, under both SIMD arms.
+        let mut r = rng();
+        let a = Matrix::random_normal(37, 21, 0.0, 1.0, &mut r);
+        let b = Matrix::random_normal(29, 21, 0.0, 1.0, &mut r);
+        let policy = eager(4);
+        let reference = a.matmul_transpose_right_with(&b, &policy).unwrap();
+        for tile in [1, 3, 8, 28, 29, usize::MAX] {
+            for simd in [SimdPolicy::Lanes4, SimdPolicy::Scalar] {
+                let tiled = a
+                    .matmul_transpose_right_tiled_with(&b, &policy.with_simd(simd), tile)
+                    .unwrap();
+                assert!(bitwise_eq(&reference, &tiled), "tile {tile} simd {simd:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_tile_tracks_operand_width() {
+        // ~32 KiB working set: narrow operands get deep tiles, wide ones
+        // shallow, clamped to [8, 512].
+        assert_eq!(Matrix::transpose_right_tile_rows(256), 16);
+        assert_eq!(Matrix::transpose_right_tile_rows(64), 64);
+        assert_eq!(Matrix::transpose_right_tile_rows(1), 512); // clamp high
+        assert_eq!(Matrix::transpose_right_tile_rows(0), 512); // no div-by-0
+        assert_eq!(Matrix::transpose_right_tile_rows(100_000), 8); // clamp low
+    }
+
+    #[test]
+    fn simd_arms_are_bitwise_identical_across_dispatch_modes() {
+        let mut r = rng();
+        let a = Matrix::random_normal(43, 19, 0.0, 1.0, &mut r);
+        let w = Matrix::random_normal(19, 9, 0.0, 1.0, &mut r);
+        let reference = a
+            .matmul_with(&w, &ParallelPolicy::serial().with_simd(SimdPolicy::Scalar))
+            .unwrap();
+        for pool in [false, true] {
+            for simd in [SimdPolicy::Scalar, SimdPolicy::Lanes4] {
+                let policy = eager(4).with_pool(pool).with_simd(simd);
+                let out = a.matmul_with(&w, &policy).unwrap();
+                assert!(bitwise_eq(&reference, &out), "pool {pool} simd {simd:?}");
+            }
         }
     }
 

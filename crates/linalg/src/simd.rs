@@ -1,0 +1,430 @@
+//! 4-lane f64 building blocks for the kernel inner loops.
+//!
+//! Stable Rust has no portable SIMD API, but LLVM autovectorises loops whose
+//! iterations are independent. The blockers in the old scalar kernels were
+//! the *reductions*: a sequential `sum += a[i] * b[i]` carries a dependency
+//! through every FP add (4–5 cycle latency each), so `dot` ran an order of
+//! magnitude below what the load ports allow, and with it
+//! `matmul_transpose_right`. This module restructures those loops into
+//! **independent accumulators** ([`LANES`]-wide element-wise blocks,
+//! [`DOT_ACCUMULATORS`] parallel chains for the dot reduction) — the manual
+//! unrolling LLVM needs to emit packed adds/FMAs — with no nightly features
+//! and no new dependencies.
+//!
+//! ## One reduction order, two codegen shapes
+//!
+//! Splitting a sum into independent accumulators changes the floating-point
+//! result, so the accumulator count and combine order are part of the
+//! numeric contract. Every reduction here commits to one **canonical
+//! order**, regardless of whether SIMD is enabled:
+//!
+//! * element `i` of a complete [`DOT_ACCUMULATORS`]-chunk accumulates into
+//!   lane `i % DOT_ACCUMULATORS`, in ascending `i` within each lane;
+//! * lanes combine sequentially in ascending lane order, starting from
+//!   `+0.0`;
+//! * the ragged tail (`len % DOT_ACCUMULATORS` trailing elements) is added
+//!   sequentially onto the combined sum, in ascending order.
+//!
+//! [`SimdPolicy::Lanes4`] runs the manually unrolled form (autovectorisable:
+//! a flat accumulator array updated through `chunks_exact`, which LLVM
+//! turns into packed adds); [`SimdPolicy::Scalar`] runs a plain indexed
+//! loop that performs the *same operations in the same order* through a
+//! rotating lane index the vectoriser does not untangle. Both produce
+//! **bitwise identical** results for every input — the property suite
+//! asserts it across every tail length — so `SLS_SIMD=0` is a first-class
+//! fallback, not a second numeric universe. For slices shorter than one
+//! chunk the canonical order degenerates to the plain sequential sum.
+//!
+//! Element-wise passes (`axpy`, the fused bias+activation maps) have no
+//! cross-element reduction at all; both code shapes are trivially bitwise
+//! identical there and the policy only selects codegen.
+
+/// Unroll width of the element-wise building blocks (`axpy`, the fused
+/// bias+activation maps): four f64 lanes fill one AVX2 register (256 bits)
+/// and two NEON/SSE2 registers, and element-wise loops carry no dependency
+/// chain, so one register's width is all the unrolling they need.
+pub const LANES: usize = 4;
+
+/// Number of independent accumulators in the dot-product reduction: 4
+/// vector-register chains of [`LANES`] f64 lanes.
+///
+/// Unlike the element-wise passes, a reduction carries its dependency
+/// through every FP add (~4-cycle latency on mainstream cores against a
+/// 2-per-cycle add/FMA issue rate), so one vector accumulator leaves the
+/// units ~8x idle. Four chains of four lanes cover the latency×throughput
+/// product; measured on the bench workloads this roughly doubles `dot`
+/// over a single-register 4-accumulator version and is what brings
+/// `matmul_transpose_right` inside the roadmap's 1.4x-of-`matmul` envelope.
+pub const DOT_ACCUMULATORS: usize = 4 * LANES;
+
+/// Whether the kernel inner loops run the unrolled (autovectorisable) form
+/// or the scalar fallback. Both forms compute the identical canonical
+/// reduction order (see the module docs), so flipping the policy never
+/// changes an output bit — only codegen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Plain indexed loops: same reduction order, scalar codegen. The
+    /// fallback CI keeps first-class via `SLS_SIMD=0`.
+    Scalar,
+    /// Manually unrolled independent-accumulator loops (4-lane element-wise
+    /// blocks, 16-accumulator dot) that LLVM turns into packed vector code
+    /// on every target with 128-bit or wider FP units.
+    #[default]
+    Lanes4,
+}
+
+impl SimdPolicy {
+    /// Maps the boolean surfaces (`SLS_SIMD`, `--simd`) onto the policy:
+    /// `true` → [`SimdPolicy::Lanes4`], `false` → [`SimdPolicy::Scalar`].
+    pub fn from_enabled(enabled: bool) -> Self {
+        if enabled {
+            Self::Lanes4
+        } else {
+            Self::Scalar
+        }
+    }
+
+    /// `true` for [`SimdPolicy::Lanes4`].
+    pub fn is_enabled(self) -> bool {
+        matches!(self, Self::Lanes4)
+    }
+}
+
+/// Dot product in the canonical [`DOT_ACCUMULATORS`]-lane order.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64], simd: SimdPolicy) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    match simd {
+        SimdPolicy::Lanes4 => dot_unrolled(a, b),
+        SimdPolicy::Scalar => dot_scalar(a, b),
+    }
+}
+
+/// Unrolled form: a flat array of independent accumulators updated chunk by
+/// chunk, which LLVM vectorises into 4 parallel chains of packed
+/// multiplies/adds.
+#[inline]
+fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0; DOT_ACCUMULATORS];
+    let a_chunks = a.chunks_exact(DOT_ACCUMULATORS);
+    let b_chunks = b.chunks_exact(DOT_ACCUMULATORS);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    for (xa, xb) in a_chunks.zip(b_chunks) {
+        for lane in 0..DOT_ACCUMULATORS {
+            acc[lane] += xa[lane] * xb[lane];
+        }
+    }
+    let mut sum = 0.0;
+    for lane_sum in acc {
+        sum += lane_sum;
+    }
+    for (x, y) in a_tail.iter().zip(b_tail) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Scalar form: the identical operations in the identical order, expressed
+/// as one indexed loop over a rotating lane index.
+#[inline]
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let complete = a.len() - a.len() % DOT_ACCUMULATORS;
+    let mut acc = [0.0; DOT_ACCUMULATORS];
+    for i in 0..complete {
+        acc[i % DOT_ACCUMULATORS] += a[i] * b[i];
+    }
+    let mut sum = 0.0;
+    for lane_sum in acc {
+        sum += lane_sum;
+    }
+    for i in complete..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// `y += alpha * x`, element-wise (the BLAS axpy primitive).
+///
+/// No cross-element reduction exists here, so both policy arms are bitwise
+/// identical by construction; [`SimdPolicy::Lanes4`] only guarantees the
+/// unrolled, packed codegen.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64], simd: SimdPolicy) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match simd {
+        SimdPolicy::Lanes4 => {
+            let mut y_chunks = y.chunks_exact_mut(LANES);
+            let mut x_chunks = x.chunks_exact(LANES);
+            for (ya, xa) in y_chunks.by_ref().zip(x_chunks.by_ref()) {
+                ya[0] += alpha * xa[0];
+                ya[1] += alpha * xa[1];
+                ya[2] += alpha * xa[2];
+                ya[3] += alpha * xa[3];
+            }
+            for (yi, xi) in y_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(x_chunks.remainder())
+            {
+                *yi += alpha * xi;
+            }
+        }
+        SimdPolicy::Scalar => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi += alpha * xi;
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// Lives here so the fused activation passes and the model layer share one
+/// definition (the exponential itself is a scalar libm call either way; the
+/// SIMD win in [`fused_bias_sigmoid`] is the vectorised bias add and the
+/// removal of the per-element zip bookkeeping).
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Fused bias broadcast + sigmoid: `out[j] = sigmoid(pre[j] + bias[j])`.
+///
+/// The activation pass behind every `p(h|v)` / binary reconstruction in the
+/// model layer. Element-wise, so both policy arms are bitwise identical.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn fused_bias_sigmoid(pre: &[f64], bias: &[f64], out: &mut [f64], simd: SimdPolicy) {
+    assert_eq!(pre.len(), out.len(), "fused_bias_sigmoid: length mismatch");
+    assert_eq!(bias.len(), out.len(), "fused_bias_sigmoid: length mismatch");
+    match simd {
+        SimdPolicy::Lanes4 => {
+            let mut out_chunks = out.chunks_exact_mut(LANES);
+            let mut pre_chunks = pre.chunks_exact(LANES);
+            let mut bias_chunks = bias.chunks_exact(LANES);
+            for ((oa, xa), ba) in out_chunks
+                .by_ref()
+                .zip(pre_chunks.by_ref())
+                .zip(bias_chunks.by_ref())
+            {
+                // The adds vectorise; the four exps stay scalar libm calls.
+                let t = [xa[0] + ba[0], xa[1] + ba[1], xa[2] + ba[2], xa[3] + ba[3]];
+                oa[0] = sigmoid(t[0]);
+                oa[1] = sigmoid(t[1]);
+                oa[2] = sigmoid(t[2]);
+                oa[3] = sigmoid(t[3]);
+            }
+            for ((o, x), b) in out_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(pre_chunks.remainder())
+                .zip(bias_chunks.remainder())
+            {
+                *o = sigmoid(x + b);
+            }
+        }
+        SimdPolicy::Scalar => {
+            for ((o, x), b) in out.iter_mut().zip(pre).zip(bias) {
+                *o = sigmoid(x + b);
+            }
+        }
+    }
+}
+
+/// Fused bias broadcast: `out[j] = pre[j] + bias[j]` — the Gaussian-visible
+/// linear reconstruction pass. Element-wise; both policy arms bitwise
+/// identical.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn fused_bias_add(pre: &[f64], bias: &[f64], out: &mut [f64], simd: SimdPolicy) {
+    assert_eq!(pre.len(), out.len(), "fused_bias_add: length mismatch");
+    assert_eq!(bias.len(), out.len(), "fused_bias_add: length mismatch");
+    match simd {
+        SimdPolicy::Lanes4 => {
+            let mut out_chunks = out.chunks_exact_mut(LANES);
+            let mut pre_chunks = pre.chunks_exact(LANES);
+            let mut bias_chunks = bias.chunks_exact(LANES);
+            for ((oa, xa), ba) in out_chunks
+                .by_ref()
+                .zip(pre_chunks.by_ref())
+                .zip(bias_chunks.by_ref())
+            {
+                oa[0] = xa[0] + ba[0];
+                oa[1] = xa[1] + ba[1];
+                oa[2] = xa[2] + ba[2];
+                oa[3] = xa[3] + ba[3];
+            }
+            for ((o, x), b) in out_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(pre_chunks.remainder())
+                .zip(bias_chunks.remainder())
+            {
+                *o = x + b;
+            }
+        }
+        SimdPolicy::Scalar => {
+            for ((o, x), b) in out.iter_mut().zip(pre).zip(bias) {
+                *o = x + b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn vecs(len: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let b = (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn policy_default_is_lanes4() {
+        assert_eq!(SimdPolicy::default(), SimdPolicy::Lanes4);
+        assert!(SimdPolicy::Lanes4.is_enabled());
+        assert!(!SimdPolicy::Scalar.is_enabled());
+        assert_eq!(SimdPolicy::from_enabled(true), SimdPolicy::Lanes4);
+        assert_eq!(SimdPolicy::from_enabled(false), SimdPolicy::Scalar);
+    }
+
+    #[test]
+    fn dot_arms_are_bitwise_identical_for_every_tail_length() {
+        // Lengths covering every ragged remainder 0..=15 over zero, one and
+        // two complete chunks: the tail is the classic bug site.
+        for len in 0..=50 {
+            let (a, b) = vecs(len, len as u64);
+            let unrolled = dot(&a, &b, SimdPolicy::Lanes4);
+            let scalar = dot(&a, &b, SimdPolicy::Scalar);
+            assert_eq!(unrolled.to_bits(), scalar.to_bits(), "len = {len}");
+        }
+    }
+
+    #[test]
+    fn dot_degenerates_to_sequential_sum_below_one_chunk() {
+        for len in 0..DOT_ACCUMULATORS {
+            let (a, b) = vecs(len, 100 + len as u64);
+            // Explicit fold from +0.0: `Iterator::sum` starts floats at
+            // -0.0, which is `==` but not bitwise-equal for empty input.
+            let sequential: f64 = a.iter().zip(&b).fold(0.0, |s, (x, y)| s + x * y);
+            let canonical = dot(&a, &b, SimdPolicy::Lanes4);
+            assert_eq!(sequential.to_bits(), canonical.to_bits(), "len = {len}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_exact_arithmetic_on_integers() {
+        // Small integers are exact in f64 under any summation order.
+        let a: Vec<f64> = (1..=11).map(f64::from).collect();
+        let b: Vec<f64> = (1..=11).map(|i| f64::from(i) * 2.0).collect();
+        let expected: f64 = (1..=11).map(|i| f64::from(i * i * 2)).sum();
+        assert_eq!(dot(&a, &b, SimdPolicy::Lanes4), expected);
+        assert_eq!(dot(&a, &b, SimdPolicy::Scalar), expected);
+    }
+
+    #[test]
+    fn dot_propagates_nan_in_chunks_and_tail() {
+        for nan_at in [0, 3, 15, 16, 20] {
+            let (mut a, b) = vecs(21, 7);
+            a[nan_at] = f64::NAN;
+            assert!(dot(&a, &b, SimdPolicy::Lanes4).is_nan(), "idx {nan_at}");
+            assert!(dot(&a, &b, SimdPolicy::Scalar).is_nan(), "idx {nan_at}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0], SimdPolicy::Lanes4);
+    }
+
+    #[test]
+    fn axpy_arms_are_bitwise_identical_for_every_tail_length() {
+        for len in 0..=35 {
+            let (x, y0) = vecs(len, 200 + len as u64);
+            let mut y_unrolled = y0.clone();
+            let mut y_scalar = y0.clone();
+            axpy(0.37, &x, &mut y_unrolled, SimdPolicy::Lanes4);
+            axpy(0.37, &x, &mut y_scalar, SimdPolicy::Scalar);
+            let same = y_unrolled
+                .iter()
+                .zip(&y_scalar)
+                .all(|(u, s)| u.to_bits() == s.to_bits());
+            assert!(same, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        axpy(
+            2.0,
+            &[10.0, 20.0, 30.0, 40.0, 50.0],
+            &mut y,
+            SimdPolicy::Lanes4,
+        );
+        assert_eq!(y, vec![21.0, 42.0, 63.0, 84.0, 105.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        for x in [-3.0, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_maps_arms_are_bitwise_identical() {
+        for len in [0, 1, 3, 4, 5, 8, 13] {
+            let (pre, bias) = vecs(len, 300 + len as u64);
+            let mut sig_unrolled = vec![0.0; len];
+            let mut sig_scalar = vec![0.0; len];
+            fused_bias_sigmoid(&pre, &bias, &mut sig_unrolled, SimdPolicy::Lanes4);
+            fused_bias_sigmoid(&pre, &bias, &mut sig_scalar, SimdPolicy::Scalar);
+            assert_eq!(sig_unrolled, sig_scalar, "sigmoid len = {len}");
+            for (o, (&x, &b)) in sig_scalar.iter().zip(pre.iter().zip(&bias)) {
+                assert_eq!(o.to_bits(), sigmoid(x + b).to_bits());
+            }
+
+            let mut add_unrolled = vec![0.0; len];
+            let mut add_scalar = vec![0.0; len];
+            fused_bias_add(&pre, &bias, &mut add_unrolled, SimdPolicy::Lanes4);
+            fused_bias_add(&pre, &bias, &mut add_scalar, SimdPolicy::Scalar);
+            assert_eq!(add_unrolled, add_scalar, "add len = {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fused_bias_sigmoid_length_mismatch_panics() {
+        fused_bias_sigmoid(&[1.0], &[1.0], &mut [0.0, 0.0], SimdPolicy::Lanes4);
+    }
+}

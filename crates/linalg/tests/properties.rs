@@ -5,7 +5,9 @@
 //! generated matrices rather than hand-picked examples.
 
 use proptest::prelude::*;
-use sls_linalg::{euclidean_distance, pairwise_distances, Matrix, ParallelPolicy, Standardizer};
+use sls_linalg::{
+    euclidean_distance, pairwise_distances, Matrix, ParallelPolicy, SimdPolicy, Standardizer,
+};
 
 /// Strategy producing a matrix with the given bounds on shape and values in
 /// [-10, 10].
@@ -41,19 +43,55 @@ fn large_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
 
 /// Policies covering thread counts 1–8, cutovers around the partition
 /// boundaries (including `min_rows_per_thread` values that force serial
-/// execution for most shapes — the cutover itself is under test) and both
-/// dispatch modes: spawn-per-call scoped threads and the persistent worker
-/// pool. Every bitwise-identity property below therefore holds for the
-/// pooled kernels too.
+/// execution for most shapes — the cutover itself is under test), both
+/// dispatch modes (spawn-per-call scoped threads and the persistent worker
+/// pool) and both SIMD arms (unrolled 4-lane and scalar fallback). Every
+/// bitwise-identity property below therefore holds across the full
+/// {serial, spawn, pool} × {simd on, simd off} grid.
 fn policy_strategy() -> impl Strategy<Value = ParallelPolicy> {
-    (1..=8usize, 1..=9usize, 0..2usize).prop_map(|(threads, min_rows, pool)| {
-        // 9 maps to a cutover larger than any generated row count, forcing
-        // the serial path through the parallel entry points.
+    (1..=8usize, 1..=9usize, 0..2usize, 0..2usize).prop_map(|(threads, min_rows, pool, simd)| {
+        // 9 maps to a cutover larger than any generated row count,
+        // forcing the serial path through the parallel entry points.
         let min_rows = if min_rows == 9 { 64 } else { min_rows };
         ParallelPolicy::new(threads)
             .with_min_rows_per_thread(min_rows)
             .with_pool(pool == 1)
+            .with_simd(SimdPolicy::from_enabled(simd == 1))
     })
+}
+
+/// Operand pairs whose *inner* (dot/axpy) dimension is `16q + tail` with
+/// `tail ∈ 0..=15`, sweeping every ragged remainder the unrolled reductions
+/// can see (16 accumulators per chunk) — the classic unrolling bug site —
+/// across the chunkless degenerate case and one complete chunk.
+fn tailed_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0..=1usize, 0..=15usize, 1..24usize, 1..10usize).prop_flat_map(|(q, tail, n, m)| {
+        let k = (16 * q + tail).max(1);
+        let a = proptest::collection::vec(-5.0..5.0f64, n * k)
+            .prop_map(move |d| Matrix::from_vec(n, k, d).unwrap());
+        let b = proptest::collection::vec(-5.0..5.0f64, k * m)
+            .prop_map(move |d| Matrix::from_vec(k, m, d).unwrap());
+        (a, b)
+    })
+}
+
+/// The {serial, spawn, pool} × {simd on, simd off} grid the acceptance
+/// criteria name, with an eager cutover so multi-thread policies really fan
+/// out on the generated shapes.
+fn policy_grid() -> Vec<ParallelPolicy> {
+    let mut grid = Vec::new();
+    for simd in [SimdPolicy::Scalar, SimdPolicy::Lanes4] {
+        grid.push(ParallelPolicy::serial().with_simd(simd));
+        for pool in [false, true] {
+            grid.push(
+                ParallelPolicy::new(4)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool)
+                    .with_simd(simd),
+            );
+        }
+    }
+    grid
 }
 
 /// Exact bitwise equality (`f64::to_bits`), stricter than `==` (which treats
@@ -157,6 +195,57 @@ proptest! {
             .zip(&parallel_reduce)
             .all(|(x, y)| x.to_bits() == y.to_bits());
         prop_assert!(same);
+    }
+
+    #[test]
+    fn all_five_kernels_are_bitwise_identical_across_dispatch_and_simd(
+        (a, b) in tailed_matmul_pair(),
+    ) {
+        // The acceptance grid: every kernel, every dispatch mode, both SIMD
+        // arms, with the inner dimension sweeping tails 0..=15 so every
+        // ragged remainder after the 16-accumulator dot chunks is exercised
+        // on both sides of the chunk boundary. The reference is serial +
+        // scalar fallback.
+        let reference = ParallelPolicy::serial().with_simd(SimdPolicy::Scalar);
+        let bt = b.transpose();
+        let h = Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            a.row(i).iter().sum::<f64>() * 0.25 + j as f64
+        });
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let cols = a.cols();
+        let fused = |_: usize, row: &[f64], out: &mut [f64]| {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o = sigmoid(x);
+            }
+        };
+        let mm_ref = a.matmul_with(&b, &reference).unwrap();
+        let tr_ref = a.matmul_transpose_right_with(&bt, &reference).unwrap();
+        let tl_ref = a.matmul_transpose_left_with(&h, &reference).unwrap();
+        let map_ref = a.map_rows_with(cols, &reference, fused);
+        let red_ref = a.reduce_rows_with(&reference, |_, row| row.iter().map(|x| x * x).sum());
+        for policy in policy_grid() {
+            prop_assert!(
+                bitwise_eq(&mm_ref, &a.matmul_with(&b, &policy).unwrap()),
+                "matmul {policy:?}"
+            );
+            prop_assert!(
+                bitwise_eq(&tr_ref, &a.matmul_transpose_right_with(&bt, &policy).unwrap()),
+                "transpose_right {policy:?}"
+            );
+            prop_assert!(
+                bitwise_eq(&tl_ref, &a.matmul_transpose_left_with(&h, &policy).unwrap()),
+                "transpose_left {policy:?}"
+            );
+            prop_assert!(
+                bitwise_eq(&map_ref, &a.map_rows_with(cols, &policy, fused)),
+                "map_rows {policy:?}"
+            );
+            let red: Vec<f64> = a.reduce_rows_with(&policy, |_, row| row.iter().map(|x| x * x).sum());
+            prop_assert!(
+                red_ref.iter().zip(&red).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "reduce_rows {policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -4,24 +4,30 @@
 //! ```sh
 //! sls-serve export --out artifacts [--name quick_demo] [--model sls-grbm]
 //!                  [--instances 90] [--dims 8] [--clusters 3] [--seed 2023]
-//!                  [--threads N] [--min-par-rows N] [--pool 0|1]
+//!                  [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
 //! sls-serve serve  --dir artifacts [--addr 127.0.0.1:7878] [--workers 8]
-//!                  [--threads N] [--min-par-rows N] [--pool 0|1]
+//!                  [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
 //! ```
 //!
-//! `--threads` sets the parallel linalg policy (`0` = one thread per core,
-//! default `1` = serial unless `SLS_PARALLEL_THREADS` is set);
+//! `--threads` sets the parallel linalg policy (`0` = one thread per core);
 //! `--min-par-rows` sets the serial cutover (matrices with fewer output rows
 //! per thread stay serial); `--pool 1` routes fanned-out kernels through the
 //! persistent worker pool (constructed at bind time, shared by all HTTP
-//! workers) instead of spawning threads per call — the right choice for
-//! small-batch serving, also reachable via `SLS_PARALLEL_POOL=1`. Results
-//! are bitwise identical for every policy.
+//! workers) instead of spawning threads per call, also reachable via
+//! `SLS_PARALLEL_POOL=1`; `--simd 0` selects the scalar fallback inner
+//! loops (`SLS_SIMD=0`), default on. Results are bitwise identical for
+//! every policy.
+//!
+//! The two subcommands default differently when neither flags nor
+//! environment choose: `serve` runs one linalg thread per core with pooled
+//! dispatch — the serving-shaped policy whose pool path CI gates on
+//! multi-core runners — while `export` (training-scale, one-off calls)
+//! keeps the library default of serial spawn-per-call.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
-use sls_linalg::ParallelPolicy;
+use sls_linalg::{ParallelPolicy, SimdPolicy};
 use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
 use sls_serve::{ModelRegistry, Server};
 use std::collections::BTreeMap;
@@ -30,9 +36,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
                    [--instances N] [--dims N] [--clusters N] [--seed N]
-                   [--threads N] [--min-par-rows N] [--pool 0|1]
+                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
   sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]
-                   [--threads N] [--min-par-rows N] [--pool 0|1]";
+                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,9 +73,18 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
 }
 
 /// Builds the linalg parallel policy from `--threads` / `--min-par-rows` /
-/// `--pool`, falling back to the process-wide default (which honours
-/// `SLS_PARALLEL_THREADS` / `SLS_PARALLEL_MIN_ROWS` / `SLS_PARALLEL_POOL`).
-fn parallel_policy(flags: &BTreeMap<String, String>) -> Result<ParallelPolicy, String> {
+/// `--pool` / `--simd`, falling back to the process-wide default (which
+/// honours `SLS_PARALLEL_THREADS` / `SLS_PARALLEL_MIN_ROWS` /
+/// `SLS_PARALLEL_POOL` / `SLS_SIMD`).
+///
+/// With `serving = true` (the `serve` subcommand) the silent defaults flip
+/// to the serving-shaped policy: one thread per core and pooled dispatch,
+/// each applied only when neither the flag nor its environment variable is
+/// present — an explicit choice on either surface always wins.
+fn parallel_policy(
+    flags: &BTreeMap<String, String>,
+    serving: bool,
+) -> Result<ParallelPolicy, String> {
     let global = ParallelPolicy::global();
     let policy = match flags.get("threads") {
         Some(raw) => {
@@ -79,19 +94,39 @@ fn parallel_policy(flags: &BTreeMap<String, String>) -> Result<ParallelPolicy, S
             ParallelPolicy::new(threads)
                 .with_min_rows_per_thread(global.min_rows_per_thread)
                 .with_pool(global.pool)
+                .with_simd(global.simd)
+        }
+        // Serving default: one linalg thread per core.
+        None if serving && std::env::var(sls_linalg::ENV_THREADS).is_err() => {
+            ParallelPolicy::new(0)
+                .with_min_rows_per_thread(global.min_rows_per_thread)
+                .with_pool(global.pool)
+                .with_simd(global.simd)
         }
         None => global,
     };
     let pool = match flags.get("pool") {
+        // Serving default: persistent-pool dispatch (cheap per-call fan-out
+        // for small micro-batches; CI gates this path on multi-core
+        // runners).
+        None if serving && std::env::var(sls_linalg::ENV_POOL).is_err() => true,
         None => policy.pool,
         // Same parser as SLS_PARALLEL_POOL, so no spelling works in the
         // environment but fails on the command line.
         Some(raw) => ParallelPolicy::parse_bool(raw)
             .ok_or_else(|| format!("invalid value `{raw}` for --pool (use 0/1/true/false)"))?,
     };
+    let simd = match flags.get("simd") {
+        None => policy.simd,
+        Some(raw) => SimdPolicy::from_enabled(
+            ParallelPolicy::parse_bool(raw)
+                .ok_or_else(|| format!("invalid value `{raw}` for --simd (use 0/1/true/false)"))?,
+        ),
+    };
     Ok(policy
         .with_min_rows_per_thread(parsed(flags, "min-par-rows", policy.min_rows_per_thread)?)
-        .with_pool(pool))
+        .with_pool(pool)
+        .with_simd(simd))
 }
 
 fn parsed<T: std::str::FromStr>(
@@ -121,6 +156,7 @@ fn run_export(args: &[String]) -> Result<(), String> {
             "--threads",
             "--min-par-rows",
             "--pool",
+            "--simd",
         ],
     )?;
     let out = flags
@@ -146,7 +182,7 @@ fn run_export(args: &[String]) -> Result<(), String> {
     let dataset = SyntheticBlobs::new(instances, dims, clusters)
         .separation(5.0)
         .generate(&mut rng);
-    let parallel = parallel_policy(&flags)?;
+    let parallel = parallel_policy(&flags, false)?;
     let config = SlsPipelineConfig::quick_demo()
         .with_clusters(clusters)
         .with_parallel(parallel);
@@ -190,6 +226,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--threads",
             "--min-par-rows",
             "--pool",
+            "--simd",
         ],
     )?;
     let dir = flags
@@ -218,7 +255,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             artifact.n_hidden()
         );
     }
-    let parallel = parallel_policy(&flags)?;
+    let parallel = parallel_policy(&flags, true)?;
     let server = Server::bind(addr.as_str(), registry, workers)
         .map_err(|e| format!("bind failed: {e}"))?
         .with_parallel(parallel);
