@@ -1,27 +1,47 @@
 //! Load generator for the `sls-serve` HTTP inference server: hammers the
-//! `/features` and `/assign` endpoints from concurrent client threads and
-//! reports latency percentiles and throughput.
+//! `/features` and `/assign` endpoints from concurrent client threads,
+//! verifies every response against a precomputed reference, and reports
+//! latency percentiles and throughput.
 //!
 //! ```sh
 //! sls-serve export --out artifacts
 //! sls-serve serve --dir artifacts --addr 127.0.0.1:7878 &
 //! cargo run --release -p sls-bench --bin loadgen -- \
-//!     --addr 127.0.0.1:7878 --model quick_demo --requests 400 --concurrency 100
+//!     --addr 127.0.0.1:7878 --model quick_demo --requests 400 --concurrency 100 \
+//!     --keep-alive 1 --batch-report 1 --artifact artifacts/quick_demo.json
 //! ```
 //!
-//! Exits non-zero if any request fails or answers a non-2xx status, so CI
-//! can use it as a smoke gate.
+//! Requests cycle a fixed pool of deterministic row batches whose expected
+//! responses are precomputed up front — in process from `--artifact PATH`
+//! (fully independent of the server), or over serial warm-up HTTP requests
+//! otherwise. Any response that is not bitwise identical (`f64::to_bits`)
+//! to its reference counts as an error, and any error (mismatch, transport
+//! failure, non-2xx status) exits non-zero, so CI can use the run both as a
+//! smoke gate and as a batching-identity check.
+//!
+//! `--keep-alive 1` gives every worker one reused connection instead of a
+//! connection per request; `--batch-report 1` samples `GET /statz` around
+//! the run and prints what the server's cross-request micro-batcher did.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sls_serve::{Client, LatencySummary};
+use sls_linalg::{Matrix, ParallelPolicy};
+use sls_rbm_core::PipelineArtifact;
+use sls_serve::{BatchStatsResponse, Client, Connection, LatencySummary};
 use std::collections::BTreeMap;
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--model NAME] [--requests N] \
-[--concurrency N] [--rows N] [--mode features|assign|mix] [--seed N]";
+[--concurrency N] [--rows N] [--mode features|assign|mix] [--seed N] \
+[--keep-alive 0|1] [--batch-report 0|1] [--artifact PATH]";
+
+/// How many distinct row batches the workers cycle through. Small enough to
+/// precompute references cheaply, large enough that concurrent in-flight
+/// requests rarely carry identical payloads.
+const REFERENCE_POOL: usize = 32;
 
 struct Options {
     addr: String,
@@ -31,6 +51,9 @@ struct Options {
     rows: usize,
     mode: Mode,
     seed: u64,
+    keep_alive: bool,
+    batch_report: bool,
+    artifact: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -57,6 +80,23 @@ impl Mode {
     }
 }
 
+/// One precomputed request payload with its expected responses.
+struct Reference {
+    rows: Vec<Vec<f64>>,
+    /// `to_bits` of every expected feature value, row-aligned.
+    feature_bits: Vec<Vec<u64>>,
+    /// Expected cluster labels (empty when the model has no cluster head).
+    assignments: Vec<usize>,
+}
+
+fn parse_bool(flag: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(format!("invalid value `{other}` for `{flag}` (use 0/1)")),
+    }
+}
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         addr: "127.0.0.1:7878".to_string(),
@@ -66,6 +106,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         rows: 16,
         mode: Mode::Mix,
         seed: 2023,
+        keep_alive: false,
+        batch_report: false,
+        artifact: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -96,10 +139,121 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown mode `{other}`\n{USAGE}")),
                 };
             }
+            "--keep-alive" => options.keep_alive = parse_bool(flag, value)?,
+            "--batch-report" => options.batch_report = parse_bool(flag, value)?,
+            "--artifact" => options.artifact = Some(value.clone()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     Ok(options)
+}
+
+/// Builds the deterministic request-payload pool.
+fn payload_pool(options: &Options, n_visible: usize) -> Vec<Vec<Vec<f64>>> {
+    (0..REFERENCE_POOL.min(options.requests))
+        .map(|k| {
+            let mut rng = ChaCha8Rng::seed_from_u64(options.seed.wrapping_add(k as u64));
+            (0..options.rows)
+                .map(|_| (0..n_visible).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// Precomputes the expected response for every pooled payload — in process
+/// when an artifact is at hand (independent of the server), over serial
+/// warm-up HTTP requests otherwise.
+fn build_references(
+    options: &Options,
+    client: &Client,
+    pool: Vec<Vec<Vec<f64>>>,
+    has_cluster_head: bool,
+) -> Result<Vec<Reference>, String> {
+    let want_assign = options.mode != Mode::Features && has_cluster_head;
+    if let Some(path) = &options.artifact {
+        let artifact =
+            PipelineArtifact::load(path).map_err(|e| format!("loading `{path}` failed: {e}"))?;
+        let serial = ParallelPolicy::serial();
+        return pool
+            .into_iter()
+            .map(|rows| {
+                let matrix = Matrix::from_rows(&rows).map_err(|e| e.to_string())?;
+                let features = artifact
+                    .features_with(&matrix, &serial)
+                    .map_err(|e| format!("in-process features failed: {e}"))?;
+                let feature_bits = features
+                    .row_iter()
+                    .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                    .collect();
+                let assignments = if want_assign {
+                    artifact
+                        .assign_with(&matrix, &serial)
+                        .map_err(|e| format!("in-process assign failed: {e}"))?
+                } else {
+                    Vec::new()
+                };
+                Ok(Reference {
+                    rows,
+                    feature_bits,
+                    assignments,
+                })
+            })
+            .collect();
+    }
+    // No artifact: one serial warm-up request per payload defines the
+    // reference the concurrent (and possibly batched) run must reproduce.
+    pool.into_iter()
+        .map(|rows| {
+            let features = client
+                .features(&options.model, &rows)
+                .map_err(|e| format!("warm-up features request failed: {e}"))?;
+            let feature_bits = features
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            let assignments = if want_assign {
+                client
+                    .assign(&options.model, &rows)
+                    .map_err(|e| format!("warm-up assign request failed: {e}"))?
+            } else {
+                Vec::new()
+            };
+            Ok(Reference {
+                rows,
+                feature_bits,
+                assignments,
+            })
+        })
+        .collect()
+}
+
+/// Fetches the server's micro-batching counters.
+fn fetch_statz(client: &Client) -> Result<BatchStatsResponse, String> {
+    let response = client
+        .request_ok("GET", "/statz", "")
+        .map_err(|e| format!("GET /statz failed: {e}"))?;
+    serde_json::from_str(&response.body).map_err(|e| format!("statz body undecodable: {e}"))
+}
+
+fn verify_features(reference: &Reference, answered: &[Vec<f64>]) -> Result<(), String> {
+    let answered_bits: Vec<Vec<u64>> = answered
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    if answered_bits != reference.feature_bits {
+        return Err("features are not bitwise identical to the reference".to_string());
+    }
+    Ok(())
+}
+
+fn verify_assignments(reference: &Reference, answered: &[usize]) -> Result<(), String> {
+    if answered != reference.assignments {
+        return Err(format!(
+            "assignments {answered:?} differ from the reference {:?}",
+            reference.assignments
+        ));
+    }
+    Ok(())
 }
 
 fn run(options: &Options) -> Result<(), String> {
@@ -141,49 +295,79 @@ fn run(options: &Options) -> Result<(), String> {
     }
     println!(
         "loadgen: {} requests x {} rows against http://{addr}/models/{} \
-         ({} healthy models, concurrency {}, visible width {})",
+         ({} healthy models, concurrency {}, visible width {}, keep-alive {})",
         options.requests,
         options.rows,
         options.model,
         health.models,
         options.concurrency,
-        info.n_visible
+        info.n_visible,
+        if options.keep_alive { "on" } else { "off" },
     );
+
+    let pool = payload_pool(options, info.n_visible);
+    let references = build_references(options, &client, pool, info.n_clusters.is_some())?;
+    println!(
+        "  verifying against {} {} reference payloads",
+        references.len(),
+        if options.artifact.is_some() {
+            "in-process"
+        } else {
+            "warm-up HTTP"
+        }
+    );
+    let statz_before = if options.batch_report {
+        Some(fetch_statz(&client)?)
+    } else {
+        None
+    };
 
     // Per-endpoint latency samples and error messages, appended by workers.
     let samples: Mutex<BTreeMap<&'static str, Vec<Duration>>> = Mutex::new(BTreeMap::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let n_visible = info.n_visible;
+    let connections_opened = AtomicUsize::new(0);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for worker in 0..options.concurrency {
             let client = &client;
             let samples = &samples;
             let errors = &errors;
+            let references = &references;
+            let connections_opened = &connections_opened;
             let options_ref = &options;
             scope.spawn(move || {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(options_ref.seed.wrapping_add(worker as u64));
+                let mut connection: Option<Connection> =
+                    options_ref.keep_alive.then(|| client.connect());
                 // Workers split the total request budget as evenly as possible.
                 let share = options_ref.requests / options_ref.concurrency
                     + usize::from(worker < options_ref.requests % options_ref.concurrency);
                 for i in 0..share {
-                    let rows: Vec<Vec<f64>> = (0..options_ref.rows)
-                        .map(|_| (0..n_visible).map(|_| rng.gen_range(-2.0..2.0)).collect())
-                        .collect();
+                    // Deterministic walk over the payload pool, de-phased
+                    // per worker so concurrent requests mix payloads.
+                    let reference = &references[(worker * 7 + i) % references.len()];
                     let endpoint = options_ref.mode.pick(worker, i);
                     let request_start = Instant::now();
-                    let outcome = match endpoint {
-                        "features" => client
-                            .features(&options_ref.model, &rows)
-                            .map(|features| features.len()),
-                        _ => client
-                            .assign(&options_ref.model, &rows)
-                            .map(|assignments| assignments.len()),
+                    let outcome = match (endpoint, connection.as_mut()) {
+                        ("features", Some(conn)) => conn
+                            .features(&options_ref.model, &reference.rows)
+                            .map_err(|e| e.to_string())
+                            .and_then(|f| verify_features(reference, &f)),
+                        ("features", None) => client
+                            .features(&options_ref.model, &reference.rows)
+                            .map_err(|e| e.to_string())
+                            .and_then(|f| verify_features(reference, &f)),
+                        (_, Some(conn)) => conn
+                            .assign(&options_ref.model, &reference.rows)
+                            .map_err(|e| e.to_string())
+                            .and_then(|a| verify_assignments(reference, &a)),
+                        (_, None) => client
+                            .assign(&options_ref.model, &reference.rows)
+                            .map_err(|e| e.to_string())
+                            .and_then(|a| verify_assignments(reference, &a)),
                     };
                     let elapsed = request_start.elapsed();
                     match outcome {
-                        Ok(answered) if answered == options_ref.rows => {
+                        Ok(()) => {
                             samples
                                 .lock()
                                 .unwrap()
@@ -191,13 +375,16 @@ fn run(options: &Options) -> Result<(), String> {
                                 .or_default()
                                 .push(elapsed);
                         }
-                        Ok(answered) => errors.lock().unwrap().push(format!(
-                            "{endpoint}: answered {answered} of {} rows",
-                            options_ref.rows
-                        )),
                         Err(e) => errors.lock().unwrap().push(format!("{endpoint}: {e}")),
                     }
                 }
+                connections_opened.fetch_add(
+                    match &connection {
+                        Some(conn) => conn.connections_opened(),
+                        None => share,
+                    },
+                    Ordering::Relaxed,
+                );
             });
         }
     });
@@ -215,12 +402,41 @@ fn run(options: &Options) -> Result<(), String> {
     let Some(overall) = LatencySummary::from_samples(&all) else {
         return Err("no request succeeded".to_string());
     };
+    let throughput = overall.throughput(elapsed);
     println!(
-        "  overall   {overall} | elapsed {:.2?} | throughput {:.1} req/s | errors {}",
+        "  overall   {overall} | elapsed {:.2?} | throughput {throughput:.1} req/s | \
+         connections {} | errors {}",
         elapsed,
-        overall.throughput(elapsed),
+        connections_opened.load(Ordering::Relaxed),
         errors.len()
     );
+    // Machine-greppable one-liner for BENCH tracking.
+    println!(
+        "loadgen-summary: keep_alive={} requests={} concurrency={} rows={} \
+         throughput_rps={throughput:.1} connections={} errors={}",
+        u8::from(options.keep_alive),
+        options.requests,
+        options.concurrency,
+        options.rows,
+        connections_opened.load(Ordering::Relaxed),
+        errors.len()
+    );
+    if let Some(before) = statz_before {
+        let after = fetch_statz(&client)?;
+        println!(
+            "batch-report: window_us={} max_batch_rows={} batches=+{} batched_requests=+{} \
+             batched_rows=+{} largest_batch={} largest_batch_rows={}",
+            after.window_us,
+            after.max_batch_rows,
+            after.batches.saturating_sub(before.batches),
+            after
+                .batched_requests
+                .saturating_sub(before.batched_requests),
+            after.batched_rows.saturating_sub(before.batched_rows),
+            after.largest_batch,
+            after.largest_batch_rows,
+        );
+    }
     if !errors.is_empty() {
         for message in errors.iter().take(5) {
             eprintln!("error: {message}");

@@ -102,6 +102,55 @@ pub struct ErrorResponse {
     pub error: String,
 }
 
+/// Body of `GET /statz`: the cross-request micro-batching configuration and
+/// lifetime counters of the serving process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStatsResponse {
+    /// Configured collection window in microseconds (`0` = coalescing off).
+    pub window_us: u64,
+    /// Row cap per fused batch.
+    pub max_batch_rows: usize,
+    /// Fused batches launched through the coalescing window.
+    pub batches: u64,
+    /// Requests that went through those batches.
+    pub batched_requests: u64,
+    /// Total rows fused through those batches.
+    pub batched_rows: u64,
+    /// Most requests ever fused into one batch.
+    pub largest_batch: u64,
+    /// Most rows ever fused into one batch.
+    pub largest_batch_rows: u64,
+}
+
+impl BatchStatsResponse {
+    /// Builds the response for an optional batcher (`None` reports the
+    /// all-zero disabled shape).
+    pub fn describe(batcher: Option<&crate::batch::Batcher>) -> Self {
+        let Some(batcher) = batcher else {
+            return Self {
+                window_us: 0,
+                max_batch_rows: 0,
+                batches: 0,
+                batched_requests: 0,
+                batched_rows: 0,
+                largest_batch: 0,
+                largest_batch_rows: 0,
+            };
+        };
+        let config = batcher.config();
+        let stats = batcher.stats();
+        Self {
+            window_us: u64::try_from(config.window.as_micros()).unwrap_or(u64::MAX),
+            max_batch_rows: config.max_rows,
+            batches: stats.batches,
+            batched_requests: stats.batched_requests,
+            batched_rows: stats.batched_rows,
+            largest_batch: stats.largest_batch,
+            largest_batch_rows: stats.largest_batch_rows,
+        }
+    }
+}
+
 /// Converts a matrix to the row-of-rows JSON shape.
 pub fn matrix_to_rows(matrix: &Matrix) -> Vec<Vec<f64>> {
     matrix.row_iter().map(<[f64]>::to_vec).collect()
@@ -149,6 +198,29 @@ mod tests {
         assert_eq!(info.n_visible, 6);
         assert_eq!(info.n_hidden, 3);
         assert_eq!(info.n_clusters, None);
+    }
+
+    #[test]
+    fn batch_stats_describe_none_is_all_zero() {
+        let stats = BatchStatsResponse::describe(None);
+        assert_eq!(stats.window_us, 0);
+        assert_eq!(stats.max_batch_rows, 0);
+        assert_eq!(stats.batches, 0);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: BatchStatsResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn batch_stats_describe_echoes_config() {
+        let batcher = crate::batch::Batcher::new(crate::batch::BatchConfig {
+            window: std::time::Duration::from_micros(300),
+            max_rows: 128,
+        });
+        let stats = BatchStatsResponse::describe(Some(&batcher));
+        assert_eq!(stats.window_us, 300);
+        assert_eq!(stats.max_batch_rows, 128);
+        assert_eq!(stats.batched_requests, 0);
     }
 
     #[test]

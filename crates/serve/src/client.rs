@@ -1,16 +1,23 @@
 //! A small blocking HTTP client for the serving API — used by the
 //! integration tests and the `loadgen` benchmark binary, and handy for
 //! scripting against a running server.
+//!
+//! [`Client`] opens a fresh connection per request (the conservative
+//! baseline); [`Connection`] (from [`Client::connect`]) keeps one socket
+//! alive across requests, reconnecting transparently when the server closes
+//! it (idle timeout, request cap, restart).
 
 use crate::api::{AssignResponse, FeaturesResponse, HealthResponse, ModelsResponse, RowsRequest};
-use crate::http::{read_response, write_request, Response};
+use crate::http::{
+    read_response, read_response_meta, write_request, write_request_keep_alive, Response,
+};
 use crate::{Result, ServeError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// A client bound to one server address. Cheap to clone; every request opens
-/// a fresh connection (the server speaks one request per connection).
+/// a fresh connection and asks the server to close it (`Connection: close`).
 #[derive(Debug, Clone, Copy)]
 pub struct Client {
     addr: SocketAddr,
@@ -37,6 +44,18 @@ impl Client {
         self.addr
     }
 
+    /// Opens a keep-alive [`Connection`] that reuses one socket across
+    /// requests. The socket is dialed lazily on the first request.
+    pub fn connect(&self) -> Connection {
+        Connection {
+            addr: self.addr,
+            timeout: self.timeout,
+            stream: None,
+            opened: 0,
+            served_on_stream: 0,
+        }
+    }
+
     /// Sends one request and reads the response, without interpreting the
     /// status code.
     ///
@@ -45,6 +64,7 @@ impl Client {
     /// Returns connection and framing errors.
     pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response> {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let mut writer = stream.try_clone()?;
@@ -119,5 +139,142 @@ impl Client {
         let body = self.post_rows(&format!("/models/{model}/assign"), rows)?;
         let response: AssignResponse = serde_json::from_str(&body)?;
         Ok(response.assignments)
+    }
+}
+
+/// Reader/writer halves of one live socket.
+#[derive(Debug)]
+struct Stream {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A keep-alive connection: requests reuse one socket until the server
+/// closes it, then the next request transparently dials a new one.
+///
+/// Not `Sync` — use one `Connection` per thread (see `loadgen`).
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<Stream>,
+    opened: usize,
+    served_on_stream: usize,
+}
+
+impl Connection {
+    /// The server address this connection talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many sockets this connection has dialed so far — `1` means every
+    /// request rode the same socket.
+    pub fn connections_opened(&self) -> usize {
+        self.opened
+    }
+
+    fn dial(&mut self) -> Result<&mut Stream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            // Disable Nagle: request/response ping-pong on a reused socket
+            // otherwise serializes behind delayed ACKs (~40ms per exchange).
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            let writer = stream.try_clone()?;
+            self.stream = Some(Stream {
+                reader: BufReader::new(stream),
+                writer,
+            });
+            self.opened += 1;
+            self.served_on_stream = 0;
+        }
+        Ok(self.stream.as_mut().expect("stream was just installed"))
+    }
+
+    fn request_once(&mut self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let stream = self.dial()?;
+        write_request_keep_alive(&mut stream.writer, method, path, body, true)?;
+        let (response, close) = read_response_meta(&mut stream.reader)?;
+        self.served_on_stream += 1;
+        if close {
+            // The server announced it will close this socket (request cap,
+            // shutdown, error): drop our half so the next request redials.
+            self.stream = None;
+        }
+        Ok(response)
+    }
+
+    /// Sends one request over the kept-alive socket and reads the response,
+    /// without interpreting the status code.
+    ///
+    /// If a *reused* socket fails (the server idle-closed it while we were
+    /// away — a benign race inherent to keep-alive), the request is retried
+    /// once on a fresh connection. A failure on a fresh socket is returned
+    /// as-is: retrying there would mask real server trouble.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection and framing errors.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let reused = self.stream.is_some() && self.served_on_stream > 0;
+        match self.request_once(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_stale) if reused => {
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`Self::request`], but treats non-2xx statuses as
+    /// [`ServeError::Status`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Self::request`] returns, plus the status error.
+    pub fn request_ok(&mut self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let response = self.request(method, path, body)?;
+        if response.is_success() {
+            Ok(response)
+        } else {
+            Err(ServeError::Status {
+                status: response.status,
+                body: response.body,
+            })
+        }
+    }
+
+    /// `POST /models/{model}/features` over the kept-alive socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn features(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let body = serde_json::to_string(&RowsRequest {
+            rows: rows.to_vec(),
+        })?;
+        let response = self.request_ok("POST", &format!("/models/{model}/features"), &body)?;
+        let decoded: FeaturesResponse = serde_json::from_str(&response.body)?;
+        Ok(decoded.features)
+    }
+
+    /// `POST /models/{model}/assign` over the kept-alive socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn assign(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<usize>> {
+        let body = serde_json::to_string(&RowsRequest {
+            rows: rows.to_vec(),
+        })?;
+        let response = self.request_ok("POST", &format!("/models/{model}/assign"), &body)?;
+        let decoded: AssignResponse = serde_json::from_str(&response.body)?;
+        Ok(decoded.assignments)
     }
 }

@@ -3,15 +3,21 @@
 //! The server and client speak a deliberate subset of HTTP/1.1 — enough for
 //! JSON request/response bodies without pulling in any dependency:
 //!
-//! * one request per connection (`Connection: close` on every response);
+//! * persistent connections: HTTP/1.1 keep-alive semantics (`Connection:
+//!   keep-alive`/`close` tokens honoured, HTTP/1.0 defaults to close);
 //! * bodies are framed by `Content-Length` (no chunked encoding);
-//! * header names are matched case-insensitively, values are trimmed.
+//! * header names are matched case-insensitively, values are trimmed;
+//! * oversized declared bodies are rejected *before* buffering — the reader
+//!   reports [`RequestRead::TooLarge`] instead of allocating, and drains the
+//!   declared bytes when that is cheap enough to keep the connection's
+//!   framing valid for the next request.
 
 use crate::{Result, ServeError};
 use std::io::{BufRead, Read, Write};
 
-/// Upper bound on accepted body sizes (16 MiB) — a guard against malformed
-/// or hostile `Content-Length` values, far above any legitimate request.
+/// Default upper bound on accepted body sizes (16 MiB) — a guard against
+/// malformed or hostile `Content-Length` values, far above any legitimate
+/// request. Servers can lower it per-connection via [`HttpLimits`].
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// Upper bound on a single request/status/header line (8 KiB, the common
@@ -22,6 +28,39 @@ pub const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of header lines in one message.
 pub const MAX_HEADER_LINES: usize = 100;
 
+/// Body-size limits applied while reading a request.
+///
+/// `max_body_bytes` is the largest body that will be buffered; a request
+/// declaring more is answered without ever allocating for it. `drain_limit`
+/// bounds how many declared-but-rejected bytes the reader is willing to
+/// consume to keep a keep-alive connection's framing valid — a declared
+/// body beyond it forces the connection closed instead of reading
+/// arbitrarily many bytes into the void.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Largest body that will be buffered.
+    pub max_body_bytes: usize,
+    /// Largest rejected body that will still be drained (consumed and
+    /// discarded) so the connection can serve the next request.
+    pub drain_limit: usize,
+}
+
+impl HttpLimits {
+    /// Limits with the given body cap and a drain allowance of 4× the cap.
+    pub fn new(max_body_bytes: usize) -> Self {
+        Self {
+            max_body_bytes,
+            drain_limit: max_body_bytes.saturating_mul(4),
+        }
+    }
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self::new(MAX_BODY_BYTES)
+    }
+}
+
 /// A parsed HTTP request: method, path and raw body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -31,6 +70,32 @@ pub struct Request {
     pub path: String,
     /// Raw request body (empty when no `Content-Length` was sent).
     pub body: String,
+}
+
+/// Outcome of reading one request under explicit [`HttpLimits`].
+#[derive(Debug)]
+pub enum RequestRead {
+    /// A complete request, plus whether the client asked for the connection
+    /// to close after the response (`Connection: close`, or HTTP/1.0
+    /// without `keep-alive`).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// `true` when the client asked the connection to close.
+        close: bool,
+    },
+    /// The declared `Content-Length` exceeds `max_body_bytes`. The body was
+    /// **not** buffered; `drained` reports whether the declared bytes were
+    /// consumed (so the connection framing is still valid) or left on the
+    /// wire (connection must close).
+    TooLarge {
+        /// The `Content-Length` the client declared.
+        declared: usize,
+        /// Whether the declared body was consumed and discarded.
+        drained: bool,
+        /// Whether the client asked the connection to close anyway.
+        close: bool,
+    },
 }
 
 /// A parsed HTTP response: status code and raw body.
@@ -73,23 +138,32 @@ fn read_limited_line(reader: &mut impl BufRead) -> Result<Option<String>> {
     Ok(Some(line))
 }
 
-/// Reads headers until the blank line, returning the `Content-Length` value
-/// (0 when absent).
+/// The header fields this crate acts on, collected from one header block.
+#[derive(Debug, Default)]
+struct HeaderBlock {
+    content_length: Option<usize>,
+    /// A `Connection` header carried a `close` token.
+    close: bool,
+    /// A `Connection` header carried a `keep-alive` token.
+    keep_alive: bool,
+}
+
+/// Reads headers until the blank line.
 ///
 /// Duplicate `Content-Length` headers with *identical* values are collapsed,
 /// duplicates with *conflicting* values are rejected — the two behaviours
 /// RFC 7230 §3.3.2 permits. Letting a later value silently win is the
 /// request-smuggling primitive: two parsers disagreeing on where a body ends
 /// disagree on where the next request starts.
-fn read_content_length(reader: &mut impl BufRead) -> Result<usize> {
-    let mut content_length: Option<usize> = None;
+fn read_header_block(reader: &mut impl BufRead) -> Result<HeaderBlock> {
+    let mut block = HeaderBlock::default();
     for _ in 0..MAX_HEADER_LINES {
         let Some(line) = read_limited_line(reader)? else {
             return Err(protocol_error("connection closed inside headers"));
         };
         let line = line.trim_end();
         if line.is_empty() {
-            return Ok(content_length.unwrap_or(0));
+            return Ok(block);
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -97,18 +171,24 @@ fn read_content_length(reader: &mut impl BufRead) -> Result<usize> {
                     .trim()
                     .parse()
                     .map_err(|_| protocol_error(format!("invalid Content-Length `{value}`")))?;
-                if parsed > MAX_BODY_BYTES {
-                    return Err(protocol_error(format!(
-                        "body of {parsed} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-                    )));
-                }
-                match content_length {
+                match block.content_length {
                     Some(existing) if existing != parsed => {
                         return Err(protocol_error(format!(
                             "conflicting Content-Length headers ({existing} vs {parsed})"
                         )));
                     }
-                    _ => content_length = Some(parsed),
+                    _ => block.content_length = Some(parsed),
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                // `Connection` is a comma-separated token list; only the
+                // two tokens this subset understands matter.
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        block.close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        block.keep_alive = true;
+                    }
                 }
             }
         }
@@ -126,13 +206,40 @@ fn read_body(reader: &mut impl BufRead, len: usize) -> Result<String> {
 }
 
 /// Parses one request (request line, headers, `Content-Length` body) from
-/// `reader`.
+/// `reader` under the default body limit, dropping the connection metadata.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on malformed framing, on a declared body
+/// over [`MAX_BODY_BYTES`], and I/O errors on truncated streams.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request> {
+    // No draining: this entry point is for one-shot parsing where the
+    // stream is not reused after an oversized declaration.
+    let limits = HttpLimits {
+        max_body_bytes: MAX_BODY_BYTES,
+        drain_limit: 0,
+    };
+    match read_request_limited(reader, &limits)? {
+        RequestRead::Complete { request, .. } => Ok(request),
+        RequestRead::TooLarge { declared, .. } => Err(protocol_error(format!(
+            "body of {declared} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ))),
+    }
+}
+
+/// Parses one request under explicit [`HttpLimits`], reporting keep-alive
+/// metadata and oversized bodies instead of buffering them.
+///
+/// An oversized declared body is *never* allocated. When the declaration is
+/// within `limits.drain_limit` the body bytes are read and discarded so the
+/// connection stays usable ([`RequestRead::TooLarge`] with `drained: true`);
+/// beyond it the bytes are left on the wire and the caller must close.
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Protocol`] on malformed framing and I/O errors on
 /// truncated streams.
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request> {
+pub fn read_request_limited(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<RequestRead> {
     let Some(request_line) = read_limited_line(reader)? else {
         return Err(protocol_error("connection closed before request line"));
     };
@@ -145,25 +252,56 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request> {
     };
     let method = method.to_ascii_uppercase();
     let path = path.to_string();
-    let content_length = read_content_length(reader)?;
-    let body = read_body(reader, content_length)?;
-    Ok(Request { method, path, body })
+    // HTTP/1.0 defaults to close, everything else (HTTP/1.1 or a bare
+    // request line) to keep-alive.
+    let http10 = parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
+    let block = read_header_block(reader)?;
+    let close = block.close || (http10 && !block.keep_alive);
+    let declared = block.content_length.unwrap_or(0);
+    if declared > limits.max_body_bytes {
+        let drained = declared <= limits.drain_limit && drain_exact(reader, declared);
+        return Ok(RequestRead::TooLarge {
+            declared,
+            drained,
+            close,
+        });
+    }
+    let body = read_body(reader, declared)?;
+    Ok(RequestRead::Complete {
+        request: Request { method, path, body },
+        close,
+    })
+}
+
+/// Consumes exactly `len` bytes from `reader` into the void, returning
+/// whether all of them arrived.
+fn drain_exact(reader: &mut impl BufRead, len: usize) -> bool {
+    std::io::copy(
+        &mut Read::take(&mut *reader, len as u64),
+        &mut std::io::sink(),
+    )
+    .map(|n| n == len as u64)
+    .unwrap_or(false)
 }
 
 /// Parses one response (status line, headers, `Content-Length` body) from
-/// `reader`.
+/// `reader`, also returning whether the server signalled that the
+/// connection closes after this response.
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Protocol`] on malformed framing and I/O errors on
 /// truncated streams.
-pub fn read_response(reader: &mut impl BufRead) -> Result<Response> {
+pub fn read_response_meta(reader: &mut impl BufRead) -> Result<(Response, bool)> {
     let Some(status_line) = read_limited_line(reader)? else {
         return Err(protocol_error("connection closed before status line"));
     };
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    let status = parts
+        .next()
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| {
             protocol_error(format!(
@@ -171,9 +309,26 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response> {
                 status_line.trim_end()
             ))
         })?;
-    let content_length = read_content_length(reader)?;
-    let body = read_body(reader, content_length)?;
-    Ok(Response { status, body })
+    let http10 = version.eq_ignore_ascii_case("HTTP/1.0");
+    let block = read_header_block(reader)?;
+    let len = block.content_length.unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(protocol_error(format!(
+            "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let body = read_body(reader, len)?;
+    let close = block.close || (http10 && !block.keep_alive);
+    Ok((Response { status, body }, close))
+}
+
+/// Parses one response, dropping the connection metadata.
+///
+/// # Errors
+///
+/// Same as [`read_response_meta`].
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response> {
+    read_response_meta(reader).map(|(response, _)| response)
 }
 
 /// Standard reason phrase for the status codes this crate emits.
@@ -183,9 +338,47 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+fn connection_token(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    }
+}
+
+/// Writes a complete `application/json` response, advertising keep-alive or
+/// close in the `Connection` header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_response_keep_alive(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> Result<()> {
+    // One buffered write per message: `write!` straight to a socket emits
+    // every format fragment as its own TCP segment, and on a long-lived
+    // connection Nagle + delayed ACK turn those fragments into ~40ms
+    // stalls (fresh connections hide this behind TCP quick-ACK mode, which
+    // is why a connection-per-request server never notices).
+    let message = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        reason_phrase(status),
+        body.len(),
+        connection_token(keep_alive),
+    );
+    writer.write_all(message.as_bytes())?;
+    writer.flush()?;
+    Ok(())
 }
 
 /// Writes a complete `application/json` response with `Connection: close`.
@@ -194,12 +387,29 @@ pub fn reason_phrase(status: u16) -> &'static str {
 ///
 /// Propagates I/O errors.
 pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        reason_phrase(status),
+    write_response_keep_alive(writer, status, body, false)
+}
+
+/// Writes a complete request with an optional JSON body, advertising
+/// keep-alive or close in the `Connection` header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_request_keep_alive(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Result<()> {
+    // Single buffered write — see `write_response_keep_alive` for why.
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: sls-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         body.len(),
-    )?;
+        connection_token(keep_alive),
+    );
+    writer.write_all(message.as_bytes())?;
     writer.flush()?;
     Ok(())
 }
@@ -211,13 +421,7 @@ pub fn write_response(writer: &mut impl Write, status: u16, body: &str) -> Resul
 ///
 /// Propagates I/O errors.
 pub fn write_request(writer: &mut impl Write, method: &str, path: &str, body: &str) -> Result<()> {
-    write!(
-        writer,
-        "{method} {path} HTTP/1.1\r\nHost: sls-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    )?;
-    writer.flush()?;
-    Ok(())
+    write_request_keep_alive(writer, method, path, body, false)
 }
 
 #[cfg(test)]
@@ -242,6 +446,57 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert!(resp.is_success());
         assert_eq!(resp.body, "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn keep_alive_round_trip_reports_metadata() {
+        let mut wire = Vec::new();
+        write_request_keep_alive(&mut wire, "GET", "/healthz", "", true).unwrap();
+        match read_request_limited(&mut wire.as_slice(), &HttpLimits::default()).unwrap() {
+            RequestRead::Complete { request, close } => {
+                assert_eq!(request.method, "GET");
+                assert!(!close, "keep-alive request must not ask to close");
+            }
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+        let mut wire = Vec::new();
+        write_response_keep_alive(&mut wire, 200, "{}", true).unwrap();
+        let (resp, close) = read_response_meta(&mut wire.as_slice()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(!close);
+        let mut wire = Vec::new();
+        write_response_keep_alive(&mut wire, 200, "{}", false).unwrap();
+        let (_, close) = read_response_meta(&mut wire.as_slice()).unwrap();
+        assert!(close);
+    }
+
+    #[test]
+    fn connection_close_token_is_detected() {
+        let wire = b"POST /x HTTP/1.1\r\nConnection: Close\r\nContent-Length: 2\r\n\r\nhi";
+        match read_request_limited(&mut wire.as_slice(), &HttpLimits::default()).unwrap() {
+            RequestRead::Complete { close, .. } => assert!(close),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+        // Token lists are scanned, not compared whole.
+        let wire = b"GET /x HTTP/1.1\r\nConnection: foo, close\r\n\r\n";
+        match read_request_limited(&mut wire.as_slice(), &HttpLimits::default()).unwrap() {
+            RequestRead::Complete { close, .. } => assert!(close),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        let wire = b"GET /healthz HTTP/1.0\r\n\r\n";
+        match read_request_limited(&mut wire.as_slice(), &HttpLimits::default()).unwrap() {
+            RequestRead::Complete { close, .. } => assert!(close),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+        let wire = b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match read_request_limited(&mut wire.as_slice(), &HttpLimits::default()).unwrap() {
+            RequestRead::Complete { close, .. } => assert!(!close),
+            other => panic!("expected a complete request, got {other:?}"),
+        }
     }
 
     #[test]
@@ -338,8 +593,45 @@ mod tests {
     }
 
     #[test]
+    fn oversized_body_is_reported_without_buffering() {
+        // Body over the limit but under the drain allowance: consumed so
+        // the next request on the wire still parses.
+        let limits = HttpLimits::new(8);
+        let mut wire = b"POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\ntwelve bytesGET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        let mut reader = wire.as_slice();
+        match read_request_limited(&mut reader, &limits).unwrap() {
+            RequestRead::TooLarge {
+                declared,
+                drained,
+                close,
+            } => {
+                assert_eq!(declared, 12);
+                assert!(drained);
+                assert!(!close);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The follow-up request is framed correctly after the drain.
+        let next = read_request(&mut reader).unwrap();
+        assert_eq!(next.path, "/healthz");
+
+        // Beyond the drain allowance the bytes stay on the wire.
+        wire = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n".to_vec();
+        match read_request_limited(&mut wire.as_slice(), &limits).unwrap() {
+            RequestRead::TooLarge { drained, .. } => assert!(!drained),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for (code, phrase) in [(200, "OK"), (400, "Bad Request"), (404, "Not Found")] {
+        for (code, phrase) in [
+            (200, "OK"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (413, "Payload Too Large"),
+            (503, "Service Unavailable"),
+        ] {
             assert_eq!(reason_phrase(code), phrase);
         }
         assert_eq!(reason_phrase(418), "Unknown");

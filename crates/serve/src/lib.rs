@@ -8,11 +8,16 @@
 //! ## Layers
 //!
 //! * [`registry`] — named artifacts shared immutably across workers.
-//! * [`server`] — `std::net::TcpListener` + a fixed worker-thread pool; one
-//!   request per connection, bodies framed by `Content-Length`. Rows within
-//!   a request are micro-batched through one matrix multiply.
-//! * [`client`] — a blocking client for the same API, used by the
-//!   integration tests and the `loadgen` benchmark binary in `sls-bench`.
+//! * [`server`] — `std::net::TcpListener` + acceptor threads dispatching to
+//!   per-connection handler threads; HTTP/1.1 keep-alive with pipelining,
+//!   bodies framed by `Content-Length` and bounded before buffering. Rows
+//!   within a request are micro-batched through one matrix multiply.
+//! * [`batch`] — the cross-request micro-batcher: concurrent requests for
+//!   the same model coalesce into one fused launch inside a configurable
+//!   latency window, bitwise identical to serving them one by one.
+//! * [`client`] — a blocking client for the same API ([`Client`] per-request
+//!   connections, [`Connection`] keep-alive reuse), used by the integration
+//!   tests and the `loadgen` benchmark binary in `sls-bench`.
 //! * [`http`] — the shared minimal HTTP/1.1 framing.
 //! * [`api`] — the JSON request/response body types.
 //! * [`stats`] — latency percentile summaries for load tooling.
@@ -66,6 +71,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod batch;
 pub mod client;
 mod error;
 pub mod http;
@@ -74,13 +80,14 @@ pub mod server;
 pub mod stats;
 
 pub use api::{
-    AssignResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo, ModelsResponse,
-    RowsRequest,
+    AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
+    ModelsResponse, RowsRequest,
 };
-pub use client::Client;
+pub use batch::{BatchConfig, BatchOutput, BatchStats, Batcher, Endpoint};
+pub use client::{Client, Connection};
 pub use error::ServeError;
 pub use registry::ModelRegistry;
-pub use server::{Server, ServerHandle};
+pub use server::{route, route_with, route_with_batcher, ServeOptions, Server, ServerHandle};
 pub use stats::LatencySummary;
 
 /// Result alias used across the crate.

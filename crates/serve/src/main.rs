@@ -7,6 +7,9 @@
 //!                  [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
 //! sls-serve serve  --dir artifacts [--addr 127.0.0.1:7878] [--workers 8]
 //!                  [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
+//!                  [--keep-alive 0|1] [--keepalive-timeout-ms N]
+//!                  [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
+//!                  [--batch-window-us N] [--batch-max-rows N]
 //! ```
 //!
 //! `--threads` sets the parallel linalg policy (`0` = one thread per core);
@@ -17,6 +20,18 @@
 //! `SLS_PARALLEL_POOL=1`; `--simd 0` selects the scalar fallback inner
 //! loops (`SLS_SIMD=0`), default on. Results are bitwise identical for
 //! every policy.
+//!
+//! Connection handling: `--keep-alive 0` restores one-request-per-connection;
+//! `--keepalive-timeout-ms` bounds how long an idle connection is held
+//! (default 5000); `--max-conn-requests` caps requests per connection
+//! (default 1000); `--max-body-bytes` caps the request body (default 16 MiB,
+//! env `SLS_MAX_BODY_BYTES`); `--max-conns` caps concurrent connections
+//! (default 1024, excess answered 503). Cross-request micro-batching:
+//! `--batch-window-us` (env `SLS_BATCH_WINDOW_US`, `0` = off, the default)
+//! coalesces concurrent same-model requests inside that window into one
+//! fused matmul, capped at `--batch-max-rows` rows (env
+//! `SLS_BATCH_MAX_ROWS`, default 256) — responses stay bitwise identical to
+//! unbatched serving.
 //!
 //! The two subcommands default differently when neither flags nor
 //! environment choose: `serve` runs one linalg thread per core with pooled
@@ -29,16 +44,20 @@ use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
 use sls_linalg::{ParallelPolicy, SimdPolicy};
 use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
-use sls_serve::{ModelRegistry, Server};
+use sls_serve::{BatchConfig, ModelRegistry, ServeOptions, Server};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
   sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
                    [--instances N] [--dims N] [--clusters N] [--seed N]
                    [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
   sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]
-                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]";
+                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
+                   [--keep-alive 0|1] [--keepalive-timeout-ms N]
+                   [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
+                   [--batch-window-us N] [--batch-max-rows N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -227,6 +246,13 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--min-par-rows",
             "--pool",
             "--simd",
+            "--keep-alive",
+            "--keepalive-timeout-ms",
+            "--max-conn-requests",
+            "--max-body-bytes",
+            "--max-conns",
+            "--batch-window-us",
+            "--batch-max-rows",
         ],
     )?;
     let dir = flags
@@ -259,18 +285,49 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let server = Server::bind(addr.as_str(), registry, workers)
         .map_err(|e| format!("bind failed: {e}"))?
         .with_parallel(parallel);
+    // Connection and batching knobs: the bind defaults already honour the
+    // environment (SLS_MAX_BODY_BYTES, SLS_BATCH_WINDOW_US,
+    // SLS_BATCH_MAX_ROWS); explicit flags override them.
+    let mut options = ServeOptions::from_env();
+    if let Some(raw) = flags.get("keep-alive") {
+        options.keep_alive = ParallelPolicy::parse_bool(raw).ok_or_else(|| {
+            format!("invalid value `{raw}` for --keep-alive (use 0/1/true/false)")
+        })?;
+    }
+    options.idle_timeout = Duration::from_millis(parsed(
+        &flags,
+        "keepalive-timeout-ms",
+        options.idle_timeout.as_millis() as u64,
+    )?);
+    options.max_requests_per_connection = parsed(
+        &flags,
+        "max-conn-requests",
+        options.max_requests_per_connection,
+    )?;
+    options.max_body_bytes = parsed(&flags, "max-body-bytes", options.max_body_bytes)?;
+    options.max_connections = parsed(&flags, "max-conns", options.max_connections)?;
+    let mut batch = BatchConfig::from_env();
+    batch.window = Duration::from_micros(parsed(
+        &flags,
+        "batch-window-us",
+        batch.window.as_micros() as u64,
+    )?);
+    batch.max_rows = parsed(&flags, "batch-max-rows", batch.max_rows)?;
+    let server = server.with_options(options).with_batching(batch);
     let local = server
         .local_addr()
         .map_err(|e| format!("local address unavailable: {e}"))?;
     eprintln!(
-        "serving on http://{local} with {workers} workers, {} linalg thread(s) per request \
-         ({} dispatch; Ctrl-C to stop)",
+        "serving on http://{local} with {workers} acceptor(s), {} linalg thread(s) per request \
+         ({} dispatch), keep-alive {}, batch window {}us (Ctrl-C to stop)",
         parallel.threads,
         if parallel.pool {
             "persistent-pool"
         } else {
             "spawn-per-call"
-        }
+        },
+        if options.keep_alive { "on" } else { "off" },
+        batch.window.as_micros()
     );
     let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
     handle.join();

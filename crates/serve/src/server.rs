@@ -1,5 +1,6 @@
-//! The HTTP JSON inference server: a `TcpListener` drained by a fixed pool
-//! of worker threads sharing an immutable [`ModelRegistry`].
+//! The HTTP JSON inference server: acceptor threads draining a
+//! `TcpListener` into per-connection handler threads that share an
+//! immutable [`ModelRegistry`] and one cross-request [`Batcher`].
 //!
 //! ## Endpoints
 //!
@@ -7,34 +8,115 @@
 //! |--------|------|------|------------------|
 //! | `GET` | `/healthz` | — | `{"status":"ok","models":N}` |
 //! | `GET` | `/models` | — | `{"models":[{name, kind, ...}]}` |
+//! | `GET` | `/statz` | — | batching counters, see [`BatchStatsResponse`] |
 //! | `POST` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"features":[[f64,...],...]}` |
 //! | `POST` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"assignments":[usize,...]}` |
 //!
 //! Unknown paths and model names answer `404`, malformed bodies and shape
-//! mismatches `400`, wrong methods on known paths `405`; every error body is
-//! `{"error": "..."}`. Rows within one request are micro-batched: the whole
-//! batch runs through a single matrix multiply.
+//! mismatches `400`, wrong methods on known paths `405`, oversized declared
+//! bodies `413` (rejected *before* buffering); every error body is
+//! `{"error": "..."}`.
+//!
+//! ## Connection model
+//!
+//! Connections are HTTP/1.1 **keep-alive** by default: a handler thread
+//! loops reading requests off one socket (pipelining falls out naturally —
+//! responses are written in request order) until the client sends
+//! `Connection: close`, the idle timeout elapses, the per-connection
+//! request cap is reached, or framing breaks (`400` + close, since a
+//! desynced stream cannot be trusted — the request-smuggling guard).
+//!
+//! ## Micro-batching
+//!
+//! Rows within one request are always micro-batched through a single
+//! matrix multiply. With a batch window configured
+//! ([`BatchConfig`], `SLS_BATCH_WINDOW_US`), concurrent requests for the
+//! same model are additionally coalesced into one fused launch — bitwise
+//! identical to serving them one by one (see [`crate::batch`]).
 
 use crate::api::{
-    AssignResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo, ModelsResponse,
-    RowsRequest,
+    AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
+    ModelsResponse, RowsRequest,
 };
-use crate::http::{read_request, write_response, Request};
+use crate::batch::{compute_direct, BatchConfig, BatchOutput, Batcher, Endpoint};
+use crate::http::{
+    read_request_limited, write_response, write_response_keep_alive, HttpLimits, Request,
+    RequestRead, MAX_BODY_BYTES,
+};
 use crate::registry::ModelRegistry;
 use crate::Result;
 use serde::Serialize;
 use sls_linalg::{ParallelPolicy, WorkerPool};
-use sls_rbm_core::PipelineArtifact;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Per-connection read/write timeout — a stalled client must not pin a
-/// worker forever.
+/// Per-request read/write timeout once a request has started arriving — a
+/// stalled client must not pin a handler thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How often an idle connection re-checks the shutdown flag while parked
+/// waiting for the next request.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// Environment variable overriding the request body size limit in bytes.
+pub const ENV_MAX_BODY_BYTES: &str = "SLS_MAX_BODY_BYTES";
+
+/// Connection-handling knobs of the [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Whether connections are kept alive between requests at all
+    /// (`false` restores one-request-per-connection).
+    pub keep_alive: bool,
+    /// How long an idle keep-alive connection is held open waiting for its
+    /// next request before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`Connection: close` on the capping response); clamped to ≥ 1.
+    pub max_requests_per_connection: usize,
+    /// Largest request body buffered; larger declarations answer `413`
+    /// before any body byte is allocated.
+    pub max_body_bytes: usize,
+    /// Connections handled concurrently; excess connections are answered
+    /// `503` and closed immediately.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
+            max_body_bytes: MAX_BODY_BYTES,
+            max_connections: 1024,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults with `SLS_MAX_BODY_BYTES` honoured when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but unparsable — a typo must not
+    /// silently restore the unbounded default.
+    pub fn from_env() -> Self {
+        let mut options = Self::default();
+        if let Ok(raw) = std::env::var(ENV_MAX_BODY_BYTES) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                options.max_body_bytes = trimmed.parse().unwrap_or_else(|_| {
+                    panic!("{ENV_MAX_BODY_BYTES} must be a byte count, got `{raw}`")
+                });
+            }
+        }
+        options
+    }
+}
 
 /// A bound (but not yet serving) inference server.
 #[derive(Debug)]
@@ -43,18 +125,23 @@ pub struct Server {
     registry: Arc<ModelRegistry>,
     workers: usize,
     parallel: ParallelPolicy,
+    options: ServeOptions,
+    batch: BatchConfig,
 }
 
 impl Server {
-    /// Binds `addr` (use port `0` for an ephemeral port) with a pool of
-    /// `workers` threads (clamped to at least 1). Inference micro-batches
-    /// run under the process-wide [`ParallelPolicy::global`] unless
-    /// overridden with [`Server::with_parallel`].
+    /// Binds `addr` (use port `0` for an ephemeral port) with `workers`
+    /// acceptor threads (clamped to at least 1); each accepted connection
+    /// gets its own handler thread, bounded by
+    /// [`ServeOptions::max_connections`]. Inference micro-batches run under
+    /// the process-wide [`ParallelPolicy::global`] unless overridden with
+    /// [`Server::with_parallel`]; connection handling defaults to
+    /// [`ServeOptions::from_env`] and batching to [`BatchConfig::from_env`]
+    /// (`SLS_BATCH_WINDOW_US` / `SLS_BATCH_MAX_ROWS`, off by default).
     ///
     /// When the policy enables pooled dispatch, the persistent linalg
     /// [`WorkerPool`] is constructed here, at bind time: one pool, shared
-    /// by all HTTP workers for the server's lifetime, instead of scoped
-    /// thread spawns inside every request.
+    /// by every connection for the server's lifetime.
     ///
     /// # Errors
     ///
@@ -69,6 +156,8 @@ impl Server {
             registry: Arc::new(registry),
             workers: workers.max(1),
             parallel,
+            options: ServeOptions::from_env(),
+            batch: BatchConfig::from_env(),
         })
     }
 
@@ -85,6 +174,25 @@ impl Server {
         self
     }
 
+    /// Overrides the connection-handling knobs (keep-alive, timeouts,
+    /// body/connection limits).
+    pub fn with_options(mut self, options: ServeOptions) -> Self {
+        self.options = ServeOptions {
+            max_requests_per_connection: options.max_requests_per_connection.max(1),
+            ..options
+        };
+        self
+    }
+
+    /// Overrides the cross-request batching knobs (window and row cap).
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = BatchConfig {
+            max_rows: batch.max_rows.max(1),
+            ..batch
+        };
+        self
+    }
+
     /// The address the listener is bound to.
     ///
     /// # Errors
@@ -94,9 +202,8 @@ impl Server {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Spawns the worker pool and returns a handle for address lookup and
-    /// shutdown. Each worker accepts connections in a loop and serves one
-    /// request per connection.
+    /// Spawns the acceptor threads and returns a handle for address lookup
+    /// and shutdown.
     ///
     /// # Errors
     ///
@@ -104,33 +211,59 @@ impl Server {
     pub fn start(self) -> Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let listener = Arc::new(self.listener);
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let mut workers = Vec::with_capacity(self.workers);
+        let shared = Arc::new(Shared {
+            registry: self.registry,
+            parallel: self.parallel,
+            options: self.options,
+            batcher: Batcher::new(self.batch),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        });
+        let mut acceptors = Vec::with_capacity(self.workers);
         for worker_id in 0..self.workers {
             let listener = Arc::clone(&listener);
-            let registry = Arc::clone(&self.registry);
-            let shutdown = Arc::clone(&shutdown);
-            let parallel = self.parallel;
-            workers.push(
+            let shared = Arc::clone(&shared);
+            acceptors.push(
                 std::thread::Builder::new()
-                    .name(format!("sls-serve-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&listener, &registry, &parallel, &shutdown))?,
+                    .name(format!("sls-serve-accept-{worker_id}"))
+                    .spawn(move || acceptor_loop(&listener, &shared))?,
             );
         }
         Ok(ServerHandle {
             addr,
-            shutdown,
-            workers,
+            shared,
+            acceptors,
         })
     }
 }
 
-/// A running server: the worker pool plus the shared shutdown flag.
+/// State shared by the acceptors and every connection handler.
+#[derive(Debug)]
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    parallel: ParallelPolicy,
+    options: ServeOptions,
+    batcher: Batcher,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// Decrements the live-connection count when a handler thread exits on any
+/// path, including panics.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running server: the acceptor pool plus the shared shutdown flag.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    acceptors: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -139,39 +272,43 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks the calling thread until every worker exits (effectively
+    /// Blocks the calling thread until every acceptor exits (effectively
     /// forever unless another thread triggers shutdown) — what the
     /// `sls-serve serve` binary wants.
     pub fn join(self) {
-        for worker in self.workers {
-            let _ = worker.join();
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
         }
     }
 
-    /// Stops the pool: sets the shutdown flag and nudges each still-blocked
-    /// worker with a wake-up connection until it exits.
+    /// Stops the server: sets the shutdown flag, nudges each still-blocked
+    /// acceptor with a wake-up connection until it exits, then waits
+    /// (bounded) for live connections to observe the flag and drain.
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for worker in self.workers {
-            // A worker can be blocked in `accept` (the wake-up connection
-            // unblocks it) or mid-request (it re-checks the flag right after
-            // finishing); keep nudging until this worker is done, since
-            // another worker may have consumed an earlier wake-up.
-            while !worker.is_finished() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for acceptor in self.acceptors {
+            // An acceptor can be blocked in `accept` (the wake-up connection
+            // unblocks it) or mid-dispatch (it re-checks the flag right
+            // after); keep nudging until this acceptor is done, since
+            // another acceptor may have consumed an earlier wake-up.
+            while !acceptor.is_finished() {
                 let _ = TcpStream::connect(self.addr);
                 std::thread::sleep(Duration::from_millis(1));
             }
-            let _ = worker.join();
+            let _ = acceptor.join();
+        }
+        // Idle keep-alive connections poll the flag every SHUTDOWN_POLL;
+        // give them a bounded window to drain instead of waiting forever on
+        // a connection wedged mid-request.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
 
-fn worker_loop(
-    listener: &TcpListener,
-    registry: &ModelRegistry,
-    parallel: &ParallelPolicy,
-    shutdown: &AtomicBool,
-) {
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -179,38 +316,165 @@ fn worker_loop(
                 // Accept failure: aborted handshakes are transient, but
                 // resource exhaustion (e.g. EMFILE under fd pressure) makes
                 // accept fail immediately in a loop — back off briefly so
-                // the workers draining existing connections can free
+                // the handlers draining existing connections can free
                 // descriptors instead of being starved by the spin.
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // A broken client connection must not take the worker down; the
-        // error is simply dropped with the connection.
-        let _ = handle_connection(stream, registry, parallel);
+        if shared.active_connections.load(Ordering::SeqCst) >= shared.options.max_connections {
+            // Over capacity: shed load with an immediate 503 instead of
+            // queueing a connection no handler will reach.
+            let mut stream = stream;
+            let (_, body) = error_body(503, "server at connection capacity");
+            let _ = write_response(&mut stream, 503, &body);
+            continue;
+        }
+        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(shared));
+        let spawned = std::thread::Builder::new()
+            .name("sls-serve-conn".to_string())
+            .spawn(move || {
+                // A broken client connection must not take the server down;
+                // the error is simply dropped with the connection.
+                let _ = handle_connection(stream, &guard.0);
+            });
+        // Spawn failure drops the closure, whose guard decrements the
+        // counter; nothing else to do beyond dropping the connection.
+        drop(spawned);
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    registry: &ModelRegistry,
-    parallel: &ParallelPolicy,
-) -> Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+/// Outcome of parking on an idle connection.
+enum IdleWait {
+    /// Bytes of the next request are ready (or already buffered).
+    Ready,
+    /// The connection closed, idled out, or the server is shutting down.
+    Closed,
+}
+
+/// Parks until the next request's first byte arrives, without consuming it.
+///
+/// The socket read timeout is dropped to [`SHUTDOWN_POLL`] so the wait can
+/// interleave shutdown-flag checks; only *complete inactivity* counts
+/// against the idle budget, and no request byte is ever buffered then lost
+/// (`fill_buf` peeks without consuming).
+fn wait_for_request(
+    reader: &mut BufReader<TcpStream>,
+    idle_timeout: Duration,
+    shutdown: &AtomicBool,
+) -> IdleWait {
+    if !reader.buffer().is_empty() {
+        // Pipelined request already buffered behind the previous one.
+        return IdleWait::Ready;
+    }
+    let poll = SHUTDOWN_POLL
+        .min(idle_timeout)
+        .max(Duration::from_millis(1));
+    if reader.get_ref().set_read_timeout(Some(poll)).is_err() {
+        return IdleWait::Closed;
+    }
+    let deadline = Instant::now() + idle_timeout;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return IdleWait::Closed;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return IdleWait::Closed,
+            Ok(_) => return IdleWait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return IdleWait::Closed;
+                }
+            }
+            Err(_) => return IdleWait::Closed,
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive request loop with idle timeout,
+/// request cap, bounded body buffering and close-on-desync.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
+    // Nagle's algorithm batches small writes behind delayed ACKs; on a
+    // keep-alive connection (no fresh-connection quick-ACK grace) that
+    // turns every request/response exchange into a ~40ms stall.
+    stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let options = &shared.options;
+    let limits = HttpLimits::new(options.max_body_bytes);
     let mut reader = BufReader::new(stream.try_clone()?);
-    let (status, body) = match read_request(&mut reader) {
-        Ok(request) => route_with(registry, &request, parallel),
-        Err(e) => error_body(400, format!("malformed request: {e}")),
-    };
-    let mut stream = stream;
-    write_response(&mut stream, status, &body)
+    let mut writer = stream;
+    let mut served = 0usize;
+    loop {
+        if let IdleWait::Closed =
+            wait_for_request(&mut reader, options.idle_timeout, &shared.shutdown)
+        {
+            return Ok(());
+        }
+        // A request is arriving: switch from the idle poll to the (much
+        // longer) per-request I/O budget. The timeout lives on the shared
+        // socket, so setting it through the writer half covers the reader.
+        writer.set_read_timeout(Some(IO_TIMEOUT))?;
+        served += 1;
+        let may_keep_alive = options.keep_alive
+            && served < options.max_requests_per_connection
+            && !shared.shutdown.load(Ordering::SeqCst);
+        match read_request_limited(&mut reader, &limits) {
+            Ok(RequestRead::Complete { request, close }) => {
+                let keep = may_keep_alive && !close;
+                let (status, body) = route_with_batcher(
+                    &shared.registry,
+                    &request,
+                    &shared.parallel,
+                    Some(&shared.batcher),
+                );
+                write_response_keep_alive(&mut writer, status, &body, keep)?;
+                if !keep {
+                    return Ok(());
+                }
+            }
+            Ok(RequestRead::TooLarge {
+                declared,
+                drained,
+                close,
+            }) => {
+                // The body was never buffered; the connection survives only
+                // when the declared bytes were actually drained, otherwise
+                // the next "request" would start inside the unread body.
+                let keep = may_keep_alive && drained && !close;
+                let (status, body) = error_body(
+                    413,
+                    format!(
+                        "body of {declared} bytes exceeds the {}-byte limit",
+                        options.max_body_bytes
+                    ),
+                );
+                write_response_keep_alive(&mut writer, status, &body, keep)?;
+                if !keep {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                // Broken framing: answer 400 and close — after a framing
+                // error the stream position is untrusted, and serving more
+                // requests from it is the request-smuggling primitive.
+                let (status, body) = error_body(400, format!("malformed request: {e}"));
+                let _ = write_response_keep_alive(&mut writer, status, &body, false);
+                return Err(e);
+            }
+        }
+    }
 }
 
 /// Routes one parsed request to its handler under the process-wide
@@ -227,6 +491,19 @@ pub fn route_with(
     registry: &ModelRegistry,
     request: &Request,
     parallel: &ParallelPolicy,
+) -> (u16, String) {
+    route_with_batcher(registry, request, parallel, None)
+}
+
+/// [`route_with`] with an optional cross-request [`Batcher`]: inference
+/// requests go through its coalescing window, `GET /statz` reports its
+/// counters. With `None`, every request computes directly and `/statz`
+/// reports a disabled batcher.
+pub fn route_with_batcher(
+    registry: &ModelRegistry,
+    request: &Request,
+    parallel: &ParallelPolicy,
+    batcher: Option<&Batcher>,
 ) -> (u16, String) {
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
@@ -247,31 +524,24 @@ pub fn route_with(
                     .collect(),
             },
         ),
-        ("POST", ["models", name, "features"]) => {
-            with_model_rows(registry, name, &request.body, |artifact, matrix| {
-                let features = artifact.features_with(matrix, parallel)?;
-                Ok(json_body(
-                    200,
-                    &FeaturesResponse {
-                        model: name.to_string(),
-                        features: crate::api::matrix_to_rows(&features),
-                    },
-                ))
-            })
-        }
-        ("POST", ["models", name, "assign"]) => {
-            with_model_rows(registry, name, &request.body, |artifact, matrix| {
-                let assignments = artifact.assign_with(matrix, parallel)?;
-                Ok(json_body(
-                    200,
-                    &AssignResponse {
-                        model: name.to_string(),
-                        assignments,
-                    },
-                ))
-            })
-        }
-        (_, ["healthz" | "models"]) | (_, ["models", _, "features" | "assign"]) => {
+        ("GET", ["statz"]) => json_body(200, &BatchStatsResponse::describe(batcher)),
+        ("POST", ["models", name, "features"]) => infer(
+            registry,
+            name,
+            Endpoint::Features,
+            &request.body,
+            parallel,
+            batcher,
+        ),
+        ("POST", ["models", name, "assign"]) => infer(
+            registry,
+            name,
+            Endpoint::Assign,
+            &request.body,
+            parallel,
+            batcher,
+        ),
+        (_, ["healthz" | "models" | "statz"]) | (_, ["models", _, "features" | "assign"]) => {
             error_body(405, format!("method {} not allowed here", request.method))
         }
         _ => error_body(404, format!("no route for `{path}`")),
@@ -279,14 +549,17 @@ pub fn route_with(
 }
 
 /// Shared scaffolding of the two inference endpoints: model lookup (404),
-/// body parsing and batch-matrix validation (400), then the handler; any
-/// model error also maps to 400 since inference on an immutable artifact
-/// only fails on request-induced shape/capability mismatches.
-fn with_model_rows(
+/// body parsing and batch-matrix validation (400), then the fused or direct
+/// compute; any model error also maps to 400 since inference on an
+/// immutable artifact only fails on request-induced shape/capability
+/// mismatches.
+fn infer(
     registry: &ModelRegistry,
     name: &str,
+    endpoint: Endpoint,
     body: &str,
-    handle: impl FnOnce(&PipelineArtifact, &sls_linalg::Matrix) -> sls_rbm_core::Result<(u16, String)>,
+    parallel: &ParallelPolicy,
+    batcher: Option<&Batcher>,
 ) -> (u16, String) {
     let artifact = match registry.get(name) {
         Ok(artifact) => artifact,
@@ -300,9 +573,31 @@ fn with_model_rows(
         Ok(matrix) => matrix,
         Err(message) => return error_body(400, message),
     };
-    match handle(&artifact, &matrix) {
-        Ok(response) => response,
-        Err(e) => error_body(400, e.to_string()),
+    // Only well-shaped requests enter the coalescing window: a doomed
+    // request must fail with exactly the error it would get alone, not
+    // poison a batch or inherit a batch's error.
+    let batchable = matrix.cols() == artifact.n_visible()
+        && (endpoint == Endpoint::Features || artifact.cluster_head.is_some());
+    let result = match batcher {
+        Some(batcher) if batchable => batcher.submit(&artifact, name, endpoint, &matrix, parallel),
+        _ => compute_direct(&artifact, endpoint, &matrix, parallel),
+    };
+    match result {
+        Ok(BatchOutput::Features(features)) => json_body(
+            200,
+            &FeaturesResponse {
+                model: name.to_string(),
+                features,
+            },
+        ),
+        Ok(BatchOutput::Assign(assignments)) => json_body(
+            200,
+            &AssignResponse {
+                model: name.to_string(),
+                assignments,
+            },
+        ),
+        Err(message) => error_body(400, message),
     }
 }
 
@@ -379,6 +674,42 @@ mod tests {
     }
 
     #[test]
+    fn statz_reports_batcher_counters() {
+        // Without a batcher: the disabled shape.
+        let (status, body) = route(&registry(), &request("GET", "/statz", ""));
+        assert_eq!(status, 200);
+        let stats: BatchStatsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(stats.window_us, 0);
+        assert_eq!(stats.batches, 0);
+
+        // With one: config echoed, counters live.
+        let registry = registry();
+        let batcher = Batcher::new(BatchConfig {
+            window: Duration::from_micros(250),
+            max_rows: 64,
+        });
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4]]}";
+        let (status, response) = route_with_batcher(
+            &registry,
+            &request("POST", "/models/demo/features", body),
+            &ParallelPolicy::serial(),
+            Some(&batcher),
+        );
+        assert_eq!(status, 200, "{response}");
+        let (status, body) = route_with_batcher(
+            &registry,
+            &request("GET", "/statz", ""),
+            &ParallelPolicy::serial(),
+            Some(&batcher),
+        );
+        assert_eq!(status, 200);
+        let stats: BatchStatsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(stats.window_us, 250);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_requests, 1);
+    }
+
+    #[test]
     fn features_and_assign_answer_batches() {
         let registry = registry();
         let body = "{\"rows\":[[0.1,0.2,0.3,0.4],[1.0,1.1,1.2,1.3],[2.0,2.1,2.2,2.3]]}";
@@ -396,6 +727,30 @@ mod tests {
     }
 
     #[test]
+    fn batched_routing_answers_byte_identical_responses() {
+        // One request through the coalescing window (it just times out
+        // alone) must answer the exact bytes of the direct path.
+        let registry = registry();
+        let batcher = Batcher::new(BatchConfig {
+            window: Duration::from_micros(200),
+            max_rows: 64,
+        });
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4],[1.0,1.1,1.2,1.3]]}";
+        for path in ["/models/demo/features", "/models/demo/assign"] {
+            let request = request("POST", path, body);
+            let direct = route_with(&registry, &request, &ParallelPolicy::serial());
+            let batched = route_with_batcher(
+                &registry,
+                &request,
+                &ParallelPolicy::serial(),
+                Some(&batcher),
+            );
+            assert_eq!(direct, batched, "path {path}");
+            assert_eq!(direct.0, 200);
+        }
+    }
+
+    #[test]
     fn unknown_model_is_404() {
         let (status, body) = route(
             &registry(),
@@ -410,6 +765,7 @@ mod tests {
     fn unknown_path_is_404_and_wrong_method_is_405() {
         assert_eq!(route(&registry(), &request("GET", "/nope", "")).0, 404);
         assert_eq!(route(&registry(), &request("POST", "/healthz", "")).0, 405);
+        assert_eq!(route(&registry(), &request("POST", "/statz", "")).0, 405);
         assert_eq!(
             route(&registry(), &request("GET", "/models/demo/features", "")).0,
             405
@@ -430,6 +786,38 @@ mod tests {
                 route(&registry, &request("POST", "/models/demo/features", body));
             assert_eq!(status, 400, "body `{body}` answered {response}");
         }
+    }
+
+    #[test]
+    fn bad_bodies_are_400_with_a_batcher_too() {
+        // The malformed-request errors must be identical whether or not a
+        // batch window is configured — doomed requests bypass coalescing.
+        let registry = registry();
+        let batcher = Batcher::new(BatchConfig {
+            window: Duration::from_micros(200),
+            max_rows: 64,
+        });
+        for (path, body) in [
+            ("/models/demo/features", "{\"rows\":[[1.0,2.0]]}"),
+            ("/models/demo/features", "not json"),
+            ("/models/ghost/assign", "{\"rows\":[[1.0]]}"),
+        ] {
+            let request = request("POST", path, body);
+            let direct = route_with(&registry, &request, &ParallelPolicy::serial());
+            let batched = route_with_batcher(
+                &registry,
+                &request,
+                &ParallelPolicy::serial(),
+                Some(&batcher),
+            );
+            assert_eq!(direct, batched, "path {path} body `{body}`");
+            assert!(!direct.1.is_empty());
+        }
+        assert_eq!(
+            batcher.stats().batches,
+            0,
+            "doomed requests must never enter the window"
+        );
     }
 
     #[test]
@@ -481,8 +869,8 @@ mod tests {
     #[test]
     fn server_with_pooled_policy_serves_and_shuts_down() {
         // Bind-time pool construction plus real requests through the pooled
-        // inference path, answered by concurrent HTTP workers sharing one
-        // linalg worker pool.
+        // inference path, answered by concurrent connection handlers
+        // sharing one linalg worker pool.
         let server = Server::bind("127.0.0.1:0", registry(), 2)
             .unwrap()
             .with_parallel(

@@ -32,19 +32,28 @@ impl LatencySummary {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
-        let nearest_rank = |p: f64| -> Duration {
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
         let total: Duration = sorted.iter().sum();
         Some(Self {
             count: sorted.len(),
-            p50: nearest_rank(50.0),
-            p95: nearest_rank(95.0),
-            p99: nearest_rank(99.0),
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
             mean: total / sorted.len() as u32,
             max: *sorted.last().expect("non-empty"),
         })
+    }
+
+    /// Nearest-rank percentile of raw samples (order irrelevant), for
+    /// percentiles beyond the fixed p50/p95/p99 set — load tooling chasing
+    /// batching-induced tail effects typically wants p99.9 too. Returns
+    /// `None` for an empty set or a `p` outside `(0, 100]`.
+    pub fn percentile(samples: &[Duration], p: f64) -> Option<Duration> {
+        if samples.is_empty() || !(p > 0.0 && p <= 100.0) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(nearest_rank(&sorted, p))
     }
 
     /// Requests per second over a wall-clock window of `elapsed`.
@@ -54,6 +63,18 @@ impl LatencySummary {
         }
         self.count as f64 / elapsed.as_secs_f64()
     }
+}
+
+/// The p-th nearest-rank percentile of an already-sorted sample set: the
+/// smallest sample such that at least `p%` of samples are ≤ it.
+///
+/// The tiny subtraction before the ceil absorbs the float error of
+/// `p / 100.0` for percentiles like 99.9 that are not exactly representable
+/// — without it `0.999 * 1000` lands epsilon above 999 and the ceil
+/// silently promotes the rank.
+fn nearest_rank(sorted: &[Duration], p: f64) -> Duration {
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl std::fmt::Display for LatencySummary {
@@ -108,6 +129,21 @@ mod tests {
         let b = LatencySummary::from_samples(&[ms(1), ms(2), ms(3)]).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.p50, ms(2));
+    }
+
+    #[test]
+    fn arbitrary_percentiles_match_the_ladder() {
+        let samples: Vec<Duration> = (1..=1000).map(ms).collect();
+        assert_eq!(LatencySummary::percentile(&samples, 99.9), Some(ms(999)));
+        assert_eq!(LatencySummary::percentile(&samples, 100.0), Some(ms(1000)));
+        assert_eq!(LatencySummary::percentile(&samples, 0.1), Some(ms(1)));
+        assert_eq!(LatencySummary::percentile(&[], 50.0), None);
+        assert_eq!(LatencySummary::percentile(&samples, 0.0), None);
+        assert_eq!(LatencySummary::percentile(&samples, 101.0), None);
+        // Consistent with the fixed summary percentiles.
+        let s = LatencySummary::from_samples(&samples).unwrap();
+        assert_eq!(LatencySummary::percentile(&samples, 50.0), Some(s.p50));
+        assert_eq!(LatencySummary::percentile(&samples, 99.0), Some(s.p99));
     }
 
     #[test]
