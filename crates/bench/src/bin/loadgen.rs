@@ -19,6 +19,12 @@
 //! failure, non-2xx status) exits non-zero, so CI can use the run both as a
 //! smoke gate and as a batching-identity check.
 //!
+//! In-process references follow the server's serving representation: the
+//! `/models` listing says whether the target is compact (f32-quantized),
+//! and the reference is built through the same [`ServingModel`] path.
+//! `--compact 0|1` pins the expectation instead — the run fails fast when
+//! the server disagrees, catching a fleet rolled out with the wrong flag.
+//!
 //! `--keep-alive 1` gives every worker one reused connection instead of a
 //! connection per request; `--batch-report 1` samples `GET /statz` around
 //! the run and prints what the server's cross-request micro-batcher did.
@@ -27,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sls_linalg::{Matrix, ParallelPolicy};
 use sls_rbm_core::PipelineArtifact;
-use sls_serve::{BatchStatsResponse, Client, Connection, LatencySummary};
+use sls_serve::{BatchStatsResponse, Client, Connection, LatencySummary, ServingModel};
 use std::collections::BTreeMap;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +42,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--model NAME] [--requests N] \
 [--concurrency N] [--rows N] [--mode features|assign|mix] [--seed N] \
-[--keep-alive 0|1] [--batch-report 0|1] [--artifact PATH]";
+[--keep-alive 0|1] [--batch-report 0|1] [--artifact PATH] [--compact 0|1]";
 
 /// How many distinct row batches the workers cycle through. Small enough to
 /// precompute references cheaply, large enough that concurrent in-flight
@@ -54,6 +60,8 @@ struct Options {
     keep_alive: bool,
     batch_report: bool,
     artifact: Option<String>,
+    /// Expected serving representation; `None` trusts the `/models` listing.
+    compact: Option<bool>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -109,6 +117,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         keep_alive: false,
         batch_report: false,
         artifact: None,
+        compact: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -142,6 +151,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--keep-alive" => options.keep_alive = parse_bool(flag, value)?,
             "--batch-report" => options.batch_report = parse_bool(flag, value)?,
             "--artifact" => options.artifact = Some(value.clone()),
+            "--compact" => options.compact = Some(parse_bool(flag, value)?),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -168,17 +178,19 @@ fn build_references(
     client: &Client,
     pool: Vec<Vec<Vec<f64>>>,
     has_cluster_head: bool,
+    compact: bool,
 ) -> Result<Vec<Reference>, String> {
     let want_assign = options.mode != Mode::Features && has_cluster_head;
     if let Some(path) = &options.artifact {
         let artifact =
             PipelineArtifact::load(path).map_err(|e| format!("loading `{path}` failed: {e}"))?;
+        let model = ServingModel::from_artifact(artifact, compact);
         let serial = ParallelPolicy::serial();
         return pool
             .into_iter()
             .map(|rows| {
                 let matrix = Matrix::from_rows(&rows).map_err(|e| e.to_string())?;
-                let features = artifact
+                let features = model
                     .features_with(&matrix, &serial)
                     .map_err(|e| format!("in-process features failed: {e}"))?;
                 let feature_bits = features
@@ -186,7 +198,7 @@ fn build_references(
                     .map(|row| row.iter().map(|v| v.to_bits()).collect())
                     .collect();
                 let assignments = if want_assign {
-                    artifact
+                    model
                         .assign_with(&matrix, &serial)
                         .map_err(|e| format!("in-process assign failed: {e}"))?
                 } else {
@@ -293,9 +305,28 @@ fn run(options: &Options) -> Result<(), String> {
             options.model
         ));
     }
+    if let Some(expected) = options.compact {
+        if info.compact != expected {
+            return Err(format!(
+                "model `{}` is served {}, but --compact {} expects {}",
+                options.model,
+                if info.compact {
+                    "compact"
+                } else {
+                    "full-precision"
+                },
+                u8::from(expected),
+                if expected {
+                    "compact"
+                } else {
+                    "full-precision"
+                },
+            ));
+        }
+    }
     println!(
         "loadgen: {} requests x {} rows against http://{addr}/models/{} \
-         ({} healthy models, concurrency {}, visible width {}, keep-alive {})",
+         ({} healthy models, concurrency {}, visible width {}, keep-alive {}, {})",
         options.requests,
         options.rows,
         options.model,
@@ -303,10 +334,21 @@ fn run(options: &Options) -> Result<(), String> {
         options.concurrency,
         info.n_visible,
         if options.keep_alive { "on" } else { "off" },
+        if info.compact {
+            "compact"
+        } else {
+            "full-precision"
+        },
     );
 
     let pool = payload_pool(options, info.n_visible);
-    let references = build_references(options, &client, pool, info.n_clusters.is_some())?;
+    let references = build_references(
+        options,
+        &client,
+        pool,
+        info.n_clusters.is_some(),
+        info.compact,
+    )?;
     println!(
         "  verifying against {} {} reference payloads",
         references.len(),

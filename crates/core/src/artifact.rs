@@ -236,7 +236,7 @@ impl ClusterHead {
 ///
 /// See the [module documentation](self) for the schema and versioning
 /// policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineArtifact {
     /// Schema version the artifact was written with.
     pub schema_version: u32,
@@ -252,6 +252,63 @@ pub struct PipelineArtifact {
     /// The configuration the pipeline was trained with (`None` for artifacts
     /// converted from param-only snapshots).
     pub train_config: Option<SlsPipelineConfig>,
+    /// When the pipeline was trained (free-form timestamp set by the
+    /// exporter, e.g. `2026-08-07T12:00:00Z`). Optional and additive:
+    /// pre-provenance artifacts deserialise to `None`, unset provenance is
+    /// not written at all, and the schema version is unchanged.
+    pub trained_at: Option<String>,
+    /// Where the artifact came from (exporter command line, training job
+    /// id, dataset tag, ...). Same compatibility rules as `trained_at`.
+    pub source: Option<String>,
+}
+
+// Hand-written (de)serialisation instead of the derive: the vendored derive
+// requires every field to be present, but `trained_at` / `source` are
+// additive — pre-provenance artifacts must keep loading, and unset
+// provenance must not be written (so artifacts from builds that never set
+// it stay byte-identical to what those builds produced).
+impl Serialize for PipelineArtifact {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("model_kind".to_string(), self.model_kind.to_value()),
+            ("params".to_string(), self.params.to_value()),
+            ("preprocessor".to_string(), self.preprocessor.to_value()),
+            ("cluster_head".to_string(), self.cluster_head.to_value()),
+            ("train_config".to_string(), self.train_config.to_value()),
+        ];
+        if self.trained_at.is_some() {
+            entries.push(("trained_at".to_string(), self.trained_at.to_value()));
+        }
+        if self.source.is_some() {
+            entries.push(("source".to_string(), self.source.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for PipelineArtifact {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::mismatch("object", value))?;
+        let optional = |name: &str| -> std::result::Result<Option<String>, serde::DeError> {
+            match entries.iter().find(|(key, _)| key == name) {
+                Some((_, v)) => Deserialize::from_value(v),
+                None => Ok(None),
+            }
+        };
+        Ok(Self {
+            schema_version: Deserialize::from_value(serde::field(entries, "schema_version")?)?,
+            model_kind: Deserialize::from_value(serde::field(entries, "model_kind")?)?,
+            params: Deserialize::from_value(serde::field(entries, "params")?)?,
+            preprocessor: Deserialize::from_value(serde::field(entries, "preprocessor")?)?,
+            cluster_head: Deserialize::from_value(serde::field(entries, "cluster_head")?)?,
+            train_config: Deserialize::from_value(serde::field(entries, "train_config")?)?,
+            trained_at: optional("trained_at")?,
+            source: optional("source")?,
+        })
+    }
 }
 
 /// Everything [`PipelineArtifact::fit`] produces: the artifact plus the
@@ -284,7 +341,18 @@ impl PipelineArtifact {
             preprocessor: FittedPreprocessor::Identity,
             cluster_head: None,
             train_config: None,
+            trained_at: None,
+            source: None,
         }
+    }
+
+    /// Attaches provenance metadata (shown by the serving layer's
+    /// `GET /models`): when the artifact was trained and where it came
+    /// from. Either may be `None` to leave the field unset.
+    pub fn with_provenance(mut self, trained_at: Option<String>, source: Option<String>) -> Self {
+        self.trained_at = trained_at;
+        self.source = source;
+        self
     }
 
     /// Trains the pipeline selected by `model_kind` on `data` (one row per
@@ -320,6 +388,8 @@ impl PipelineArtifact {
             preprocessor,
             cluster_head: Some(cluster_head),
             train_config: Some(config),
+            trained_at: None,
+            source: None,
         };
         Ok(FittedPipeline {
             artifact,
@@ -602,6 +672,27 @@ mod tests {
             PipelineArtifact::from_json(&legacy),
             Err(RbmError::InvalidConfig { name: "params", .. })
         ));
+    }
+
+    #[test]
+    fn provenance_round_trips_and_stays_optional() {
+        let plain = fitted().artifact;
+        assert_eq!(plain.trained_at, None);
+        assert_eq!(plain.source, None);
+        // Unset provenance is not serialised at all, so pre-provenance
+        // consumers see byte-identical artifacts.
+        assert!(!plain.to_json_pretty().unwrap().contains("trained_at"));
+        let tagged = plain.clone().with_provenance(
+            Some("2026-08-07T00:00:00Z".into()),
+            Some("unit test".into()),
+        );
+        let back = PipelineArtifact::from_json(&tagged.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(back, tagged);
+        assert_eq!(back.trained_at.as_deref(), Some("2026-08-07T00:00:00Z"));
+        assert_eq!(back.source.as_deref(), Some("unit test"));
+        // An artifact written before the fields existed still loads.
+        let legacy = PipelineArtifact::from_json(&plain.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(legacy.trained_at, None);
     }
 
     #[test]

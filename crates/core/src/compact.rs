@@ -1,0 +1,406 @@
+//! Compact (f32-quantized) serving representation.
+//!
+//! A serving node that holds hundreds of models is bounded by parameter
+//! memory, and the dominant term is the `n_visible × n_hidden` weight
+//! matrix stored as `f64`. [`CompactParams`] stores the weights and hidden
+//! biases as `f32` — half the bytes — while keeping all *arithmetic* in
+//! `f64`: every weight is widened back with `f64::from` before it enters
+//! the dot product, and the accumulator, bias add and sigmoid are the same
+//! `f64` operations the full path uses. The only difference from the full
+//! path is the one rounding step at quantization time, which gives a tight,
+//! analyzable error bound instead of an accumulating one:
+//!
+//! * each weight/bias is off by at most one f32 ulp, i.e. a relative error
+//!   of `2^-24 ≈ 6e-8`;
+//! * a row of `n` products accumulates at most `n · 2^-24 · max|w| · max|v|`
+//!   absolute pre-activation error (the f64 accumulation itself adds
+//!   nothing on top of what the full path already incurs);
+//! * the sigmoid is ¼-Lipschitz, so the activation error is at most a
+//!   quarter of the pre-activation error.
+//!
+//! For the layer sizes this crate trains (hundreds of visible units,
+//! standardized inputs, |w| ≲ 1) that lands far below the **documented
+//! serving bound of `1e-6 · (1 + |full|)` per feature element**, which the
+//! property suite (`tests/compact_properties.rs`) enforces across every
+//! endpoint and parallel policy.
+//!
+//! The compact forward pass runs through the same row-partitioned
+//! [`Matrix::map_rows_with`] dispatch as the full path, with a scalar
+//! ascending-`k` accumulation per output element. Rows are independent and
+//! the reduction order is fixed, so compact results are **bitwise identical
+//! across {serial, spawn, pool} × {simd on, off}** by construction — the
+//! serving layer's identity discipline holds for quantized models too.
+//!
+//! [`CompactParams`] is a *serving* form, not a persistence form: artifacts
+//! on disk stay full-precision `f64` JSON (schema unchanged), and the
+//! registry quantizes at load time when compact mode is selected. Nothing
+//! lossy ever round-trips back to disk.
+
+use crate::{
+    ClusterHead, FittedPreprocessor, ModelKind, PipelineArtifact, RbmError, RbmParams, Result,
+};
+use sls_linalg::{Matrix, ParallelPolicy};
+
+/// f32-quantized RBM parameters for serving: weights (row-major,
+/// `n_visible × n_hidden`) and hidden biases. The visible biases are not
+/// carried — the serving endpoints only ever run the upward pass
+/// `sigmoid(v W + b)`, which never reads them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactParams {
+    n_visible: usize,
+    n_hidden: usize,
+    weights: Vec<f32>,
+    hidden_bias: Vec<f32>,
+}
+
+impl CompactParams {
+    /// Quantizes full-precision parameters to the compact serving form.
+    ///
+    /// Each value is rounded to the nearest `f32` (at most one ulp, i.e.
+    /// `2^-24` relative error); see the [module docs](self) for how that
+    /// propagates through the forward pass.
+    pub fn from_params(params: &RbmParams) -> Self {
+        let n_visible = params.n_visible();
+        let n_hidden = params.n_hidden();
+        Self {
+            n_visible,
+            n_hidden,
+            weights: params
+                .weights
+                .as_slice()
+                .iter()
+                .map(|&w| w as f32)
+                .collect(),
+            hidden_bias: params.hidden_bias.iter().map(|&b| b as f32).collect(),
+        }
+    }
+
+    /// Number of visible units (raw feature columns expected).
+    pub fn n_visible(&self) -> usize {
+        self.n_visible
+    }
+
+    /// Number of hidden units (feature columns produced).
+    pub fn n_hidden(&self) -> usize {
+        self.n_hidden
+    }
+
+    /// Bytes of parameter payload this representation holds — the number a
+    /// capacity planner compares against the full form's
+    /// [`RbmParams::param_bytes`].
+    pub fn param_bytes(&self) -> usize {
+        (self.weights.len() + self.hidden_bias.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Checks that a (preprocessed) data matrix matches the visible layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::VisibleSizeMismatch`] or [`RbmError::EmptyData`],
+    /// mirroring [`RbmParams::check_data`].
+    pub fn check_data(&self, data: &Matrix) -> Result<()> {
+        if data.rows() == 0 {
+            return Err(RbmError::EmptyData);
+        }
+        if data.cols() != self.n_visible {
+            return Err(RbmError::VisibleSizeMismatch {
+                data: data.cols(),
+                model: self.n_visible,
+            });
+        }
+        Ok(())
+    }
+
+    /// The upward pass `sigmoid(v W + b)` over quantized parameters, for
+    /// already-preprocessed rows.
+    ///
+    /// Per output element the products accumulate in `f64` in ascending-`k`
+    /// order and the sigmoid is the shared [`sls_linalg::simd::sigmoid`];
+    /// neither depends on the policy's thread count or simd knob, so the
+    /// result is bitwise identical for every [`ParallelPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `pre` does not match the visible layer.
+    pub fn hidden_features_with(&self, pre: &Matrix, parallel: &ParallelPolicy) -> Result<Matrix> {
+        self.check_data(pre)?;
+        let n_hidden = self.n_hidden;
+        let weights = &self.weights;
+        let bias = &self.hidden_bias;
+        Ok(pre.map_rows_with(n_hidden, parallel, |_, row, out| {
+            for (k, &v) in row.iter().enumerate() {
+                let wrow = &weights[k * n_hidden..(k + 1) * n_hidden];
+                for (o, &w) in out.iter_mut().zip(wrow) {
+                    *o += v * f64::from(w);
+                }
+            }
+            for (o, &b) in out.iter_mut().zip(bias) {
+                *o = sls_linalg::simd::sigmoid(*o + f64::from(b));
+            }
+        }))
+    }
+}
+
+impl RbmParams {
+    /// Bytes of parameter payload the full-precision form holds, the
+    /// baseline for [`CompactParams::param_bytes`].
+    pub fn param_bytes(&self) -> usize {
+        (self.weights.len() + self.visible_bias.len() + self.hidden_bias.len())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+/// A [`PipelineArtifact`] quantized for serving: compact parameters plus the
+/// (small, still full-precision) preprocessor, cluster head and metadata.
+///
+/// Preprocessing statistics and centroids stay `f64` — they are a few
+/// vectors, not a matrix of `n_visible × n_hidden`, so quantizing them would
+/// save little and widen the error bound for nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactArtifact {
+    schema_version: u32,
+    model_kind: ModelKind,
+    params: CompactParams,
+    preprocessor: FittedPreprocessor,
+    cluster_head: Option<ClusterHead>,
+    trained_at: Option<String>,
+    source: Option<String>,
+}
+
+impl CompactArtifact {
+    /// Quantizes a loaded artifact for compact serving.
+    pub fn from_artifact(artifact: &PipelineArtifact) -> Self {
+        Self {
+            schema_version: artifact.schema_version,
+            model_kind: artifact.model_kind,
+            params: CompactParams::from_params(&artifact.params),
+            preprocessor: artifact.preprocessor.clone(),
+            cluster_head: artifact.cluster_head.clone(),
+            trained_at: artifact.trained_at.clone(),
+            source: artifact.source.clone(),
+        }
+    }
+
+    /// Schema version of the artifact this was quantized from.
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version
+    }
+
+    /// Which model produced the weights.
+    pub fn model_kind(&self) -> ModelKind {
+        self.model_kind
+    }
+
+    /// Number of visible units (raw feature columns expected).
+    pub fn n_visible(&self) -> usize {
+        self.params.n_visible()
+    }
+
+    /// Number of hidden units (feature columns produced).
+    pub fn n_hidden(&self) -> usize {
+        self.params.n_hidden()
+    }
+
+    /// The fitted cluster head, if the source artifact carried one.
+    pub fn cluster_head(&self) -> Option<&ClusterHead> {
+        self.cluster_head.as_ref()
+    }
+
+    /// Training timestamp carried over from the source artifact.
+    pub fn trained_at(&self) -> Option<&str> {
+        self.trained_at.as_deref()
+    }
+
+    /// Provenance string carried over from the source artifact.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// Bytes of parameter payload (see [`CompactParams::param_bytes`]).
+    pub fn param_bytes(&self) -> usize {
+        self.params.param_bytes()
+    }
+
+    /// Hidden-feature extraction for a batch of raw rows: fitted
+    /// preprocessing (full `f64`) followed by the quantized upward pass.
+    ///
+    /// Within `1e-6 · (1 + |full|)` of [`PipelineArtifact::features_with`]
+    /// per element, and bitwise identical across parallel policies — see
+    /// the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `rows` does not match the visible layer.
+    pub fn features_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Matrix> {
+        let pre = self.preprocessor.transform_with(rows, parallel)?;
+        self.params.hidden_features_with(&pre, parallel)
+    }
+
+    /// Cluster assignment for a batch of raw rows: [`Self::features_with`]
+    /// followed by nearest-centroid lookup in the (full-precision) cluster
+    /// head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RbmError::MissingArtifactPart`] if the source artifact had
+    /// no cluster head, and shape errors if `rows` does not match the
+    /// visible layer.
+    pub fn assign_with(&self, rows: &Matrix, parallel: &ParallelPolicy) -> Result<Vec<usize>> {
+        let head = self
+            .cluster_head
+            .as_ref()
+            .ok_or(RbmError::MissingArtifactPart {
+                part: "cluster head",
+            })?;
+        head.assign(&self.features_with(rows, parallel)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FittedPipeline, SlsPipelineConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_datasets::SyntheticBlobs;
+
+    fn fitted() -> FittedPipeline {
+        let mut rng = ChaCha8Rng::seed_from_u64(606);
+        let ds = SyntheticBlobs::new(45, 5, 3)
+            .separation(6.0)
+            .generate(&mut rng);
+        PipelineArtifact::fit(
+            ModelKind::SlsGrbm,
+            SlsPipelineConfig::quick_demo(),
+            ds.features(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn request_rows() -> Matrix {
+        Matrix::from_fn(48, 5, |i, j| (i as f64) * 0.11 - (j as f64) * 0.7)
+    }
+
+    #[test]
+    fn quantization_stays_within_the_documented_bound() {
+        let artifact = fitted().artifact;
+        let compact = CompactArtifact::from_artifact(&artifact);
+        let rows = request_rows();
+        let policy = ParallelPolicy::serial();
+        let full = artifact.features_with(&rows, &policy).unwrap();
+        let quant = compact.features_with(&rows, &policy).unwrap();
+        assert_eq!(full.shape(), quant.shape());
+        for (&f, &q) in full.as_slice().iter().zip(quant.as_slice()) {
+            assert!(
+                (f - q).abs() <= 1e-6 * (1.0 + f.abs()),
+                "full {f} vs compact {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_path_is_bitwise_identical_across_policies() {
+        let compact = CompactArtifact::from_artifact(&fitted().artifact);
+        let rows = request_rows();
+        let serial = compact
+            .features_with(&rows, &ParallelPolicy::serial())
+            .unwrap();
+        let serial_assign = compact
+            .assign_with(&rows, &ParallelPolicy::serial())
+            .unwrap();
+        for pool in [false, true] {
+            for simd in [
+                sls_linalg::SimdPolicy::Scalar,
+                sls_linalg::SimdPolicy::Lanes4,
+            ] {
+                let policy = ParallelPolicy::new(4)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool)
+                    .with_simd(simd);
+                let par = compact.features_with(&rows, &policy).unwrap();
+                let same = serial
+                    .as_slice()
+                    .iter()
+                    .zip(par.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "pool = {pool}, simd = {simd:?}");
+                assert_eq!(
+                    compact.assign_with(&rows, &policy).unwrap(),
+                    serial_assign,
+                    "pool = {pool}, simd = {simd:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_agree_with_the_full_path_on_separated_data() {
+        let mut rng = ChaCha8Rng::seed_from_u64(606);
+        let ds = SyntheticBlobs::new(45, 5, 3)
+            .separation(6.0)
+            .generate(&mut rng);
+        let artifact = PipelineArtifact::fit(
+            ModelKind::SlsGrbm,
+            SlsPipelineConfig::quick_demo(),
+            ds.features(),
+            &mut rng,
+        )
+        .unwrap()
+        .artifact;
+        let compact = CompactArtifact::from_artifact(&artifact);
+        let policy = ParallelPolicy::serial();
+        assert_eq!(
+            compact.assign_with(ds.features(), &policy).unwrap(),
+            artifact.assign_with(ds.features(), &policy).unwrap()
+        );
+    }
+
+    #[test]
+    fn compact_halves_parameter_bytes() {
+        let artifact = fitted().artifact;
+        let compact = CompactArtifact::from_artifact(&artifact);
+        assert!(compact.param_bytes() * 2 <= artifact.params.param_bytes());
+        assert_eq!(
+            compact.param_bytes(),
+            (5 * 12 + 12) * std::mem::size_of::<f32>()
+        );
+    }
+
+    #[test]
+    fn metadata_is_carried_over() {
+        let artifact = fitted()
+            .artifact
+            .with_provenance(Some("2026-08-07T00:00:00Z".into()), Some("test".into()));
+        let compact = CompactArtifact::from_artifact(&artifact);
+        assert_eq!(compact.schema_version(), artifact.schema_version);
+        assert_eq!(compact.model_kind(), ModelKind::SlsGrbm);
+        assert_eq!(compact.n_visible(), 5);
+        assert_eq!(compact.n_hidden(), 12);
+        assert_eq!(compact.trained_at(), Some("2026-08-07T00:00:00Z"));
+        assert_eq!(compact.source(), Some("test"));
+        assert!(compact.cluster_head().is_some());
+    }
+
+    #[test]
+    fn shape_errors_mirror_the_full_path() {
+        let compact = CompactArtifact::from_artifact(&fitted().artifact);
+        let policy = ParallelPolicy::serial();
+        assert!(matches!(
+            compact.features_with(&Matrix::zeros(2, 9), &policy),
+            Err(RbmError::Linalg(_) | RbmError::VisibleSizeMismatch { .. })
+        ));
+        assert!(compact.assign_with(&Matrix::zeros(2, 9), &policy).is_err());
+        // No cluster head: features fine, assign errors.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let bare = PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng), ModelKind::Rbm);
+        let bare_compact = CompactArtifact::from_artifact(&bare);
+        assert!(bare_compact
+            .features_with(&Matrix::zeros(3, 4), &policy)
+            .is_ok());
+        assert!(matches!(
+            bare_compact.assign_with(&Matrix::zeros(3, 4), &policy),
+            Err(RbmError::MissingArtifactPart { .. })
+        ));
+    }
+}

@@ -33,6 +33,9 @@
 //! — model kind, parameters, *fitted* preprocessing statistics and the
 //! fitted cluster head — so the `sls-serve` crate can reload it and answer
 //! hidden-feature and cluster-assignment requests without retraining.
+//! [`CompactArtifact`] is the memory-lean serving twin: f32-quantized
+//! weights with error-bounded f64 arithmetic, for nodes that hold many
+//! models.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 
 mod artifact;
 mod cd;
+mod compact;
 mod config;
 mod error;
 mod grbm;
@@ -70,6 +74,7 @@ pub use artifact::{
     ARTIFACT_SCHEMA_VERSION,
 };
 pub use cd::{CdTrainer, EpochStats, TrainingHistory};
+pub use compact::{CompactArtifact, CompactParams};
 pub use config::TrainConfig;
 pub use error::RbmError;
 pub use grbm::Grbm;

@@ -1,9 +1,9 @@
 //! JSON request/response bodies of the serving API, shared by the server,
 //! the client and the load generator.
 
+use crate::ServingModel;
 use serde::{Deserialize, Serialize};
 use sls_linalg::Matrix;
-use sls_rbm_core::PipelineArtifact;
 
 /// Body of `POST /models/{name}/features` and `POST /models/{name}/assign`:
 /// a batch of raw feature rows.
@@ -34,6 +34,10 @@ impl RowsRequest {
 pub struct FeaturesResponse {
     /// The model that served the request.
     pub model: String,
+    /// Registry generation that served the request. A request resolves its
+    /// generation once; a concurrent hot swap never mixes generations within
+    /// one response.
+    pub generation: u64,
     /// Hidden-feature rows, aligned with the request rows.
     pub features: Vec<Vec<f64>>,
 }
@@ -43,6 +47,8 @@ pub struct FeaturesResponse {
 pub struct AssignResponse {
     /// The model that served the request.
     pub model: String,
+    /// Registry generation that served the request.
+    pub generation: u64,
     /// Cluster label per request row.
     pub assignments: Vec<usize>,
 }
@@ -72,18 +78,32 @@ pub struct ModelInfo {
     /// Cluster count of the fitted head (`null` if the artifact has none,
     /// in which case `/assign` is unavailable for the model).
     pub n_clusters: Option<usize>,
+    /// `true` when the model serves through the f32-quantized compact
+    /// representation.
+    pub compact: bool,
+    /// Bytes held by the model parameters in the loaded representation.
+    pub param_bytes: usize,
+    /// Training timestamp recorded at export time (`null` for artifacts
+    /// exported before provenance existed).
+    pub trained_at: Option<String>,
+    /// Provenance string recorded at export time (`null` when absent).
+    pub source: Option<String>,
 }
 
 impl ModelInfo {
-    /// Builds the info entry for a registered artifact.
-    pub fn describe(name: &str, artifact: &PipelineArtifact) -> Self {
+    /// Builds the info entry for a registered model.
+    pub fn describe(name: &str, model: &ServingModel) -> Self {
         Self {
             name: name.to_string(),
-            kind: artifact.model_kind.as_str().to_string(),
-            schema_version: artifact.schema_version,
-            n_visible: artifact.n_visible(),
-            n_hidden: artifact.n_hidden(),
-            n_clusters: artifact.cluster_head.as_ref().map(|h| h.n_clusters),
+            kind: model.model_kind().to_string(),
+            schema_version: model.schema_version(),
+            n_visible: model.n_visible(),
+            n_hidden: model.n_hidden(),
+            n_clusters: model.n_clusters(),
+            compact: model.is_compact(),
+            param_bytes: model.param_bytes(),
+            trained_at: model.trained_at().map(str::to_string),
+            source: model.source().map(str::to_string),
         }
     }
 }
@@ -91,6 +111,8 @@ impl ModelInfo {
 /// Body of `GET /models`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelsResponse {
+    /// Registry generation these entries were read from.
+    pub generation: u64,
     /// Loaded models in name order.
     pub models: Vec<ModelInfo>,
 }
@@ -120,6 +142,12 @@ pub struct BatchStatsResponse {
     pub largest_batch: u64,
     /// Most rows ever fused into one batch.
     pub largest_batch_rows: u64,
+    /// Current registry generation (starts at 1, bumps on every swap).
+    pub generation: u64,
+    /// Successful hot swaps since the process started.
+    pub registry_swaps: u64,
+    /// Reload attempts that were rejected without swapping.
+    pub failed_reloads: u64,
 }
 
 impl BatchStatsResponse {
@@ -135,6 +163,9 @@ impl BatchStatsResponse {
                 batched_rows: 0,
                 largest_batch: 0,
                 largest_batch_rows: 0,
+                generation: 1,
+                registry_swaps: 0,
+                failed_reloads: 0,
             };
         };
         let config = batcher.config();
@@ -147,8 +178,49 @@ impl BatchStatsResponse {
             batched_rows: stats.batched_rows,
             largest_batch: stats.largest_batch,
             largest_batch_rows: stats.largest_batch_rows,
+            generation: 1,
+            registry_swaps: 0,
+            failed_reloads: 0,
         }
     }
+
+    /// Fills in the live-registry counters (the plain `describe` defaults to
+    /// generation 1 with zero swaps, matching a server without hot reload).
+    #[must_use]
+    pub fn with_registry(mut self, generation: u64, swaps: u64, failed_reloads: u64) -> Self {
+        self.generation = generation;
+        self.registry_swaps = swaps;
+        self.failed_reloads = failed_reloads;
+        self
+    }
+}
+
+/// Per-artifact outcome inside a `POST /admin/reload` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelLoadResult {
+    /// Model name derived from the artifact file stem.
+    pub name: String,
+    /// `true` when the artifact parsed and validated.
+    pub loaded: bool,
+    /// Failure detail when `loaded` is `false` (`null` otherwise).
+    pub message: Option<String>,
+}
+
+/// Body of `POST /admin/reload` (both the 200 swapped and 409 rejected
+/// shapes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// `"swapped"` on success, `"rejected"` when the old generation was kept.
+    pub status: String,
+    /// `true` iff a new generation is now serving.
+    pub swapped: bool,
+    /// The generation serving after this request (new on success, unchanged
+    /// on rejection).
+    pub generation: u64,
+    /// Per-artifact load results for the scanned directory.
+    pub models: Vec<ModelLoadResult>,
+    /// Overall failure explanation when rejected (`null` on success).
+    pub error: Option<String>,
 }
 
 /// Converts a matrix to the row-of-rows JSON shape.
@@ -161,7 +233,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
-    use sls_rbm_core::{ModelKind, RbmParams};
+    use sls_rbm_core::{ModelKind, PipelineArtifact, RbmParams};
 
     #[test]
     fn rows_request_validates_shape() {
@@ -191,13 +263,53 @@ mod tests {
     fn model_info_describes_artifact() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let artifact =
-            PipelineArtifact::from_params(RbmParams::init(6, 3, &mut rng), ModelKind::SlsGrbm);
-        let info = ModelInfo::describe("demo", &artifact);
+            PipelineArtifact::from_params(RbmParams::init(6, 3, &mut rng), ModelKind::SlsGrbm)
+                .with_provenance(
+                    Some("2026-08-01T00:00:00Z".into()),
+                    Some("unit test".into()),
+                );
+        let full = ServingModel::from_artifact(artifact.clone(), false);
+        let info = ModelInfo::describe("demo", &full);
         assert_eq!(info.name, "demo");
         assert_eq!(info.kind, "sls-grbm");
         assert_eq!(info.n_visible, 6);
         assert_eq!(info.n_hidden, 3);
         assert_eq!(info.n_clusters, None);
+        assert!(!info.compact);
+        assert_eq!(info.param_bytes, (6 * 3 + 6 + 3) * 8);
+        assert_eq!(info.trained_at.as_deref(), Some("2026-08-01T00:00:00Z"));
+        assert_eq!(info.source.as_deref(), Some("unit test"));
+        let compact = ModelInfo::describe("demo", &ServingModel::from_artifact(artifact, true));
+        assert!(compact.compact);
+        assert_eq!(compact.param_bytes, (6 * 3 + 3) * 4);
+        let json = serde_json::to_string(&compact).unwrap();
+        let back: ModelInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, compact);
+    }
+
+    #[test]
+    fn reload_response_round_trips() {
+        let resp = ReloadResponse {
+            status: "rejected".into(),
+            swapped: false,
+            generation: 3,
+            models: vec![
+                ModelLoadResult {
+                    name: "good".into(),
+                    loaded: true,
+                    message: None,
+                },
+                ModelLoadResult {
+                    name: "bad".into(),
+                    loaded: false,
+                    message: Some("serialisation error: bad token".into()),
+                },
+            ],
+            error: Some("1 artifact failed to load".into()),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ReloadResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]
@@ -221,6 +333,11 @@ mod tests {
         assert_eq!(stats.window_us, 300);
         assert_eq!(stats.max_batch_rows, 128);
         assert_eq!(stats.batched_requests, 0);
+        assert_eq!(stats.generation, 1);
+        let live = stats.with_registry(4, 3, 1);
+        assert_eq!(live.generation, 4);
+        assert_eq!(live.registry_swaps, 3);
+        assert_eq!(live.failed_reloads, 1);
     }
 
     #[test]

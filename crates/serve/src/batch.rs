@@ -3,7 +3,10 @@
 //!
 //! ## How a batch forms
 //!
-//! Requests are keyed by `(model, endpoint, row width)`. The first request
+//! Requests are keyed by `(model, registry generation, endpoint, row
+//! width)` — the generation in the key means a hot swap can never fuse rows
+//! resolved against different model versions into one launch; requests
+//! holding the old generation finish on it. The first request
 //! to arrive for a key becomes the batch **leader**: it opens a collection
 //! window (the latency budget, [`BatchConfig::window`]) and parks on a
 //! condvar. Requests arriving inside the window append their rows to the
@@ -23,8 +26,8 @@
 //! any row's result — testable with `f64::to_bits`, and tested in
 //! `tests/batch_identity.rs`.
 
+use crate::ServingModel;
 use sls_linalg::{Matrix, ParallelPolicy};
-use sls_rbm_core::PipelineArtifact;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -173,6 +176,7 @@ struct Queue {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct BatchKey {
     model: String,
+    generation: u64,
     endpoint: Endpoint,
     cols: usize,
 }
@@ -238,18 +242,20 @@ impl Batcher {
     /// shared verbatim by every request in a failed batch.
     pub fn submit(
         &self,
-        artifact: &PipelineArtifact,
-        model: &str,
+        model: &ServingModel,
+        name: &str,
+        generation: u64,
         endpoint: Endpoint,
         matrix: &Matrix,
         parallel: &ParallelPolicy,
     ) -> std::result::Result<BatchOutput, String> {
         let (rows, cols) = matrix.shape();
         if !self.config.enabled() || rows >= self.config.max_rows {
-            return compute_direct(artifact, endpoint, matrix, parallel);
+            return compute_direct(model, endpoint, matrix, parallel);
         }
         let queue = self.queue_for(BatchKey {
-            model: model.to_string(),
+            model: name.to_string(),
+            generation,
             endpoint,
             cols,
         });
@@ -306,9 +312,7 @@ impl Batcher {
                 }
             };
             return match role {
-                Role::Leader(batch) => {
-                    self.lead(&queue, &batch, artifact, endpoint, cols, parallel)
-                }
+                Role::Leader(batch) => self.lead(&queue, &batch, model, endpoint, cols, parallel),
                 Role::Follower(batch, index) => follow(&batch, index),
             };
         }
@@ -320,7 +324,7 @@ impl Batcher {
         &self,
         queue: &Queue,
         batch: &Arc<Batch>,
-        artifact: &PipelineArtifact,
+        model: &ServingModel,
         endpoint: Endpoint,
         cols: usize,
         parallel: &ParallelPolicy,
@@ -366,7 +370,7 @@ impl Batcher {
             .fetch_max(members as u64, Ordering::Relaxed);
         self.largest_batch_rows
             .fetch_max(rows as u64, Ordering::Relaxed);
-        let fused = run_fused(artifact, endpoint, rows, cols, data, parallel);
+        let fused = run_fused(model, endpoint, rows, cols, data, parallel);
         let shared: FusedResult = fused.map(Arc::new);
         let mut state = batch.state.lock().expect("batch state lock");
         state.result = Some(shared.clone());
@@ -409,7 +413,7 @@ fn follow(batch: &Batch, index: usize) -> std::result::Result<BatchOutput, Strin
 /// The single fused kernel launch for a closed batch. A panic inside the
 /// model layer is caught and shared as an error so followers never hang.
 fn run_fused(
-    artifact: &PipelineArtifact,
+    model: &ServingModel,
     endpoint: Endpoint,
     rows: usize,
     cols: usize,
@@ -419,11 +423,11 @@ fn run_fused(
     let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let matrix = Matrix::from_vec(rows, cols, data).map_err(|e| e.to_string())?;
         match endpoint {
-            Endpoint::Features => artifact
+            Endpoint::Features => model
                 .features_with(&matrix, parallel)
                 .map(Fused::Features)
                 .map_err(|e| e.to_string()),
-            Endpoint::Assign => artifact
+            Endpoint::Assign => model
                 .assign_with(&matrix, parallel)
                 .map(Fused::Assign)
                 .map_err(|e| e.to_string()),
@@ -435,17 +439,17 @@ fn run_fused(
 /// Computes one request without coalescing — the reference the batched path
 /// must match bit for bit.
 pub(crate) fn compute_direct(
-    artifact: &PipelineArtifact,
+    model: &ServingModel,
     endpoint: Endpoint,
     matrix: &Matrix,
     parallel: &ParallelPolicy,
 ) -> std::result::Result<BatchOutput, String> {
     match endpoint {
-        Endpoint::Features => artifact
+        Endpoint::Features => model
             .features_with(matrix, parallel)
             .map(|features| BatchOutput::Features(matrix_rows(&features, 0, features.rows())))
             .map_err(|e| e.to_string()),
-        Endpoint::Assign => artifact
+        Endpoint::Assign => model
             .assign_with(matrix, parallel)
             .map(BatchOutput::Assign)
             .map_err(|e| e.to_string()),
@@ -474,24 +478,26 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use sls_datasets::SyntheticBlobs;
-    use sls_rbm_core::{ModelKind, SlsPipelineConfig};
+    use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
     use std::sync::Barrier;
 
-    fn artifact() -> PipelineArtifact {
+    fn artifact() -> ServingModel {
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         let ds = SyntheticBlobs::new(30, 4, 2)
             .separation(6.0)
             .generate(&mut rng);
-        PipelineArtifact::fit(
-            ModelKind::Grbm,
-            SlsPipelineConfig::quick_demo()
-                .with_clusters(2)
-                .with_hidden(4),
-            ds.features(),
-            &mut rng,
+        ServingModel::Full(
+            PipelineArtifact::fit(
+                ModelKind::Grbm,
+                SlsPipelineConfig::quick_demo()
+                    .with_clusters(2)
+                    .with_hidden(4),
+                ds.features(),
+                &mut rng,
+            )
+            .expect("training succeeds")
+            .artifact,
         )
-        .expect("training succeeds")
-        .artifact
     }
 
     fn rows(seed: u64, n: usize) -> Matrix {
@@ -524,6 +530,7 @@ mod tests {
             .submit(
                 &artifact,
                 "m",
+                1,
                 Endpoint::Features,
                 &matrix,
                 &ParallelPolicy::serial(),
@@ -557,7 +564,7 @@ mod tests {
                         compute_direct(artifact, Endpoint::Features, &matrix, policy).unwrap();
                     barrier.wait();
                     let got = batcher
-                        .submit(artifact, "m", Endpoint::Features, &matrix, policy)
+                        .submit(artifact, "m", 1, Endpoint::Features, &matrix, policy)
                         .unwrap();
                     let (BatchOutput::Features(a), BatchOutput::Features(b)) = (&expected, &got)
                     else {
@@ -597,7 +604,7 @@ mod tests {
                         compute_direct(artifact, Endpoint::Assign, &matrix, policy).unwrap();
                     barrier.wait();
                     let got = batcher
-                        .submit(artifact, "m", Endpoint::Assign, &matrix, policy)
+                        .submit(artifact, "m", 1, Endpoint::Assign, &matrix, policy)
                         .unwrap();
                     assert_eq!(expected, got, "capped batching changed thread {t}'s labels");
                 });
@@ -627,6 +634,7 @@ mod tests {
             .submit(
                 &artifact,
                 "m",
+                1,
                 Endpoint::Features,
                 &matrix,
                 &ParallelPolicy::serial(),
@@ -652,7 +660,7 @@ mod tests {
                     compute_direct(&artifact, Endpoint::Features, &matrix, &policy).unwrap();
                 barrier.wait();
                 let got = batcher
-                    .submit(&artifact, "alpha", Endpoint::Features, &matrix, &policy)
+                    .submit(&artifact, "alpha", 1, Endpoint::Features, &matrix, &policy)
                     .unwrap();
                 assert_eq!(expected, got);
             });
@@ -662,7 +670,7 @@ mod tests {
                     compute_direct(&artifact, Endpoint::Assign, &matrix, &policy).unwrap();
                 barrier.wait();
                 let got = batcher
-                    .submit(&artifact, "alpha", Endpoint::Assign, &matrix, &policy)
+                    .submit(&artifact, "alpha", 1, Endpoint::Assign, &matrix, &policy)
                     .unwrap();
                 assert_eq!(expected, got);
             });
@@ -670,6 +678,47 @@ mod tests {
             b.join().unwrap();
         });
         // Two distinct keys -> two batches, each of one request.
+        let stats = batcher.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.largest_batch, 1);
+    }
+
+    #[test]
+    fn different_generations_never_share_a_batch() {
+        let artifact = artifact();
+        let batcher = Batcher::new(BatchConfig {
+            window: Duration::from_millis(300),
+            max_rows: 64,
+        });
+        let policy = ParallelPolicy::serial();
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            for generation in [1u64, 2u64] {
+                let artifact = &artifact;
+                let batcher = &batcher;
+                let policy = &policy;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let matrix = rows(400 + generation, 2);
+                    let expected =
+                        compute_direct(artifact, Endpoint::Features, &matrix, policy).unwrap();
+                    barrier.wait();
+                    let got = batcher
+                        .submit(
+                            artifact,
+                            "m",
+                            generation,
+                            Endpoint::Features,
+                            &matrix,
+                            policy,
+                        )
+                        .unwrap();
+                    assert_eq!(expected, got);
+                });
+            }
+        });
+        // Same model and endpoint, different generation -> no fusing: a hot
+        // swap mid-window must not mix model versions in one launch.
         let stats = batcher.stats();
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.largest_batch, 1);

@@ -7,7 +7,10 @@
 //! alive across requests, reconnecting transparently when the server closes
 //! it (idle timeout, request cap, restart).
 
-use crate::api::{AssignResponse, FeaturesResponse, HealthResponse, ModelsResponse, RowsRequest};
+use crate::api::{
+    AssignResponse, BatchStatsResponse, FeaturesResponse, HealthResponse, ModelsResponse,
+    ReloadResponse, RowsRequest,
+};
 use crate::http::{
     read_response, read_response_meta, write_request, write_request_keep_alive, Response,
 };
@@ -117,6 +120,37 @@ impl Client {
         Ok(serde_json::from_str(
             &self.request_ok("GET", "/models", "")?.body,
         )?)
+    }
+
+    /// `GET /statz`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn statz(&self) -> Result<BatchStatsResponse> {
+        Ok(serde_json::from_str(
+            &self.request_ok("GET", "/statz", "")?.body,
+        )?)
+    }
+
+    /// `POST /admin/reload`. Both outcomes decode to a [`ReloadResponse`]:
+    /// `200` swapped and `409` rejected (old generation kept serving) — a
+    /// rejection is an answer, not a transport failure.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing and decoding errors, plus [`ServeError::Status`]
+    /// for statuses other than 200/409.
+    pub fn reload(&self) -> Result<ReloadResponse> {
+        let response = self.request("POST", "/admin/reload", "")?;
+        if response.is_success() || response.status == 409 {
+            Ok(serde_json::from_str(&response.body)?)
+        } else {
+            Err(ServeError::Status {
+                status: response.status,
+                body: response.body,
+            })
+        }
     }
 
     /// `POST /models/{model}/features` for a batch of raw rows.
@@ -256,12 +290,25 @@ impl Connection {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn features(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        Ok(self.features_response(model, rows)?.features)
+    }
+
+    /// [`Self::features`], returning the full response including the
+    /// registry generation that served it.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn features_response(
+        &mut self,
+        model: &str,
+        rows: &[Vec<f64>],
+    ) -> Result<FeaturesResponse> {
         let body = serde_json::to_string(&RowsRequest {
             rows: rows.to_vec(),
         })?;
         let response = self.request_ok("POST", &format!("/models/{model}/features"), &body)?;
-        let decoded: FeaturesResponse = serde_json::from_str(&response.body)?;
-        Ok(decoded.features)
+        Ok(serde_json::from_str(&response.body)?)
     }
 
     /// `POST /models/{model}/assign` over the kept-alive socket.
@@ -270,11 +317,20 @@ impl Connection {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn assign(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<usize>> {
+        Ok(self.assign_response(model, rows)?.assignments)
+    }
+
+    /// [`Self::assign`], returning the full response including the registry
+    /// generation that served it.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn assign_response(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<AssignResponse> {
         let body = serde_json::to_string(&RowsRequest {
             rows: rows.to_vec(),
         })?;
         let response = self.request_ok("POST", &format!("/models/{model}/assign"), &body)?;
-        let decoded: AssignResponse = serde_json::from_str(&response.body)?;
-        Ok(decoded.assignments)
+        Ok(serde_json::from_str(&response.body)?)
     }
 }

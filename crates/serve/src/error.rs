@@ -15,6 +15,12 @@ pub enum ServeError {
         /// The directory that was scanned.
         dir: String,
     },
+    /// An artifact file's stem is not valid UTF-8, so it cannot become a
+    /// model name (names travel in URL paths and JSON responses).
+    InvalidArtifactName {
+        /// The offending path, lossily rendered.
+        path: String,
+    },
     /// The request could not be parsed or fails validation.
     BadRequest {
         /// Explanation sent back to the client.
@@ -46,6 +52,12 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel { name } => write!(f, "no model named `{name}` is loaded"),
             ServeError::EmptyRegistry { dir } => {
                 write!(f, "no .json artifacts found under `{dir}`")
+            }
+            ServeError::InvalidArtifactName { path } => {
+                write!(
+                    f,
+                    "artifact file `{path}` has a non-UTF-8 stem and cannot name a model"
+                )
             }
             ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
             ServeError::Protocol { message } => write!(f, "HTTP protocol error: {message}"),
@@ -100,6 +112,9 @@ mod tests {
         assert!(ServeError::EmptyRegistry { dir: "d".into() }
             .to_string()
             .contains("`d`"));
+        assert!(ServeError::InvalidArtifactName { path: "p".into() }
+            .to_string()
+            .contains("non-UTF-8"));
         assert!(ServeError::BadRequest {
             message: "rows must be non-empty".into()
         }

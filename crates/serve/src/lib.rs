@@ -7,7 +7,12 @@
 //!
 //! ## Layers
 //!
-//! * [`registry`] — named artifacts shared immutably across workers.
+//! * [`registry`] — named models shared immutably across workers, served at
+//!   full precision or as f32-quantized compact artifacts (`--compact`).
+//! * [`live`] — the hot-swap cell around the registry: `POST /admin/reload`
+//!   (and an optional directory watcher) atomically installs a new
+//!   generation while in-flight requests drain the old one; a corrupt
+//!   artifact rejects the whole reload and the old generation keeps serving.
 //! * [`server`] — `std::net::TcpListener` + acceptor threads dispatching to
 //!   per-connection handler threads; HTTP/1.1 keep-alive with pipelining,
 //!   bodies framed by `Content-Length` and bounded before buffering. Rows
@@ -75,19 +80,23 @@ pub mod batch;
 pub mod client;
 mod error;
 pub mod http;
+pub mod live;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use api::{
     AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
-    ModelsResponse, RowsRequest,
+    ModelLoadResult, ModelsResponse, ReloadResponse, RowsRequest,
 };
 pub use batch::{BatchConfig, BatchOutput, BatchStats, Batcher, Endpoint};
 pub use client::{Client, Connection};
 pub use error::ServeError;
-pub use registry::ModelRegistry;
-pub use server::{route, route_with, route_with_batcher, ServeOptions, Server, ServerHandle};
+pub use live::{LiveRegistry, RegistryGeneration, ReloadOutcome};
+pub use registry::{ModelRegistry, ServingModel};
+pub use server::{
+    route, route_live, route_with, route_with_batcher, ServeOptions, Server, ServerHandle,
+};
 pub use stats::LatencySummary;
 
 /// Result alias used across the crate.

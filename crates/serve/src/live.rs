@@ -1,0 +1,347 @@
+//! The live registry: hot-swappable model generations with zero-downtime
+//! semantics.
+//!
+//! A [`LiveRegistry`] wraps the current [`ModelRegistry`] in an
+//! [`Arc`]-swap cell: readers take a short mutex, clone the `Arc` and drop
+//! the lock — no I/O, parsing or model math ever happens under it, so the
+//! request hot path never blocks on a reload. Each swap installs a complete
+//! new [`RegistryGeneration`] with a monotonically increasing generation
+//! number; requests (and open micro-batch slots) that already resolved a
+//! generation keep their `Arc`, so a swap can never tear a batch or fail an
+//! in-flight request — the old generation simply drains and frees itself
+//! when its last holder finishes.
+//!
+//! Reloads are **atomic per generation**: every artifact in the directory
+//! must parse and validate or nothing swaps. A corrupt file leaves the old
+//! generation serving and reports a structured per-model result list, so an
+//! operator can see exactly which artifact blocked the rollout.
+
+use crate::api::ModelLoadResult;
+use crate::registry::{artifact_files, load_artifact, ModelRegistry};
+use crate::Result;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One immutable snapshot of the registry plus its generation number.
+#[derive(Debug)]
+pub struct RegistryGeneration {
+    /// Monotonic generation counter: 1 for the initial load, +1 per swap.
+    pub generation: u64,
+    /// The models serving in this generation.
+    pub registry: ModelRegistry,
+}
+
+/// Outcome of one [`LiveRegistry::reload`] attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReloadOutcome {
+    /// `true` iff a new generation was installed.
+    pub swapped: bool,
+    /// The generation serving after the attempt.
+    pub generation: u64,
+    /// Per-artifact load results for the scanned directory.
+    pub models: Vec<ModelLoadResult>,
+    /// Overall failure explanation when not swapped.
+    pub error: Option<String>,
+}
+
+/// The hot-swappable registry cell shared by every server worker.
+#[derive(Debug)]
+pub struct LiveRegistry {
+    /// The swap cell. Readers lock, clone the `Arc`, unlock — the lock is
+    /// held for a pointer copy, never for artifact loading or inference.
+    current: Mutex<Arc<RegistryGeneration>>,
+    /// Serialises reload attempts so two concurrent `POST /admin/reload`
+    /// calls cannot interleave their load-then-swap sequences.
+    reload_lock: Mutex<()>,
+    /// Artifact directory reloads re-scan; `None` for registries built in
+    /// memory (reload then always rejects).
+    source: Option<PathBuf>,
+    /// Whether reloads quantize into the compact representation.
+    compact: bool,
+    swaps: AtomicU64,
+    failed_reloads: AtomicU64,
+}
+
+impl LiveRegistry {
+    /// Wraps an in-memory registry as generation 1, with no reload source.
+    pub fn new(registry: ModelRegistry) -> Self {
+        Self::with_source(registry, None, false)
+    }
+
+    /// Loads generation 1 from `dir` (in the representation selected by
+    /// `compact`) and remembers the directory for future reloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelRegistry::load_dir_with`] errors — unlike a reload,
+    /// there is no previous generation to keep serving at startup.
+    pub fn from_dir(dir: impl AsRef<Path>, compact: bool) -> Result<Self> {
+        let dir = dir.as_ref();
+        let registry = ModelRegistry::load_dir_with(dir, compact)?;
+        Ok(Self::with_source(
+            registry,
+            Some(dir.to_path_buf()),
+            compact,
+        ))
+    }
+
+    fn with_source(registry: ModelRegistry, source: Option<PathBuf>, compact: bool) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(RegistryGeneration {
+                generation: 1,
+                registry,
+            })),
+            reload_lock: Mutex::new(()),
+            source,
+            compact,
+            swaps: AtomicU64::new(0),
+            failed_reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// The generation currently serving. Cheap: a mutex-guarded `Arc` clone.
+    pub fn current(&self) -> Arc<RegistryGeneration> {
+        self.current.lock().unwrap().clone()
+    }
+
+    /// Current generation number.
+    pub fn generation(&self) -> u64 {
+        self.current().generation
+    }
+
+    /// Directory reloads re-scan, if one is configured.
+    pub fn source(&self) -> Option<&Path> {
+        self.source.as_deref()
+    }
+
+    /// `true` when reloads quantize into the compact representation.
+    pub fn compact(&self) -> bool {
+        self.compact
+    }
+
+    /// Successful swaps since construction.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Rejected reload attempts since construction.
+    pub fn failed_reloads(&self) -> u64 {
+        self.failed_reloads.load(Ordering::Relaxed)
+    }
+
+    /// Re-scans the source directory and atomically swaps in a new
+    /// generation iff **every** artifact loads.
+    ///
+    /// All loading happens before the swap cell is touched; in-flight
+    /// requests keep serving the old generation throughout, and on any
+    /// failure (missing source, I/O error, corrupt or empty directory) the
+    /// old generation stays current.
+    pub fn reload(&self) -> ReloadOutcome {
+        let _serialised = self.reload_lock.lock().unwrap();
+        let Some(dir) = &self.source else {
+            return self.rejected(
+                Vec::new(),
+                "hot reload is not enabled: server was started without an artifact directory"
+                    .to_string(),
+            );
+        };
+        let files = match artifact_files(dir) {
+            Ok(files) => files,
+            Err(e) => return self.rejected(Vec::new(), e.to_string()),
+        };
+        if files.is_empty() {
+            return self.rejected(
+                Vec::new(),
+                format!("no .json artifacts found under `{}`", dir.display()),
+            );
+        }
+        let mut models = Vec::with_capacity(files.len());
+        let mut next = ModelRegistry::new();
+        let mut failures = 0usize;
+        for (name, path) in files {
+            match load_artifact(&path, self.compact) {
+                Ok(model) => {
+                    models.push(ModelLoadResult {
+                        name: name.clone(),
+                        loaded: true,
+                        message: None,
+                    });
+                    next.insert_model(name, model);
+                }
+                Err(e) => {
+                    failures += 1;
+                    models.push(ModelLoadResult {
+                        name,
+                        loaded: false,
+                        message: Some(e.to_string()),
+                    });
+                }
+            }
+        }
+        if failures > 0 {
+            let plural = if failures == 1 { "" } else { "s" };
+            return self.rejected(
+                models,
+                format!("{failures} artifact{plural} failed to load; kept old generation"),
+            );
+        }
+        let generation = {
+            let mut current = self.current.lock().unwrap();
+            let generation = current.generation + 1;
+            *current = Arc::new(RegistryGeneration {
+                generation,
+                registry: next,
+            });
+            generation
+        };
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        ReloadOutcome {
+            swapped: true,
+            generation,
+            models,
+            error: None,
+        }
+    }
+
+    fn rejected(&self, models: Vec<ModelLoadResult>, error: String) -> ReloadOutcome {
+        self.failed_reloads.fetch_add(1, Ordering::Relaxed);
+        ReloadOutcome {
+            swapped: false,
+            generation: self.generation(),
+            models,
+            error: Some(error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sls_rbm_core::{ModelKind, PipelineArtifact, RbmParams};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn artifact(seed: u64) -> PipelineArtifact {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng), ModelKind::Rbm)
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sls_serve_live_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn in_memory_registry_rejects_reload() {
+        let mut registry = ModelRegistry::new();
+        registry.insert("demo", artifact(1));
+        let live = LiveRegistry::new(registry);
+        assert_eq!(live.generation(), 1);
+        let outcome = live.reload();
+        assert!(!outcome.swapped);
+        assert_eq!(outcome.generation, 1);
+        assert!(outcome.error.unwrap().contains("not enabled"));
+        assert_eq!(live.failed_reloads(), 1);
+        assert_eq!(live.swaps(), 0);
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_bumps_counters() {
+        let dir = unique_dir("swap");
+        artifact(1).save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, false).unwrap();
+        assert_eq!(live.generation(), 1);
+        artifact(2).save(dir.join("demo.json")).unwrap();
+        artifact(3).save(dir.join("extra.json")).unwrap();
+        let outcome = live.reload();
+        assert!(outcome.swapped);
+        assert_eq!(outcome.generation, 2);
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.models.len(), 2);
+        assert!(outcome.models.iter().all(|m| m.loaded));
+        let current = live.current();
+        assert_eq!(current.generation, 2);
+        assert_eq!(current.registry.len(), 2);
+        assert_eq!(live.swaps(), 1);
+        assert_eq!(live.failed_reloads(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_rejects_reload_and_keeps_old_generation() {
+        let dir = unique_dir("corrupt");
+        artifact(1).save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, false).unwrap();
+        let before = live.current();
+        std::fs::write(dir.join("broken.json"), "{ not json }").unwrap();
+        let outcome = live.reload();
+        assert!(!outcome.swapped);
+        assert_eq!(outcome.generation, 1);
+        assert!(outcome.error.unwrap().contains("1 artifact failed"));
+        let broken = outcome.models.iter().find(|m| m.name == "broken").unwrap();
+        assert!(!broken.loaded);
+        assert!(broken.message.is_some());
+        let demo = outcome.models.iter().find(|m| m.name == "demo").unwrap();
+        assert!(demo.loaded);
+        // The serving snapshot is untouched — same Arc, same generation.
+        let after = live.current();
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(live.failed_reloads(), 1);
+        // Removing the corrupt file heals the next reload.
+        std::fs::remove_file(dir.join("broken.json")).unwrap();
+        assert!(live.reload().swapped);
+        assert_eq!(live.generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emptied_directory_rejects_reload() {
+        let dir = unique_dir("emptied");
+        artifact(1).save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, false).unwrap();
+        std::fs::remove_file(dir.join("demo.json")).unwrap();
+        let outcome = live.reload();
+        assert!(!outcome.swapped);
+        assert!(outcome.error.unwrap().contains("no .json artifacts"));
+        assert_eq!(live.current().registry.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_mode_survives_reload() {
+        let dir = unique_dir("compact");
+        artifact(1).save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, true).unwrap();
+        assert!(live.compact());
+        assert!(live.current().registry.get("demo").unwrap().is_compact());
+        artifact(2).save(dir.join("demo.json")).unwrap();
+        assert!(live.reload().swapped);
+        assert!(live.current().registry.get("demo").unwrap().is_compact());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_generation_survives_while_held() {
+        let dir = unique_dir("drain");
+        artifact(1).save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, false).unwrap();
+        let held = live.current();
+        let model_before = held.registry.get("demo").unwrap();
+        artifact(2).save(dir.join("demo.json")).unwrap();
+        assert!(live.reload().swapped);
+        // The held snapshot still resolves the exact same model instance.
+        assert!(Arc::ptr_eq(
+            &model_before,
+            &held.registry.get("demo").unwrap()
+        ));
+        assert_ne!(held.generation, live.generation());
+    }
+}

@@ -10,6 +10,7 @@
 //!                  [--keep-alive 0|1] [--keepalive-timeout-ms N]
 //!                  [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
 //!                  [--batch-window-us N] [--batch-max-rows N]
+//!                  [--compact 0|1] [--watch-interval-ms N]
 //! ```
 //!
 //! `--threads` sets the parallel linalg policy (`0` = one thread per core);
@@ -33,6 +34,17 @@
 //! `SLS_BATCH_MAX_ROWS`, default 256) — responses stay bitwise identical to
 //! unbatched serving.
 //!
+//! Registry lifecycle: `--compact 1` (env `SLS_COMPACT`) loads every
+//! artifact into the f32-quantized compact representation (about half the
+//! parameter bytes; features within `1e-6 · (1 + |x|)` of full precision);
+//! `POST /admin/reload` re-scans `--dir` and atomically swaps in a new
+//! registry generation without dropping in-flight requests or open
+//! keep-alive connections — a corrupt artifact rejects the whole reload and
+//! the old generation keeps serving; `--watch-interval-ms N` (0 = off, the
+//! default) polls the directory fingerprint and triggers the same reload on
+//! change. Export stamps artifacts with `trained_at`/`source` provenance,
+//! reported by `GET /models`.
+//!
 //! The two subcommands default differently when neither flags nor
 //! environment choose: `serve` runs one linalg thread per core with pooled
 //! dispatch — the serving-shaped policy whose pool path CI gates on
@@ -44,10 +56,14 @@ use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
 use sls_linalg::{ParallelPolicy, SimdPolicy};
 use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
-use sls_serve::{BatchConfig, ModelRegistry, ServeOptions, Server};
+use sls_serve::{BatchConfig, LiveRegistry, ServeOptions, Server};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Environment variable selecting the compact (f32-quantized) serving
+/// representation; the `--compact` flag overrides it.
+const ENV_COMPACT: &str = "SLS_COMPACT";
 
 const USAGE: &str = "usage:
   sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
@@ -57,7 +73,8 @@ const USAGE: &str = "usage:
                    [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
                    [--keep-alive 0|1] [--keepalive-timeout-ms N]
                    [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
-                   [--batch-window-us N] [--batch-max-rows N]";
+                   [--batch-window-us N] [--batch-max-rows N]
+                   [--compact 0|1] [--watch-interval-ms N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -161,6 +178,24 @@ fn parsed<T: std::str::FromStr>(
     }
 }
 
+/// Formats seconds since the Unix epoch as `YYYY-MM-DDThh:mm:ssZ`, using
+/// the standard days-to-civil-date conversion (valid for any date after
+/// 1970, which Unix seconds guarantee here).
+fn iso8601_utc(secs: u64) -> String {
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (hour, minute, second) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days as i64 + 719_468;
+    let era = z / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}Z")
+}
+
 fn run_export(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -214,9 +249,21 @@ fn run_export(args: &[String]) -> Result<(), String> {
     let fitted = PipelineArtifact::fit(kind, config, dataset.features(), &mut rng)
         .map_err(|e| format!("training failed: {e}"))?;
 
-    let path = std::path::Path::new(&out).join(format!("{name}.json"));
-    fitted
+    let trained_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| iso8601_utc(d.as_secs()));
+    let source = format!(
+        "sls-serve export --model {} --instances {instances} --dims {dims} \
+         --clusters {clusters} --seed {seed}",
+        kind.as_str()
+    );
+    let artifact = fitted
         .artifact
+        .clone()
+        .with_provenance(trained_at, Some(source));
+    let path = std::path::Path::new(&out).join(format!("{name}.json"));
+    artifact
         .save(&path)
         .map_err(|e| format!("saving artifact failed: {e}"))?;
     let mut sizes = BTreeMap::new();
@@ -253,6 +300,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--max-conns",
             "--batch-window-us",
             "--batch-max-rows",
+            "--compact",
+            "--watch-interval-ms",
         ],
     )?;
     let dir = flags
@@ -268,23 +317,41 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or(4)
         .min(16);
     let workers = parsed(&flags, "workers", default_workers)?;
+    let compact = match flags.get("compact") {
+        Some(raw) => ParallelPolicy::parse_bool(raw)
+            .ok_or_else(|| format!("invalid value `{raw}` for --compact (use 0/1/true/false)"))?,
+        None => match std::env::var(ENV_COMPACT) {
+            Ok(raw) => ParallelPolicy::parse_bool(raw.trim()).ok_or_else(|| {
+                format!("{ENV_COMPACT} must be a boolean (0/1/true/false), got `{raw}`")
+            })?,
+            Err(_) => false,
+        },
+    };
+    let watch_ms = parsed(&flags, "watch-interval-ms", 0u64)?;
 
-    let registry =
-        ModelRegistry::load_dir(&dir).map_err(|e| format!("loading artifacts failed: {e}"))?;
-    for (name, artifact) in registry.iter() {
+    let live = LiveRegistry::from_dir(&dir, compact)
+        .map_err(|e| format!("loading artifacts failed: {e}"))?;
+    for (name, model) in live.current().registry.iter() {
         eprintln!(
-            "loaded {} ({}, schema v{}, {} visible -> {} hidden)",
+            "loaded {} ({}, schema v{}, {} visible -> {} hidden, {}, {} param bytes)",
             name,
-            artifact.model_kind.as_str(),
-            artifact.schema_version,
-            artifact.n_visible(),
-            artifact.n_hidden()
+            model.model_kind(),
+            model.schema_version(),
+            model.n_visible(),
+            model.n_hidden(),
+            if model.is_compact() {
+                "compact f32"
+            } else {
+                "full f64"
+            },
+            model.param_bytes()
         );
     }
     let parallel = parallel_policy(&flags, true)?;
-    let server = Server::bind(addr.as_str(), registry, workers)
+    let server = Server::bind_live(addr.as_str(), live, workers)
         .map_err(|e| format!("bind failed: {e}"))?
-        .with_parallel(parallel);
+        .with_parallel(parallel)
+        .with_watch((watch_ms > 0).then(|| Duration::from_millis(watch_ms)));
     // Connection and batching knobs: the bind defaults already honour the
     // environment (SLS_MAX_BODY_BYTES, SLS_BATCH_WINDOW_US,
     // SLS_BATCH_MAX_ROWS); explicit flags override them.
@@ -319,7 +386,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("local address unavailable: {e}"))?;
     eprintln!(
         "serving on http://{local} with {workers} acceptor(s), {} linalg thread(s) per request \
-         ({} dispatch), keep-alive {}, batch window {}us (Ctrl-C to stop)",
+         ({} dispatch), keep-alive {}, batch window {}us, {} registry, watch {} \
+         (POST /admin/reload to hot swap, Ctrl-C to stop)",
         parallel.threads,
         if parallel.pool {
             "persistent-pool"
@@ -327,9 +395,29 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "spawn-per-call"
         },
         if options.keep_alive { "on" } else { "off" },
-        batch.window.as_micros()
+        batch.window.as_micros(),
+        if compact { "compact" } else { "full" },
+        if watch_ms > 0 {
+            format!("every {watch_ms}ms")
+        } else {
+            "off".to_string()
+        }
     );
     let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
     handle.join();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso8601_matches_known_timestamps() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(86_399), "1970-01-01T23:59:59Z");
+        // 2025-01-01T00:00:00Z and a leap-year date (2024-02-29T12:00:00Z).
+        assert_eq!(iso8601_utc(1_735_689_600), "2025-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(1_709_208_000), "2024-02-29T12:00:00Z");
+    }
 }

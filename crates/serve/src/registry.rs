@@ -1,19 +1,186 @@
-//! The model registry: named, loaded [`PipelineArtifact`]s shared across
-//! server worker threads.
+//! The model registry: named, loaded artifacts shared across server worker
+//! threads.
+//!
+//! Each entry is a [`ServingModel`] — either a full-precision
+//! [`PipelineArtifact`] or its f32-quantized [`CompactArtifact`] twin. The
+//! representation is chosen per registry load (`--compact 0|1`), so a node
+//! that holds many models can halve its parameter footprint without the
+//! request handlers caring which representation answers.
+//!
+//! A registry is immutable once built; worker threads share it behind a plain
+//! `Arc` with no locking on the request hot path. Hot swaps replace the whole
+//! registry atomically via [`crate::LiveRegistry`].
 
 use crate::{Result, ServeError};
-use sls_rbm_core::PipelineArtifact;
+use sls_linalg::{Matrix, ParallelPolicy};
+use sls_rbm_core::{CompactArtifact, PipelineArtifact};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Maps model names to loaded artifacts.
+/// One loaded model in either serving representation.
 ///
-/// The registry is immutable once built, so worker threads share it behind a
-/// plain `Arc` — no locking on the request hot path.
+/// Request handlers talk to this enum instead of a concrete artifact type, so
+/// full-precision and compact registries serve through identical code paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingModel {
+    /// Full-precision f64 artifact, exactly as exported.
+    Full(PipelineArtifact),
+    /// f32-quantized artifact with error-bounded f64 arithmetic.
+    Compact(CompactArtifact),
+}
+
+impl ServingModel {
+    /// Wraps `artifact` in the representation selected by `compact`.
+    pub fn from_artifact(artifact: PipelineArtifact, compact: bool) -> Self {
+        if compact {
+            ServingModel::Compact(CompactArtifact::from_artifact(&artifact))
+        } else {
+            ServingModel::Full(artifact)
+        }
+    }
+
+    /// `true` for the f32-quantized representation.
+    pub fn is_compact(&self) -> bool {
+        matches!(self, ServingModel::Compact(_))
+    }
+
+    /// Artifact schema version this model was loaded from.
+    pub fn schema_version(&self) -> u32 {
+        match self {
+            ServingModel::Full(a) => a.schema_version,
+            ServingModel::Compact(a) => a.schema_version(),
+        }
+    }
+
+    /// Model kind label (`"rbm"`, `"sls-grbm"`, ...).
+    pub fn model_kind(&self) -> &'static str {
+        match self {
+            ServingModel::Full(a) => a.model_kind.as_str(),
+            ServingModel::Compact(a) => a.model_kind().as_str(),
+        }
+    }
+
+    /// Number of visible units (request row width).
+    pub fn n_visible(&self) -> usize {
+        match self {
+            ServingModel::Full(a) => a.n_visible(),
+            ServingModel::Compact(a) => a.n_visible(),
+        }
+    }
+
+    /// Number of hidden units (feature row width).
+    pub fn n_hidden(&self) -> usize {
+        match self {
+            ServingModel::Full(a) => a.n_hidden(),
+            ServingModel::Compact(a) => a.n_hidden(),
+        }
+    }
+
+    /// Number of clusters in the fitted head, if one is present.
+    pub fn n_clusters(&self) -> Option<usize> {
+        match self {
+            ServingModel::Full(a) => a.cluster_head.as_ref().map(|h| h.n_clusters),
+            ServingModel::Compact(a) => a.cluster_head().map(|h| h.n_clusters),
+        }
+    }
+
+    /// `true` when the artifact carries a cluster head (can serve `/assign`).
+    pub fn has_cluster_head(&self) -> bool {
+        self.n_clusters().is_some()
+    }
+
+    /// Bytes held by the model parameters (weights + biases) in this
+    /// representation.
+    pub fn param_bytes(&self) -> usize {
+        match self {
+            ServingModel::Full(a) => a.params.param_bytes(),
+            ServingModel::Compact(a) => a.param_bytes(),
+        }
+    }
+
+    /// Training timestamp recorded at export time, if any.
+    pub fn trained_at(&self) -> Option<&str> {
+        match self {
+            ServingModel::Full(a) => a.trained_at.as_deref(),
+            ServingModel::Compact(a) => a.trained_at(),
+        }
+    }
+
+    /// Provenance string recorded at export time, if any.
+    pub fn source(&self) -> Option<&str> {
+        match self {
+            ServingModel::Full(a) => a.source.as_deref(),
+            ServingModel::Compact(a) => a.source(),
+        }
+    }
+
+    /// Preprocesses `rows` and computes hidden features.
+    pub fn features_with(
+        &self,
+        rows: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> sls_rbm_core::Result<Matrix> {
+        match self {
+            ServingModel::Full(a) => a.features_with(rows, parallel),
+            ServingModel::Compact(a) => a.features_with(rows, parallel),
+        }
+    }
+
+    /// Preprocesses `rows` and assigns each to its nearest centroid.
+    pub fn assign_with(
+        &self,
+        rows: &Matrix,
+        parallel: &ParallelPolicy,
+    ) -> sls_rbm_core::Result<Vec<usize>> {
+        match self {
+            ServingModel::Full(a) => a.assign_with(rows, parallel),
+            ServingModel::Compact(a) => a.assign_with(rows, parallel),
+        }
+    }
+}
+
+/// Maps model names to loaded serving models.
 #[derive(Debug, Default, Clone)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, Arc<PipelineArtifact>>,
+    models: BTreeMap<String, Arc<ServingModel>>,
+}
+
+/// Lists the `*.json` artifact files under `dir` as `(model name, path)`
+/// pairs in name order.
+///
+/// # Errors
+///
+/// Returns I/O errors and [`ServeError::InvalidArtifactName`] when a file
+/// stem is not valid UTF-8 — such a file can never be addressed by a request
+/// path, so skipping it silently would hide a deployment mistake.
+pub(crate) fn artifact_files(dir: &Path) -> Result<Vec<(String, PathBuf)>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<std::result::Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                return Err(ServeError::InvalidArtifactName {
+                    path: path.display().to_string(),
+                });
+            };
+            Ok((name.to_string(), path))
+        })
+        .collect()
+}
+
+/// Loads one artifact file into the representation selected by `compact`.
+pub(crate) fn load_artifact(path: &Path, compact: bool) -> Result<ServingModel> {
+    Ok(ServingModel::from_artifact(
+        PipelineArtifact::load(path)?,
+        compact,
+    ))
 }
 
 impl ModelRegistry {
@@ -22,34 +189,38 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Registers `artifact` under `name`, replacing any previous entry.
+    /// Registers `artifact` at full precision under `name`, replacing any
+    /// previous entry.
     pub fn insert(&mut self, name: impl Into<String>, artifact: PipelineArtifact) {
-        self.models.insert(name.into(), Arc::new(artifact));
+        self.insert_model(name, ServingModel::Full(artifact));
     }
 
-    /// Loads every `*.json` artifact in `dir`; each model is named after its
-    /// file stem (`quick_demo.json` serves as `quick_demo`).
+    /// Registers an already-built [`ServingModel`] under `name`.
+    pub fn insert_model(&mut self, name: impl Into<String>, model: ServingModel) {
+        self.models.insert(name.into(), Arc::new(model));
+    }
+
+    /// Loads every `*.json` artifact in `dir` at full precision; each model
+    /// is named after its file stem (`quick_demo.json` serves as
+    /// `quick_demo`).
     ///
     /// # Errors
     ///
     /// Returns I/O errors, artifact parse errors (a corrupt file fails the
-    /// whole load rather than being skipped silently) and
+    /// whole load rather than being skipped silently),
+    /// [`ServeError::InvalidArtifactName`] for non-UTF-8 file stems and
     /// [`ServeError::EmptyRegistry`] if no artifact was found.
     pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::load_dir_with(dir, false)
+    }
+
+    /// [`Self::load_dir`], loading into the representation selected by
+    /// `compact`.
+    pub fn load_dir_with(dir: impl AsRef<Path>, compact: bool) -> Result<Self> {
         let dir = dir.as_ref();
         let mut registry = Self::new();
-        let mut entries: Vec<_> = std::fs::read_dir(dir)?
-            .collect::<std::result::Result<Vec<_>, _>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-            .collect();
-        entries.sort();
-        for path in entries {
-            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
-                continue;
-            };
-            registry.insert(name.to_string(), PipelineArtifact::load(&path)?);
+        for (name, path) in artifact_files(dir)? {
+            registry.insert_model(name, load_artifact(&path, compact)?);
         }
         if registry.is_empty() {
             return Err(ServeError::EmptyRegistry {
@@ -64,7 +235,7 @@ impl ModelRegistry {
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] if the name is not registered.
-    pub fn get(&self, name: &str) -> Result<Arc<PipelineArtifact>> {
+    pub fn get(&self, name: &str) -> Result<Arc<ServingModel>> {
         self.models
             .get(name)
             .cloned()
@@ -73,8 +244,8 @@ impl ModelRegistry {
             })
     }
 
-    /// Iterates over `(name, artifact)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<PipelineArtifact>)> {
+    /// Iterates over `(name, model)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<ServingModel>)> {
         self.models.iter().map(|(n, a)| (n.as_str(), a))
     }
 
@@ -95,10 +266,25 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use sls_rbm_core::{ModelKind, RbmParams};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn artifact() -> PipelineArtifact {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng), ModelKind::Rbm)
+    }
+
+    /// A fresh per-test directory: pid plus a process-wide counter, so
+    /// concurrent test binaries (and concurrent tests in one binary) never
+    /// collide on a shared fixed path.
+    fn unique_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sls_serve_registry_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -119,22 +305,20 @@ mod tests {
 
     #[test]
     fn load_dir_reads_json_files_and_names_by_stem() {
-        let dir = std::env::temp_dir().join("sls_serve_registry_load");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("load");
         artifact().save(dir.join("first.json")).unwrap();
         artifact().save(dir.join("second.json")).unwrap();
         std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
         let r = ModelRegistry::load_dir(&dir).unwrap();
         assert_eq!(r.len(), 2);
         assert!(r.get("first").is_ok());
-        assert!(r.get("second").is_ok());
+        assert!(!r.get("second").unwrap().is_compact());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_dir_without_artifacts_errors() {
-        let dir = std::env::temp_dir().join("sls_serve_registry_empty");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("empty");
         assert!(matches!(
             ModelRegistry::load_dir(&dir),
             Err(ServeError::EmptyRegistry { .. })
@@ -145,10 +329,72 @@ mod tests {
 
     #[test]
     fn load_dir_fails_on_corrupt_artifact() {
-        let dir = std::env::temp_dir().join("sls_serve_registry_corrupt");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("corrupt");
         std::fs::write(dir.join("bad.json"), "{ not json }").unwrap();
         assert!(ModelRegistry::load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn load_dir_rejects_non_utf8_artifact_names() {
+        use std::os::unix::ffi::OsStrExt;
+        let dir = unique_dir("nonutf8");
+        artifact().save(dir.join("good.json")).unwrap();
+        let bad = dir.join(std::ffi::OsStr::from_bytes(b"bad\xFFname.json"));
+        std::fs::write(&bad, "{}").unwrap();
+        assert!(matches!(
+            ModelRegistry::load_dir(&dir),
+            Err(ServeError::InvalidArtifactName { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_load_halves_params_and_stays_close() {
+        let dir = unique_dir("compact");
+        artifact().save(dir.join("m.json")).unwrap();
+        let full = ModelRegistry::load_dir_with(&dir, false).unwrap();
+        let compact = ModelRegistry::load_dir_with(&dir, true).unwrap();
+        let full = full.get("m").unwrap();
+        let compact = compact.get("m").unwrap();
+        assert!(compact.is_compact());
+        assert!(compact.param_bytes() < full.param_bytes());
+        let rows = Matrix::from_rows(&[vec![0.2, -0.4, 0.8, 0.1]]).unwrap();
+        let policy = ParallelPolicy::serial();
+        let f = full.features_with(&rows, &policy).unwrap();
+        let c = compact.features_with(&rows, &policy).unwrap();
+        for (&a, &b) in f.as_slice().iter().zip(c.as_slice()) {
+            assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serving_model_delegates_metadata() {
+        let full = ServingModel::from_artifact(
+            artifact().with_provenance(Some("2026-01-01T00:00:00Z".into()), Some("test".into())),
+            false,
+        );
+        let compact = ServingModel::from_artifact(
+            artifact().with_provenance(Some("2026-01-01T00:00:00Z".into()), Some("test".into())),
+            true,
+        );
+        for model in [&full, &compact] {
+            assert_eq!(model.n_visible(), 4);
+            assert_eq!(model.n_hidden(), 2);
+            assert_eq!(model.model_kind(), "rbm");
+            assert_eq!(model.n_clusters(), None);
+            assert!(!model.has_cluster_head());
+            assert_eq!(model.trained_at(), Some("2026-01-01T00:00:00Z"));
+            assert_eq!(model.source(), Some("test"));
+        }
+        assert!(!full.is_compact());
+        assert!(compact.is_compact());
+        let rows = Matrix::from_rows(&[vec![1.0, 0.0, 1.0, 0.0]]).unwrap();
+        assert!(matches!(
+            full.assign_with(&rows, &ParallelPolicy::serial()),
+            Err(sls_rbm_core::RbmError::MissingArtifactPart { .. })
+        ));
     }
 }

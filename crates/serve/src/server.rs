@@ -1,21 +1,30 @@
 //! The HTTP JSON inference server: acceptor threads draining a
-//! `TcpListener` into per-connection handler threads that share an
-//! immutable [`ModelRegistry`] and one cross-request [`Batcher`].
+//! `TcpListener` into per-connection handler threads that share a
+//! hot-swappable [`LiveRegistry`] and one cross-request [`Batcher`].
 //!
 //! ## Endpoints
 //!
 //! | Method | Path | Body | Success response |
 //! |--------|------|------|------------------|
 //! | `GET` | `/healthz` | — | `{"status":"ok","models":N}` |
-//! | `GET` | `/models` | — | `{"models":[{name, kind, ...}]}` |
-//! | `GET` | `/statz` | — | batching counters, see [`BatchStatsResponse`] |
-//! | `POST` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"features":[[f64,...],...]}` |
-//! | `POST` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"assignments":[usize,...]}` |
+//! | `GET` | `/models` | — | `{"generation":G,"models":[{name, kind, ...}]}` |
+//! | `GET` | `/statz` | — | batching + registry counters, see [`BatchStatsResponse`] |
+//! | `POST` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"features":[[f64,...],...]}` |
+//! | `POST` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"assignments":[usize,...]}` |
+//! | `POST` | `/admin/reload` | — | [`ReloadResponse`] — `200` swapped, `409` rejected |
 //!
 //! Unknown paths and model names answer `404`, malformed bodies and shape
 //! mismatches `400`, wrong methods on known paths `405`, oversized declared
 //! bodies `413` (rejected *before* buffering); every error body is
 //! `{"error": "..."}`.
+//!
+//! ## Hot reload
+//!
+//! Each request resolves the current [`RegistryGeneration`] exactly once and
+//! serves entirely from that snapshot, so a concurrent `POST /admin/reload`
+//! (or `--watch-interval-ms` directory watcher) swap never fails or tears an
+//! in-flight request — the old generation drains and frees itself. See
+//! [`crate::live`].
 //!
 //! ## Connection model
 //!
@@ -36,13 +45,14 @@
 
 use crate::api::{
     AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
-    ModelsResponse, RowsRequest,
+    ModelsResponse, ReloadResponse, RowsRequest,
 };
 use crate::batch::{compute_direct, BatchConfig, BatchOutput, Batcher, Endpoint};
 use crate::http::{
     read_request_limited, write_response, write_response_keep_alive, HttpLimits, Request,
     RequestRead, MAX_BODY_BYTES,
 };
+use crate::live::{LiveRegistry, RegistryGeneration};
 use crate::registry::ModelRegistry;
 use crate::Result;
 use serde::Serialize;
@@ -52,7 +62,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Per-request read/write timeout once a request has started arriving — a
 /// stalled client must not pin a handler thread forever.
@@ -122,11 +132,12 @@ impl ServeOptions {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    registry: Arc<ModelRegistry>,
+    live: Arc<LiveRegistry>,
     workers: usize,
     parallel: ParallelPolicy,
     options: ServeOptions,
     batch: BatchConfig,
+    watch: Option<Duration>,
 }
 
 impl Server {
@@ -147,17 +158,29 @@ impl Server {
     ///
     /// Returns I/O errors from binding.
     pub fn bind(addr: impl ToSocketAddrs, registry: ModelRegistry, workers: usize) -> Result<Self> {
+        Self::bind_live(addr, LiveRegistry::new(registry), workers)
+    }
+
+    /// [`Server::bind`] over an already-built [`LiveRegistry`] — the form
+    /// the `serve` binary uses so `POST /admin/reload` (and the optional
+    /// directory watcher) can swap generations from the artifact directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from binding.
+    pub fn bind_live(addr: impl ToSocketAddrs, live: LiveRegistry, workers: usize) -> Result<Self> {
         let parallel = ParallelPolicy::global();
         if parallel.pool {
             let _ = WorkerPool::global();
         }
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            registry: Arc::new(registry),
+            live: Arc::new(live),
             workers: workers.max(1),
             parallel,
             options: ServeOptions::from_env(),
             batch: BatchConfig::from_env(),
+            watch: None,
         })
     }
 
@@ -193,6 +216,16 @@ impl Server {
         self
     }
 
+    /// Enables directory-watch hot reload: every `interval` the artifact
+    /// directory's `(name, mtime, len)` fingerprint is re-scanned off the
+    /// request path, and a change triggers the same atomic reload as
+    /// `POST /admin/reload`. `None` (the default) disables the watcher; it
+    /// is also inert when the registry has no source directory.
+    pub fn with_watch(mut self, interval: Option<Duration>) -> Self {
+        self.watch = interval.filter(|i| !i.is_zero());
+        self
+    }
+
     /// The address the listener is bound to.
     ///
     /// # Errors
@@ -212,7 +245,7 @@ impl Server {
         let addr = self.listener.local_addr()?;
         let listener = Arc::new(self.listener);
         let shared = Arc::new(Shared {
-            registry: self.registry,
+            live: self.live,
             parallel: self.parallel,
             options: self.options,
             batcher: Batcher::new(self.batch),
@@ -229,10 +262,22 @@ impl Server {
                     .spawn(move || acceptor_loop(&listener, &shared))?,
             );
         }
+        let watcher = match self.watch {
+            Some(interval) if shared.live.source().is_some() => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("sls-serve-watch".to_string())
+                        .spawn(move || watcher_loop(&shared, interval))?,
+                )
+            }
+            _ => None,
+        };
         Ok(ServerHandle {
             addr,
             shared,
             acceptors,
+            watcher,
         })
     }
 }
@@ -240,7 +285,7 @@ impl Server {
 /// State shared by the acceptors and every connection handler.
 #[derive(Debug)]
 struct Shared {
-    registry: Arc<ModelRegistry>,
+    live: Arc<LiveRegistry>,
     parallel: ParallelPolicy,
     options: ServeOptions,
     batcher: Batcher,
@@ -264,12 +309,19 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptors: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The address the server accepts connections on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The hot-swappable registry this server serves from — lets an
+    /// embedding process trigger reloads or read swap counters directly.
+    pub fn live(&self) -> Arc<LiveRegistry> {
+        Arc::clone(&self.shared.live)
     }
 
     /// Blocks the calling thread until every acceptor exits (effectively
@@ -279,6 +331,9 @@ impl ServerHandle {
         for acceptor in self.acceptors {
             let _ = acceptor.join();
         }
+        if let Some(watcher) = self.watcher {
+            let _ = watcher.join();
+        }
     }
 
     /// Stops the server: sets the shutdown flag, nudges each still-blocked
@@ -286,6 +341,10 @@ impl ServerHandle {
     /// (bounded) for live connections to observe the flag and drain.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(watcher) = self.watcher {
+            // The watcher polls the flag at least every SHUTDOWN_POLL.
+            let _ = watcher.join();
+        }
         for acceptor in self.acceptors {
             // An acceptor can be blocked in `accept` (the wake-up connection
             // unblocks it) or mid-dispatch (it re-checks the flag right
@@ -304,6 +363,58 @@ impl ServerHandle {
         while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// One `(name, mtime, len)` triple per artifact file — cheap to compute and
+/// enough to notice exports, deletions and renames without hashing content.
+type DirFingerprint = Vec<(String, Option<SystemTime>, u64)>;
+
+fn dir_fingerprint(live: &LiveRegistry) -> DirFingerprint {
+    let Some(dir) = live.source() else {
+        return Vec::new();
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut fingerprint: DirFingerprint = entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+        .map(|e| {
+            let meta = e.metadata().ok();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                meta.as_ref().and_then(|m| m.modified().ok()),
+                meta.map_or(0, |m| m.len()),
+            )
+        })
+        .collect();
+    fingerprint.sort();
+    fingerprint
+}
+
+/// Directory-watch thread: polls the artifact directory fingerprint every
+/// `interval` (in shutdown-aware steps) and triggers an atomic reload on
+/// change. A rejected reload (e.g. a half-written artifact) is retried on
+/// the *next* change, not every tick, so a corrupt file does not spin the
+/// failure counter.
+fn watcher_loop(shared: &Shared, interval: Duration) {
+    let mut seen = dir_fingerprint(&shared.live);
+    loop {
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(
+                SHUTDOWN_POLL.min(deadline.saturating_duration_since(Instant::now())),
+            );
+        }
+        let now = dir_fingerprint(&shared.live);
+        if now != seen {
+            let _ = shared.live.reload();
+            seen = now;
         }
     }
 }
@@ -433,8 +544,8 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
         match read_request_limited(&mut reader, &limits) {
             Ok(RequestRead::Complete { request, close }) => {
                 let keep = may_keep_alive && !close;
-                let (status, body) = route_with_batcher(
-                    &shared.registry,
+                let (status, body) = route_live(
+                    &shared.live,
                     &request,
                     &shared.parallel,
                     Some(&shared.batcher),
@@ -499,8 +610,43 @@ pub fn route_with(
 /// requests go through its coalescing window, `GET /statz` reports its
 /// counters. With `None`, every request computes directly and `/statz`
 /// reports a disabled batcher.
+///
+/// Routing over a bare registry reports generation 1 and rejects
+/// `POST /admin/reload` with `409` — hot reload needs a [`LiveRegistry`]
+/// (see [`route_live`]).
 pub fn route_with_batcher(
     registry: &ModelRegistry,
+    request: &Request,
+    parallel: &ParallelPolicy,
+    batcher: Option<&Batcher>,
+) -> (u16, String) {
+    route_inner(registry, 1, None, request, parallel, batcher)
+}
+
+/// Routes one request against the current generation of a hot-swappable
+/// registry: the generation is resolved exactly once, the whole request is
+/// served from that snapshot, and `POST /admin/reload` is live.
+pub fn route_live(
+    live: &LiveRegistry,
+    request: &Request,
+    parallel: &ParallelPolicy,
+    batcher: Option<&Batcher>,
+) -> (u16, String) {
+    let current: Arc<RegistryGeneration> = live.current();
+    route_inner(
+        &current.registry,
+        current.generation,
+        Some(live),
+        request,
+        parallel,
+        batcher,
+    )
+}
+
+fn route_inner(
+    registry: &ModelRegistry,
+    generation: u64,
+    live: Option<&LiveRegistry>,
     request: &Request,
     parallel: &ParallelPolicy,
     batcher: Option<&Batcher>,
@@ -518,15 +664,24 @@ pub fn route_with_batcher(
         ("GET", ["models"]) => json_body(
             200,
             &ModelsResponse {
+                generation,
                 models: registry
                     .iter()
-                    .map(|(name, artifact)| ModelInfo::describe(name, artifact))
+                    .map(|(name, model)| ModelInfo::describe(name, model))
                     .collect(),
             },
         ),
-        ("GET", ["statz"]) => json_body(200, &BatchStatsResponse::describe(batcher)),
+        ("GET", ["statz"]) => {
+            let (swaps, failed) = live.map_or((0, 0), |l| (l.swaps(), l.failed_reloads()));
+            json_body(
+                200,
+                &BatchStatsResponse::describe(batcher).with_registry(generation, swaps, failed),
+            )
+        }
+        ("POST", ["admin", "reload"]) => reload(generation, live),
         ("POST", ["models", name, "features"]) => infer(
             registry,
+            generation,
             name,
             Endpoint::Features,
             &request.body,
@@ -535,17 +690,54 @@ pub fn route_with_batcher(
         ),
         ("POST", ["models", name, "assign"]) => infer(
             registry,
+            generation,
             name,
             Endpoint::Assign,
             &request.body,
             parallel,
             batcher,
         ),
-        (_, ["healthz" | "models" | "statz"]) | (_, ["models", _, "features" | "assign"]) => {
+        (_, ["healthz" | "models" | "statz"] | ["admin", "reload"])
+        | (_, ["models", _, "features" | "assign"]) => {
             error_body(405, format!("method {} not allowed here", request.method))
         }
         _ => error_body(404, format!("no route for `{path}`")),
     }
+}
+
+/// `POST /admin/reload`: atomically swap in a new generation from the
+/// artifact directory, or report exactly why the old one keeps serving.
+fn reload(generation: u64, live: Option<&LiveRegistry>) -> (u16, String) {
+    let Some(live) = live else {
+        return json_body(
+            409,
+            &ReloadResponse {
+                status: "rejected".to_string(),
+                swapped: false,
+                generation,
+                models: Vec::new(),
+                error: Some(
+                    "hot reload is not enabled: server was built over a bare registry".to_string(),
+                ),
+            },
+        );
+    };
+    let outcome = live.reload();
+    let status = if outcome.swapped { 200 } else { 409 };
+    json_body(
+        status,
+        &ReloadResponse {
+            status: if outcome.swapped {
+                "swapped".to_string()
+            } else {
+                "rejected".to_string()
+            },
+            swapped: outcome.swapped,
+            generation: outcome.generation,
+            models: outcome.models,
+            error: outcome.error,
+        },
+    )
 }
 
 /// Shared scaffolding of the two inference endpoints: model lookup (404),
@@ -555,14 +747,15 @@ pub fn route_with_batcher(
 /// mismatches.
 fn infer(
     registry: &ModelRegistry,
+    generation: u64,
     name: &str,
     endpoint: Endpoint,
     body: &str,
     parallel: &ParallelPolicy,
     batcher: Option<&Batcher>,
 ) -> (u16, String) {
-    let artifact = match registry.get(name) {
-        Ok(artifact) => artifact,
+    let model = match registry.get(name) {
+        Ok(model) => model,
         Err(e) => return error_body(404, e.to_string()),
     };
     let rows: RowsRequest = match serde_json::from_str(body) {
@@ -575,18 +768,22 @@ fn infer(
     };
     // Only well-shaped requests enter the coalescing window: a doomed
     // request must fail with exactly the error it would get alone, not
-    // poison a batch or inherit a batch's error.
-    let batchable = matrix.cols() == artifact.n_visible()
-        && (endpoint == Endpoint::Features || artifact.cluster_head.is_some());
+    // poison a batch or inherit a batch's error. The generation rides in the
+    // batch key, so a swap mid-window never fuses two model versions.
+    let batchable = matrix.cols() == model.n_visible()
+        && (endpoint == Endpoint::Features || model.has_cluster_head());
     let result = match batcher {
-        Some(batcher) if batchable => batcher.submit(&artifact, name, endpoint, &matrix, parallel),
-        _ => compute_direct(&artifact, endpoint, &matrix, parallel),
+        Some(batcher) if batchable => {
+            batcher.submit(&model, name, generation, endpoint, &matrix, parallel)
+        }
+        _ => compute_direct(&model, endpoint, &matrix, parallel),
     };
     match result {
         Ok(BatchOutput::Features(features)) => json_body(
             200,
             &FeaturesResponse {
                 model: name.to_string(),
+                generation,
                 features,
             },
         ),
@@ -594,6 +791,7 @@ fn infer(
             200,
             &AssignResponse {
                 model: name.to_string(),
+                generation,
                 assignments,
             },
         ),
@@ -852,6 +1050,99 @@ mod tests {
             );
             assert_eq!(serial, pooled, "pooled path {path}");
         }
+    }
+
+    #[test]
+    fn reload_on_a_bare_registry_is_409_with_structured_body() {
+        let (status, body) = route(&registry(), &request("POST", "/admin/reload", ""));
+        assert_eq!(status, 409);
+        let reload: ReloadResponse = serde_json::from_str(&body).unwrap();
+        assert!(!reload.swapped);
+        assert_eq!(reload.generation, 1);
+        assert!(reload.error.unwrap().contains("not enabled"));
+        // Wrong method on the admin path is 405, like every known path.
+        assert_eq!(
+            route(&registry(), &request("GET", "/admin/reload", "")).0,
+            405
+        );
+    }
+
+    #[test]
+    fn route_live_swaps_generations_and_reports_them_everywhere() {
+        let dir =
+            std::env::temp_dir().join(format!("sls_serve_server_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let ds = SyntheticBlobs::new(30, 4, 2)
+            .separation(6.0)
+            .generate(&mut rng);
+        let fitted = sls_rbm_core::PipelineArtifact::fit(
+            ModelKind::Grbm,
+            SlsPipelineConfig::quick_demo()
+                .with_clusters(2)
+                .with_hidden(4),
+            ds.features(),
+            &mut rng,
+        )
+        .unwrap();
+        fitted.artifact.save(dir.join("demo.json")).unwrap();
+        let live = LiveRegistry::from_dir(&dir, false).unwrap();
+        let policy = ParallelPolicy::serial();
+
+        let body = "{\"rows\":[[0.1,0.2,0.3,0.4]]}";
+        let (status, response) = route_live(
+            &live,
+            &request("POST", "/models/demo/features", body),
+            &policy,
+            None,
+        );
+        assert_eq!(status, 200, "{response}");
+        let before: FeaturesResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(before.generation, 1);
+
+        // Re-export a different model under the same name and reload.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let retrained = sls_rbm_core::PipelineArtifact::fit(
+            ModelKind::Grbm,
+            SlsPipelineConfig::quick_demo()
+                .with_clusters(2)
+                .with_hidden(4),
+            ds.features(),
+            &mut rng,
+        )
+        .unwrap();
+        retrained.artifact.save(dir.join("demo.json")).unwrap();
+        let (status, response) =
+            route_live(&live, &request("POST", "/admin/reload", ""), &policy, None);
+        assert_eq!(status, 200, "{response}");
+        let reload: ReloadResponse = serde_json::from_str(&response).unwrap();
+        assert!(reload.swapped);
+        assert_eq!(reload.generation, 2);
+        assert!(reload.models.iter().all(|m| m.loaded));
+
+        let (_, response) = route_live(
+            &live,
+            &request("POST", "/models/demo/features", body),
+            &policy,
+            None,
+        );
+        let after: FeaturesResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(after.generation, 2);
+        assert_ne!(
+            before.features, after.features,
+            "retrained model must answer differently"
+        );
+
+        let (_, response) = route_live(&live, &request("GET", "/models", ""), &policy, None);
+        let models: ModelsResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(models.generation, 2);
+
+        let (_, response) = route_live(&live, &request("GET", "/statz", ""), &policy, None);
+        let stats: BatchStatsResponse = serde_json::from_str(&response).unwrap();
+        assert_eq!(stats.generation, 2);
+        assert_eq!(stats.registry_swaps, 1);
+        assert_eq!(stats.failed_reloads, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
