@@ -29,7 +29,13 @@
 //!   512x256x256 shape: scalar untiled (the pre-SIMD kernel), SIMD untiled,
 //!   SIMD tiled (the shipping configuration) and a same-shape `matmul`
 //!   reference — the acceptance bar is tiled `transpose_right` within 1.4x
-//!   of `matmul`.
+//!   of `matmul`;
+//! * `consensus_full` / `consensus_align` / `consensus_vote` — the
+//!   supervision-construction pipeline on synthetic blobs, end to end
+//!   (DP + K-means + AP base clusterers through alignment and voting) and
+//!   per integration stage, under `serial`, `spawn` and `pool` dispatch;
+//!   the pooled membership is asserted identical to the serial one before
+//!   the report is written.
 //!
 //! Every section runs serially and under 2, 4, 8 threads plus the machine's
 //! core count; speedups are relative to the serial run *on this machine*.
@@ -47,11 +53,15 @@
 //! misses the 1.4x-of-`matmul` bar. This is how CI turns the committed
 //! report into an enforced baseline instead of a snapshot.
 
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use sls_consensus::{
+    align_partitions_with, integrate_partitions_with, LocalSupervisionBuilder, VotingPolicy,
+};
+use sls_datasets::SyntheticBlobs;
 use sls_linalg::{Matrix, MatrixRandomExt, ParallelPolicy, SimdPolicy};
-use sls_rbm_core::{BoltzmannMachine, CdTrainer, Rbm, TrainConfig};
+use sls_rbm_core::{base_clusterers, BoltzmannMachine, CdTrainer, Rbm, TrainConfig};
 use std::time::Instant;
 
 /// One timed configuration of one section.
@@ -298,6 +308,72 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // The consensus (supervision-construction) pipeline: DP + K-means + AP
+    // on synthetic blobs, end to end through `build_with_clusterers` and
+    // per integration stage (`align_partitions_with`, the Hungarian label
+    // matching; `integrate_partitions_with`, alignment + voting), under
+    // serial, spawn and pooled dispatch. The base clusterers dominate, so
+    // `consensus_full` minus `consensus_vote` reads as the clusterer stage.
+    let (con_rows, con_dims, con_k) = if quick { (90, 6, 3) } else { (360, 12, 3) };
+    let blobs = SyntheticBlobs::new(con_rows, con_dims, con_k)
+        .separation(6.0)
+        .generate(&mut ChaCha8Rng::seed_from_u64(13));
+    let consensus_modes: [(&str, ParallelPolicy); 3] = [
+        ("serial", ParallelPolicy::serial()),
+        ("spawn", spawn_policy),
+        ("pool", pool_policy),
+    ];
+    for (mode, policy) in consensus_modes {
+        let clusterers = base_clusterers(con_k, &policy);
+        let builder = LocalSupervisionBuilder::new(con_k)
+            .with_policy(VotingPolicy::Unanimous)
+            .with_parallel(policy);
+        let full = best_of(reps, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let start = Instant::now();
+            let supervision = builder
+                .build_with_clusterers(&clusterers, blobs.features(), &mut rng)
+                .expect("consensus");
+            (start.elapsed(), supervision)
+        });
+        let threads = if mode == "serial" { 1 } else { small_threads };
+        push(&mut results, "consensus_full", threads, mode, full);
+    }
+    // Stage timings on one fixed set of partitions (computed serially once
+    // so every mode integrates identical inputs).
+    let partitions: Vec<Vec<usize>> = {
+        let serial = ParallelPolicy::serial();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        base_clusterers(con_k, &serial)
+            .iter()
+            .map(|clusterer| {
+                let mut sub = ChaCha8Rng::seed_from_u64(rng.next_u64());
+                clusterer
+                    .cluster(blobs.features(), &mut sub)
+                    .expect("base clusterer")
+                    .labels()
+                    .to_vec()
+            })
+            .collect()
+    };
+    for (mode, policy) in consensus_modes {
+        let align = best_of(reps, || {
+            let start = Instant::now();
+            let aligned = align_partitions_with(&partitions, &policy).expect("alignment");
+            (start.elapsed(), aligned)
+        });
+        let threads = if mode == "serial" { 1 } else { small_threads };
+        push(&mut results, "consensus_align", threads, mode, align);
+        let vote = best_of(reps, || {
+            let start = Instant::now();
+            let consensus =
+                integrate_partitions_with(&partitions, VotingPolicy::Unanimous, &policy)
+                    .expect("voting");
+            (start.elapsed(), consensus)
+        });
+        push(&mut results, "consensus_vote", threads, mode, vote);
+    }
+
     // Tiled vs untiled `matmul_transpose_right` at the ROADMAP's
     // 512x256x256 shape (the one where the dot-product layout used to run
     // ~2.3x behind `matmul`), single-threaded so the kernel itself is
@@ -396,6 +472,36 @@ fn run(args: &[String]) -> Result<(), String> {
         untiled_scalar.as_slice(),
         "tiled SIMD transpose_right diverged from untiled scalar"
     );
+    // The consensus invariant the whole PR leans on: pooled supervision
+    // construction yields the identical membership to serial construction.
+    let consensus_reference = {
+        let clusterers = base_clusterers(con_k, &ParallelPolicy::serial());
+        LocalSupervisionBuilder::new(con_k)
+            .with_policy(VotingPolicy::Unanimous)
+            .build_with_clusterers(
+                &clusterers,
+                blobs.features(),
+                &mut ChaCha8Rng::seed_from_u64(17),
+            )
+            .expect("serial consensus")
+    };
+    let consensus_pooled = {
+        let clusterers = base_clusterers(con_k, &pool_policy);
+        LocalSupervisionBuilder::new(con_k)
+            .with_policy(VotingPolicy::Unanimous)
+            .with_parallel(pool_policy)
+            .build_with_clusterers(
+                &clusterers,
+                blobs.features(),
+                &mut ChaCha8Rng::seed_from_u64(17),
+            )
+            .expect("pooled consensus")
+    };
+    assert_eq!(
+        consensus_reference.membership(),
+        consensus_pooled.membership(),
+        "pooled consensus membership diverged from serial"
+    );
 
     let report = Report {
         bench: "parallel".to_string(),
@@ -491,6 +597,16 @@ fn enforce_gate(report: &Report, tol: f64, cores: usize) -> Result<(), String> {
                 find(section, "serial", Some(1)).map(|s| s * tol),
             );
         }
+    }
+    // Parallel supervision construction must not lose to serial (the base
+    // clusterers carry real per-row work, so the fan-out should pay for
+    // itself on any multi-core box).
+    if cores > 1 {
+        check(
+            format!("consensus_full: pool vs serial (x{tol})"),
+            find("consensus_full", "pool", None),
+            find("consensus_full", "serial", None).map(|s| s * tol),
+        );
     }
     // Tiling + SIMD must beat (or at worst match) the old scalar untiled
     // kernel, and land within the roadmap's 1.4x-of-matmul envelope.

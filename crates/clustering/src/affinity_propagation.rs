@@ -15,7 +15,7 @@
 //! cluster count, falling back to the closest achievable count.
 
 use crate::{ClusterAssignment, Clusterer, ClusteringError, Result};
-use sls_linalg::{squared_euclidean_distance, Matrix};
+use sls_linalg::{squared_euclidean_distance, Matrix, ParallelPolicy};
 
 /// Configuration and entry point for affinity propagation.
 #[derive(Debug, Clone)]
@@ -25,6 +25,7 @@ pub struct AffinityPropagation {
     convergence_iterations: usize,
     preference: Option<f64>,
     target_clusters: Option<usize>,
+    parallel: ParallelPolicy,
 }
 
 /// Detailed outcome of an affinity propagation run.
@@ -51,6 +52,7 @@ impl Default for AffinityPropagation {
             convergence_iterations: 15,
             preference: None,
             target_clusters: None,
+            parallel: ParallelPolicy::serial(),
         }
     }
 }
@@ -98,6 +100,17 @@ impl AffinityPropagation {
         self
     }
 
+    /// Routes the similarity construction, responsibility updates and final
+    /// exemplar assignment through the shared row kernels under `parallel`.
+    ///
+    /// Each of those steps is independent per row and keeps its serial
+    /// accumulation order, so the result is bitwise identical to the serial
+    /// run. The availability update writes column-wise and stays serial.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Runs affinity propagation and returns the detailed outcome.
     ///
     /// # Errors
@@ -122,17 +135,19 @@ impl AffinityPropagation {
         // deterministic jitter breaks the degenerate symmetries that make the
         // message-passing oscillate (Frey & Dueck add random noise for the
         // same reason; we keep it deterministic for reproducibility).
-        let mut similarities = Matrix::zeros(n, n);
-        let mut max_abs = 0.0_f64;
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    let s = -squared_euclidean_distance(data.row(i), data.row(j));
-                    similarities[(i, j)] = s;
-                    max_abs = max_abs.max(s.abs());
+        // The similarity rows are independent, so they go through the pooled
+        // row kernel; the diagonal stays zero until the preference is set.
+        let mut similarities = data.map_rows_with(n, &self.parallel, |i, row, out| {
+            for (j, slot) in out.iter_mut().enumerate() {
+                if j != i {
+                    *slot = -squared_euclidean_distance(row, data.row(j));
                 }
             }
-        }
+        });
+        let max_abs = similarities
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |m, &s| m.max(s.abs()));
         if max_abs == 0.0 {
             // Every instance is identical: a single cluster is the only
             // sensible answer and the message passing would be degenerate.
@@ -240,13 +255,18 @@ impl AffinityPropagation {
             iterations = iter + 1;
             // Responsibility update:
             // r(i,k) <- s(i,k) - max_{k' != k} { a(i,k') + s(i,k') }
-            for i in 0..n {
+            // Each row depends only on the same row of `s`, `availability`
+            // and the previous `responsibility`, so the rows fan out across
+            // the pool and are damped with identical arithmetic.
+            responsibility = s.map_rows_with(n, &self.parallel, |i, s_row, out| {
+                let a_row = availability.row(i);
+                let r_row = responsibility.row(i);
                 // Find the largest and second largest a+s over k'.
                 let mut max1 = f64::NEG_INFINITY;
                 let mut max2 = f64::NEG_INFINITY;
                 let mut argmax1 = 0usize;
-                for k in 0..n {
-                    let v = availability[(i, k)] + s[(i, k)];
+                for (k, (&a, &sv)) in a_row.iter().zip(s_row).enumerate() {
+                    let v = a + sv;
                     if v > max1 {
                         max2 = max1;
                         max1 = v;
@@ -255,17 +275,19 @@ impl AffinityPropagation {
                         max2 = v;
                     }
                 }
-                for k in 0..n {
+                for (k, slot) in out.iter_mut().enumerate() {
                     let competitor = if k == argmax1 { max2 } else { max1 };
-                    let new_r = s[(i, k)] - competitor;
-                    responsibility[(i, k)] =
-                        lambda * responsibility[(i, k)] + (1.0 - lambda) * new_r;
+                    let new_r = s_row[k] - competitor;
+                    *slot = lambda * r_row[k] + (1.0 - lambda) * new_r;
                 }
-            }
+            });
 
             // Availability update:
             // a(i,k) <- min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)))
             // a(k,k) <- sum_{i' != k} max(0, r(i',k))
+            // This one is column-oriented (every output column k reduces over
+            // the whole of responsibility's column k), so a row split would
+            // not help; it stays serial.
             for k in 0..n {
                 let positive_sum: f64 = (0..n)
                     .filter(|&i| i != k)
@@ -316,23 +338,26 @@ impl AffinityPropagation {
         }
 
         // Assign every point to its most similar exemplar; exemplars assign
-        // to themselves.
-        let mut labels = vec![0usize; n];
-        for i in 0..n {
-            if let Some(pos) = exemplars.iter().position(|&e| e == i) {
-                labels[i] = pos;
-                continue;
-            }
-            let mut best_pos = 0usize;
-            let mut best_sim = f64::NEG_INFINITY;
-            for (pos, &e) in exemplars.iter().enumerate() {
-                if s[(i, e)] > best_sim {
-                    best_sim = s[(i, e)];
-                    best_pos = pos;
+        // to themselves. Exemplar positions fit in f64 exactly, so routing
+        // the row scan through the pooled kernel is lossless.
+        let labels: Vec<usize> = s
+            .reduce_rows_with(&self.parallel, |i, s_row| {
+                if let Some(pos) = exemplars.iter().position(|&e| e == i) {
+                    return pos as f64;
                 }
-            }
-            labels[i] = best_pos;
-        }
+                let mut best_pos = 0usize;
+                let mut best_sim = f64::NEG_INFINITY;
+                for (pos, &e) in exemplars.iter().enumerate() {
+                    if s_row[e] > best_sim {
+                        best_sim = s_row[e];
+                        best_pos = pos;
+                    }
+                }
+                best_pos as f64
+            })
+            .into_iter()
+            .map(|x| x as usize)
+            .collect();
 
         let assignment = ClusterAssignment::from_labels(labels, data, "AP");
         Ok(AffinityPropagationOutcome {
@@ -507,6 +532,38 @@ mod tests {
         let a = ap.cluster(ds.features(), &mut rng_a).unwrap();
         let b = ap.cluster(ds.features(), &mut rng_b).unwrap();
         assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let ds = SyntheticBlobs::new(60, 4, 3)
+            .separation(4.0)
+            .generate(&mut rng);
+        let serial = AffinityPropagation::default()
+            .with_target_clusters(3)
+            .fit(ds.features())
+            .unwrap();
+        for threads in [2, 4, 8] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool);
+                let parallel = AffinityPropagation::default()
+                    .with_target_clusters(3)
+                    .with_parallel(policy)
+                    .fit(ds.features())
+                    .unwrap();
+                assert_eq!(serial.assignment.labels(), parallel.assignment.labels());
+                assert_eq!(serial.exemplars, parallel.exemplars);
+                assert_eq!(serial.iterations, parallel.iterations);
+                assert_eq!(
+                    serial.preference.to_bits(),
+                    parallel.preference.to_bits(),
+                    "bisection must follow the same trajectory"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!    cluster of their nearest higher-density neighbour.
 
 use crate::{ClusterAssignment, Clusterer, ClusteringError, Result};
-use sls_linalg::{pairwise_distances, Matrix};
+use sls_linalg::{pairwise_distances_with, Matrix, ParallelPolicy};
 
 /// Configuration and entry point for density peaks clustering.
 #[derive(Debug, Clone)]
@@ -22,6 +22,7 @@ pub struct DensityPeaks {
     k: usize,
     neighbor_fraction: f64,
     gaussian_kernel: bool,
+    parallel: ParallelPolicy,
 }
 
 /// Detailed outcome of a density peaks run.
@@ -47,6 +48,7 @@ impl DensityPeaks {
             k,
             neighbor_fraction: 0.02,
             gaussian_kernel: true,
+            parallel: ParallelPolicy::serial(),
         }
     }
 
@@ -63,6 +65,18 @@ impl DensityPeaks {
     /// the original hard cutoff counter.
     pub fn with_gaussian_kernel(mut self, gaussian: bool) -> Self {
         self.gaussian_kernel = gaussian;
+        self
+    }
+
+    /// Routes the distance matrix, density and separation scans through the
+    /// shared row kernels under `parallel`.
+    ///
+    /// The per-row reductions keep their serial accumulation order, so the
+    /// result is bitwise identical to the serial run. The cutoff quantile and
+    /// the density-ordered label propagation are inherently sequential and
+    /// stay serial.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -88,10 +102,10 @@ impl DensityPeaks {
             });
         }
 
-        let distances = pairwise_distances(data);
+        let distances = pairwise_distances_with(data, &self.parallel);
         let cutoff = self.cutoff_distance(&distances);
         let densities = self.local_densities(&distances, cutoff);
-        let (separations, nearest_higher) = separations(&distances, &densities);
+        let (separations, nearest_higher) = separations(&distances, &densities, &self.parallel);
 
         // γ = ρ * δ ranks centre candidates.
         let mut gamma: Vec<(usize, f64)> = densities
@@ -162,62 +176,76 @@ impl DensityPeaks {
         }
     }
 
+    /// Each `ρ_i` sums the kernel over row `i` of the distance matrix in
+    /// index order — the same order as the serial loop — so the parallel
+    /// result is bitwise identical.
     fn local_densities(&self, distances: &Matrix, cutoff: f64) -> Vec<f64> {
-        let n = distances.rows();
-        (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| j != i)
-                    .map(|j| {
-                        let d = distances[(i, j)];
-                        if self.gaussian_kernel {
-                            (-(d / cutoff) * (d / cutoff)).exp()
-                        } else if d < cutoff {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum()
-            })
-            .collect()
+        distances.reduce_rows_with(&self.parallel, |i, drow| {
+            drow.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &d)| {
+                    if self.gaussian_kernel {
+                        (-(d / cutoff) * (d / cutoff)).exp()
+                    } else if d < cutoff {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .sum()
+        })
     }
 }
 
 /// For every point: the distance to the nearest point of strictly higher
 /// density (ties broken by index), and that point's index. The globally
 /// densest point gets the maximum distance to any point and no parent.
-fn separations(distances: &Matrix, densities: &[f64]) -> (Vec<f64>, Vec<Option<usize>>) {
+///
+/// Each point's scan is independent, so the rows go through the pooled row
+/// kernel; `(δ_i, parent_i)` is packed into a two-column matrix with the
+/// parent index as `f64` (−1 for "no parent"), which round-trips losslessly
+/// for any realistic `n`.
+fn separations(
+    distances: &Matrix,
+    densities: &[f64],
+    parallel: &ParallelPolicy,
+) -> (Vec<f64>, Vec<Option<usize>>) {
     let n = densities.len();
-    let mut deltas = vec![0.0; n];
-    let mut parents = vec![None; n];
-    for i in 0..n {
+    let packed = distances.map_rows_with(2, parallel, |i, drow, out| {
         let mut best: Option<(usize, f64)> = None;
-        for j in 0..n {
+        for (j, &d) in drow.iter().enumerate() {
             if j == i {
                 continue;
             }
             let higher = densities[j] > densities[i] || (densities[j] == densities[i] && j < i);
-            if higher {
-                let d = distances[(i, j)];
-                if best.map_or(true, |(_, bd)| d < bd) {
-                    best = Some((j, d));
-                }
+            if higher && best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((j, d));
             }
         }
         match best {
             Some((j, d)) => {
-                deltas[i] = d;
-                parents[i] = Some(j);
+                out[0] = d;
+                out[1] = j as f64;
             }
             None => {
                 // Densest point overall: δ is its largest distance to anyone.
-                deltas[i] = (0..n)
-                    .filter(|&j| j != i)
-                    .map(|j| distances[(i, j)])
+                out[0] = drow
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &d)| d)
                     .fold(0.0, f64::max);
-                parents[i] = None;
+                out[1] = -1.0;
             }
+        }
+    });
+    let mut deltas = vec![0.0; n];
+    let mut parents = vec![None; n];
+    for i in 0..n {
+        deltas[i] = packed[(i, 0)];
+        if packed[(i, 1)] >= 0.0 {
+            parents[i] = Some(packed[(i, 1)] as usize);
         }
     }
     (deltas, parents)
@@ -338,6 +366,31 @@ mod tests {
         let a = dp.cluster(ds.features(), &mut rng_a).unwrap();
         let b = dp.cluster(ds.features(), &mut rng_b).unwrap();
         assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let ds = SyntheticBlobs::new(80, 4, 3)
+            .separation(3.0)
+            .generate(&mut rng);
+        let serial = DensityPeaks::new(3).fit(ds.features()).unwrap();
+        for threads in [2, 4, 8] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool);
+                let parallel = DensityPeaks::new(3)
+                    .with_parallel(policy)
+                    .fit(ds.features())
+                    .unwrap();
+                assert_eq!(serial.assignment.labels(), parallel.assignment.labels());
+                assert_eq!(serial.center_indices, parallel.center_indices);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&serial.densities), bits(&parallel.densities));
+                assert_eq!(bits(&serial.separations), bits(&parallel.separations));
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::{ClusterAssignment, Clusterer, ClusteringError, Result};
 use rand::Rng;
-use sls_linalg::{squared_euclidean_distance, Matrix};
+use sls_linalg::{squared_euclidean_distance, Matrix, ParallelPolicy};
 
 /// Configuration and entry point for k-means.
 #[derive(Debug, Clone)]
@@ -16,6 +16,7 @@ pub struct KMeans {
     max_iterations: usize,
     tolerance: f64,
     restarts: usize,
+    parallel: ParallelPolicy,
 }
 
 /// Detailed outcome of a k-means run (the best restart).
@@ -41,6 +42,7 @@ impl KMeans {
             max_iterations: 100,
             tolerance: 1e-6,
             restarts: 4,
+            parallel: ParallelPolicy::serial(),
         }
     }
 
@@ -60,6 +62,16 @@ impl KMeans {
     /// inertia wins.
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Routes the per-instance distance scans (assignment step and k-means++
+    /// seeding) through the shared row kernels under `parallel`.
+    ///
+    /// Every random draw stays on the caller's thread and the per-row work is
+    /// read-only, so the result is bitwise identical to the serial run.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -127,12 +139,9 @@ impl KMeans {
         for iter in 0..self.max_iterations {
             iterations = iter + 1;
             // Assignment step.
-            for (i, row) in data.row_iter().enumerate() {
-                labels[i] = centers
-                    .nearest_row(row)
-                    .expect("centers is non-empty because k >= 1");
-            }
-            // Update step.
+            self.assign_labels(data, &centers, &mut labels);
+            // Update step: the scatter accumulates in label order, which a
+            // row-parallel split would reorder, so it stays serial.
             let mut new_centers = Matrix::zeros(self.k, data.cols());
             let mut counts = vec![0usize; self.k];
             for (i, &l) in labels.iter().enumerate() {
@@ -168,9 +177,7 @@ impl KMeans {
         }
 
         // Final assignment against the final centres.
-        for (i, row) in data.row_iter().enumerate() {
-            labels[i] = centers.nearest_row(row).expect("non-empty centres");
-        }
+        self.assign_labels(data, &centers, &mut labels);
         let assignment = ClusterAssignment::new(labels, centers, "K-means");
         let inertia = assignment.inertia(data);
         Ok(KMeansOutcome {
@@ -181,19 +188,37 @@ impl KMeans {
         })
     }
 
+    /// Assigns every instance to its nearest centre through the pooled row
+    /// kernel. Cluster indices round-trip through `f64` losslessly
+    /// (`k <= n` is far below 2^53).
+    fn assign_labels(&self, data: &Matrix, centers: &Matrix, labels: &mut [usize]) {
+        let nearest = data.reduce_rows_with(&self.parallel, |_, row| {
+            centers
+                .nearest_row(row)
+                .expect("centers is non-empty because k >= 1") as f64
+        });
+        for (label, &idx) in labels.iter_mut().zip(&nearest) {
+            *label = idx as usize;
+        }
+    }
+
     /// k-means++ seeding: the first centre is uniform, subsequent centres are
     /// sampled proportionally to the squared distance to the nearest chosen
     /// centre.
+    ///
+    /// The distance scans are row-parallel; the sampling draws between them
+    /// happen on the caller's thread in a fixed order, so the sequence of RNG
+    /// consumptions — and therefore the seeding — is independent of the
+    /// parallel policy.
     fn kmeans_plus_plus_init(&self, data: &Matrix, rng: &mut impl Rng) -> Matrix {
         let n = data.rows();
         let mut centers = Matrix::zeros(self.k, data.cols());
         let first = rng.gen_range(0..n);
         centers.row_mut(0).copy_from_slice(data.row(first));
 
-        let mut min_dists: Vec<f64> = data
-            .row_iter()
-            .map(|row| squared_euclidean_distance(row, centers.row(0)))
-            .collect();
+        let mut min_dists = data.reduce_rows_with(&self.parallel, |_, row| {
+            squared_euclidean_distance(row, centers.row(0))
+        });
 
         for c in 1..self.k {
             let total: f64 = min_dists.iter().sum();
@@ -213,12 +238,15 @@ impl KMeans {
                 idx
             };
             centers.row_mut(c).copy_from_slice(data.row(chosen));
-            for (i, row) in data.row_iter().enumerate() {
-                let d = squared_euclidean_distance(row, centers.row(c));
+            let center = centers.row(c);
+            min_dists = data.reduce_rows_with(&self.parallel, |i, row| {
+                let d = squared_euclidean_distance(row, center);
                 if d < min_dists[i] {
-                    min_dists[i] = d;
+                    d
+                } else {
+                    min_dists[i]
                 }
-            }
+            });
         }
         centers
     }
@@ -374,6 +402,31 @@ mod tests {
         let a = clusterer.cluster(ds.features(), &mut rng()).unwrap();
         assert_eq!(a.n_instances(), 30);
         assert_eq!(clusterer.name(), "K-means");
+    }
+
+    #[test]
+    fn parallel_assignment_is_identical_to_serial() {
+        let ds = SyntheticBlobs::new(70, 5, 3)
+            .separation(2.0)
+            .generate(&mut rng());
+        let serial = KMeans::new(3).fit(ds.features(), &mut rng()).unwrap();
+        for threads in [2, 4, 8] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool);
+                let parallel = KMeans::new(3)
+                    .with_parallel(policy)
+                    .fit(ds.features(), &mut rng())
+                    .unwrap();
+                assert_eq!(serial.assignment.labels(), parallel.assignment.labels());
+                assert_eq!(
+                    serial.assignment.centers().as_slice(),
+                    parallel.assignment.centers().as_slice()
+                );
+                assert_eq!(serial.inertia.to_bits(), parallel.inertia.to_bits());
+            }
+        }
     }
 
     #[test]

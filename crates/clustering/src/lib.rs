@@ -44,7 +44,11 @@ pub type Result<T> = std::result::Result<T, ClusteringError>;
 /// Implementations take the data matrix (`instances x features`) and a
 /// random number generator (algorithms that are deterministic simply ignore
 /// it) and return a [`ClusterAssignment`].
-pub trait Clusterer {
+///
+/// The `Send + Sync` supertraits let the consensus layer run an ensemble of
+/// boxed clusterers concurrently; implementations are plain configuration
+/// structs, so the bounds are free.
+pub trait Clusterer: Send + Sync {
     /// Short human-readable name used in experiment reports (e.g. `"K-means"`).
     fn name(&self) -> &'static str;
 

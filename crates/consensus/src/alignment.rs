@@ -8,6 +8,7 @@
 //! contingency table between the two partitions).
 
 use crate::{ConsensusError, Result};
+use sls_linalg::ParallelPolicy;
 use sls_metrics::{hungarian_max_assignment, ContingencyTable};
 
 /// Relabels `partition` so its cluster identifiers agree as much as possible
@@ -51,12 +52,35 @@ pub fn align_partition(reference: &[usize], partition: &[usize]) -> Result<Vec<u
 /// Aligns every partition to the first one (the reference), returning the
 /// re-labelled partitions with the reference first and unchanged.
 ///
+/// Serial convenience wrapper over [`align_partitions_with`].
+///
 /// # Errors
 ///
 /// * [`ConsensusError::NoPartitions`] if `partitions` is empty.
 /// * [`ConsensusError::PartitionLengthMismatch`] if lengths differ.
 /// * Propagates alignment errors from the metric layer.
 pub fn align_partitions(partitions: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
+    align_partitions_with(partitions, &ParallelPolicy::serial())
+}
+
+/// [`align_partitions`] under an explicit [`ParallelPolicy`].
+///
+/// Each non-reference partition is aligned against the reference
+/// independently (one Hungarian assignment per partition), so the pairwise
+/// contingency/alignment step fans the partitions out across threads.
+/// Every alignment is a deterministic function of its input partition and
+/// the reference, and results are collected back in partition order, so
+/// the output — including *which* error surfaces when several partitions
+/// are invalid (always the lowest-index one) — is identical for every
+/// thread count and dispatch mode.
+///
+/// # Errors
+///
+/// Same as [`align_partitions`].
+pub fn align_partitions_with(
+    partitions: &[Vec<usize>],
+    parallel: &ParallelPolicy,
+) -> Result<Vec<Vec<usize>>> {
     let Some(reference) = partitions.first() else {
         return Err(ConsensusError::NoPartitions);
     };
@@ -69,10 +93,13 @@ pub fn align_partitions(partitions: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
             });
         }
     }
+    let rest = crate::dispatch::run_indexed(partitions.len() - 1, parallel, |i| {
+        align_partition(reference, &partitions[i + 1])
+    });
     let mut aligned = Vec::with_capacity(partitions.len());
     aligned.push(reference.clone());
-    for p in &partitions[1..] {
-        aligned.push(align_partition(reference, p)?);
+    for result in rest {
+        aligned.push(result?);
     }
     Ok(aligned)
 }
@@ -157,5 +184,81 @@ mod tests {
     #[test]
     fn alignment_of_empty_partitions_errors() {
         assert!(align_partition(&[], &[]).is_err());
+        assert!(matches!(
+            align_partitions_with(&[], &ParallelPolicy::serial()),
+            Err(ConsensusError::NoPartitions)
+        ));
+        // An empty partition *inside* a non-empty set fails the metric
+        // layer's contingency construction, not a panic.
+        assert!(align_partitions(&[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn single_cluster_partitions_align_without_loss() {
+        // Everyone in one cluster, on both sides: a 1x1 contingency table
+        // through the Hungarian step.
+        let reference = vec![3, 3, 3, 3];
+        let partition = vec![0, 0, 0, 0];
+        assert_eq!(align_partition(&reference, &partition).unwrap(), reference);
+        // Single-cluster partition against a multi-cluster reference: the
+        // lone source cluster maps onto its best reference match (the
+        // majority cluster) and nothing is merged or invented.
+        let reference = vec![0, 0, 0, 1];
+        let partition = vec![7, 7, 7, 7];
+        assert_eq!(
+            align_partition(&reference, &partition).unwrap(),
+            vec![0, 0, 0, 0]
+        );
+        // Multi-cluster partition against a single-cluster reference: one
+        // source cluster wins the only reference id, the other keeps a
+        // fresh id — still two distinct clusters after alignment.
+        let reference = vec![0, 0, 0, 0];
+        let partition = vec![1, 1, 2, 2];
+        let aligned = align_partition(&reference, &partition).unwrap();
+        assert_eq!(aligned[0], aligned[1]);
+        assert_eq!(aligned[2], aligned[3]);
+        assert_ne!(aligned[0], aligned[2]);
+    }
+
+    #[test]
+    fn unequal_cluster_counts_survive_the_hungarian_step() {
+        // Partition observes fewer clusters than the reference (a base
+        // clusterer collapsed two groups): the rectangular contingency
+        // table must still produce a valid assignment, and both source
+        // clusters map onto distinct reference ids.
+        let reference = vec![0, 0, 1, 1, 2, 2];
+        let partition = vec![4, 4, 4, 4, 9, 9];
+        let aligned = align_partition(&reference, &partition).unwrap();
+        let distinct: std::collections::BTreeSet<usize> = aligned.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+        assert!(aligned.iter().all(|&l| l <= 2), "{aligned:?}");
+        assert_eq!(aligned[4], aligned[5]);
+        assert_ne!(aligned[0], aligned[4]);
+        // And the transposed case (more observed clusters than the
+        // reference) keeps every surplus cluster distinct via fresh ids.
+        let aligned = align_partition(&partition, &reference).unwrap();
+        let distinct: std::collections::BTreeSet<usize> = aligned.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn parallel_alignment_is_identical_to_serial() {
+        // Ten partitions with permuted, surplus and collapsed labels.
+        let mut partitions = vec![vec![0, 0, 0, 1, 1, 1, 2, 2, 2]];
+        for shift in 1..10usize {
+            partitions.push(
+                (0..9)
+                    .map(|i| (i / 3 + shift) % (2 + shift % 2) + 1)
+                    .collect(),
+            );
+        }
+        let serial = align_partitions(&partitions).unwrap();
+        for threads in [2, 4, 8] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads).with_pool(pool);
+                let par = align_partitions_with(&partitions, &policy).unwrap();
+                assert_eq!(par, serial, "threads {threads} pool {pool}");
+            }
+        }
     }
 }

@@ -1,0 +1,121 @@
+//! Task-level parallel dispatch for the consensus pipeline.
+//!
+//! The linalg kernels partition *rows*; the consensus stages partition
+//! *tasks* — whole base clusterers and whole partition alignments. Tasks are
+//! few and heavy, so the `min_rows_per_thread` cutover that protects tiny
+//! matrices from spawn latency does not apply here: a policy with a thread
+//! budget above one always fans out (up to one thread per task).
+//!
+//! Determinism discipline matches the kernel layer: every task is a pure
+//! function of its index (any randomness comes from a pre-drawn sub-seed),
+//! results are collected back in index order, and the task bodies themselves
+//! only call bitwise-reproducible kernels — so the output is identical for
+//! every thread count and dispatch mode.
+
+use sls_linalg::{ParallelPolicy, WorkerPool};
+
+/// Runs `task(0..n)` under `policy` and returns the results in index order.
+///
+/// Dispatch mirrors the linalg kernels: inline when the policy is serial (or
+/// when already on a pool worker — nested dispatch runs inline), otherwise
+/// contiguous index bands on the persistent [`WorkerPool`] (`policy.pool`)
+/// or on fresh scoped threads. The submitter processes the first band itself
+/// on the pool path.
+pub(crate) fn run_indexed<T, F>(n: usize, policy: &ParallelPolicy, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut threads = if policy.is_serial() {
+        1
+    } else {
+        policy.threads.max(1).min(n)
+    };
+    if threads > 1 && policy.pool && WorkerPool::on_worker_thread() {
+        threads = 1;
+    }
+    if threads <= 1 {
+        return (0..n).map(task).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let base = n / threads;
+    let extra = n % threads;
+    let mut bands = Vec::with_capacity(threads);
+    let mut rest = slots.as_mut_slice();
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        let (band, tail) = rest.split_at_mut(len);
+        rest = tail;
+        bands.push((start, band));
+        start += len;
+    }
+    let work = |start: usize, band: &mut [Option<T>]| {
+        for (offset, slot) in band.iter_mut().enumerate() {
+            *slot = Some(task(start + offset));
+        }
+    };
+    if policy.pool {
+        WorkerPool::global().scope(|scope| {
+            let mut bands = bands.into_iter();
+            let (first_start, first_band) = bands.next().expect("threads >= 2 bands");
+            for (band_start, band) in bands {
+                scope.spawn(move || work(band_start, band));
+            }
+            work(first_start, first_band);
+        });
+    } else {
+        std::thread::scope(|scope| {
+            for (band_start, band) in bands {
+                scope.spawn(move || work(band_start, band));
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every band slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(n: usize, policy: &ParallelPolicy) -> Vec<usize> {
+        run_indexed(n, policy, |i| i * i)
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_index_order() {
+        let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
+        assert_eq!(squares(23, &ParallelPolicy::serial()), expected);
+        for threads in [2, 3, 8, 64] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads).with_pool(pool);
+                assert_eq!(
+                    squares(23, &policy),
+                    expected,
+                    "threads {threads} pool {pool}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_are_handled() {
+        let policy = ParallelPolicy::new(4).with_pool(true);
+        assert_eq!(squares(0, &policy), Vec::<usize>::new());
+        assert_eq!(squares(1, &policy), vec![0]);
+    }
+
+    #[test]
+    fn ignores_min_rows_cutover_for_heavy_tasks() {
+        // Three clusterer-sized tasks must fan out even under the default
+        // 64-row kernel cutover; only the thread budget and task count cap
+        // the fan-out.
+        let policy = ParallelPolicy::new(8).with_min_rows_per_thread(1_000_000);
+        assert_eq!(squares(3, &policy), vec![0, 1, 4]);
+    }
+}

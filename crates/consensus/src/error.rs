@@ -18,6 +18,19 @@ pub enum ConsensusError {
     },
     /// After voting, no instance survived — the supervision would be empty.
     EmptySupervision,
+    /// A specific base clusterer failed inside
+    /// [`crate::LocalSupervisionBuilder::build_with_clusterers`]; carries
+    /// which one so a failing member of the ensemble is identifiable (the
+    /// same per-member discipline as the serving layer's per-model load
+    /// results).
+    BaseClusterer {
+        /// Position of the clusterer in the slice passed to the builder.
+        index: usize,
+        /// The clusterer's [`sls_clustering::Clusterer::name`].
+        name: &'static str,
+        /// The underlying failure.
+        source: sls_clustering::ClusteringError,
+    },
     /// A base clusterer failed.
     Clustering(sls_clustering::ClusteringError),
     /// A metric computation (alignment) failed.
@@ -42,6 +55,11 @@ impl fmt::Display for ConsensusError {
                     "no instance survived the voting strategy; supervision is empty"
                 )
             }
+            ConsensusError::BaseClusterer {
+                index,
+                name,
+                source,
+            } => write!(f, "base clusterer {index} ({name}) failed: {source}"),
             ConsensusError::Clustering(e) => write!(f, "base clustering failed: {e}"),
             ConsensusError::Metrics(e) => write!(f, "alignment failed: {e}"),
         }
@@ -51,6 +69,7 @@ impl fmt::Display for ConsensusError {
 impl std::error::Error for ConsensusError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            ConsensusError::BaseClusterer { source, .. } => Some(source),
             ConsensusError::Clustering(e) => Some(e),
             ConsensusError::Metrics(e) => Some(e),
             _ => None,
@@ -89,6 +108,16 @@ mod tests {
         assert!(ConsensusError::EmptySupervision
             .to_string()
             .contains("empty"));
+        let e = ConsensusError::BaseClusterer {
+            index: 1,
+            name: "K-means",
+            source: sls_clustering::ClusteringError::EmptyData,
+        };
+        let text = e.to_string();
+        assert!(text.contains("base clusterer 1"), "{text}");
+        assert!(text.contains("K-means"), "{text}");
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -24,14 +24,15 @@
 #![warn(rust_2018_idioms)]
 
 mod alignment;
+mod dispatch;
 mod error;
 mod local_supervision;
 mod voting;
 
-pub use alignment::{align_partition, align_partitions};
+pub use alignment::{align_partition, align_partitions, align_partitions_with};
 pub use error::ConsensusError;
 pub use local_supervision::{LocalSupervision, LocalSupervisionBuilder, SupervisionSummary};
-pub use voting::{integrate_partitions, VotingPolicy};
+pub use voting::{integrate_partitions, integrate_partitions_with, VotingPolicy};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ConsensusError>;

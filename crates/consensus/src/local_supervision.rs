@@ -6,10 +6,12 @@
 //! constrict within and disperse across. [`LocalSupervisionBuilder`] produces
 //! it either from pre-computed partitions or by running a set of clusterers.
 
-use crate::{integrate_partitions, ConsensusError, Result, VotingPolicy};
+use crate::{integrate_partitions_with, ConsensusError, Result, VotingPolicy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use sls_clustering::Clusterer;
-use sls_linalg::Matrix;
+use sls_linalg::{Matrix, ParallelPolicy};
 
 /// The self-learning local supervision: disjoint local credible clusters of
 /// instance indices.
@@ -182,6 +184,7 @@ impl LocalSupervision {
 pub struct LocalSupervisionBuilder {
     expected_clusters: usize,
     policy: VotingPolicy,
+    parallel: ParallelPolicy,
 }
 
 impl LocalSupervisionBuilder {
@@ -191,6 +194,7 @@ impl LocalSupervisionBuilder {
         Self {
             expected_clusters,
             policy: VotingPolicy::Unanimous,
+            parallel: ParallelPolicy::serial(),
         }
     }
 
@@ -205,6 +209,21 @@ impl LocalSupervisionBuilder {
         self
     }
 
+    /// Sets the parallel execution policy (default: serial), the same way
+    /// trainers accept one. Under a multi-threaded policy the base
+    /// clusterers run concurrently and the pairwise alignment step fans out
+    /// across threads; the result is identical to serial for every policy
+    /// (see [`LocalSupervisionBuilder::build_with_clusterers`]).
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The builder's parallel execution policy.
+    pub fn parallel(&self) -> ParallelPolicy {
+        self.parallel
+    }
+
     /// Builds supervision from partitions that were already computed.
     ///
     /// # Errors
@@ -212,17 +231,29 @@ impl LocalSupervisionBuilder {
     /// Propagates voting/alignment errors and
     /// [`ConsensusError::EmptySupervision`].
     pub fn build_from_partitions(&self, partitions: &[Vec<usize>]) -> Result<LocalSupervision> {
-        let consensus = integrate_partitions(partitions, self.policy)?;
+        let consensus = integrate_partitions_with(partitions, self.policy, &self.parallel)?;
         LocalSupervision::from_consensus(&consensus, self.policy)
     }
 
     /// Runs every clusterer on `data` and integrates the resulting
     /// partitions.
     ///
+    /// ## Determinism under parallel execution
+    ///
+    /// One `u64` sub-seed per clusterer is drawn from `rng` serially, in
+    /// clusterer order, before any clusterer runs; each clusterer then
+    /// consumes its own [`ChaCha8Rng`] seeded from that value. The caller's
+    /// RNG therefore advances by exactly `clusterers.len()` draws no matter
+    /// how the work is scheduled, and every clusterer sees the same random
+    /// stream whether it runs inline, on scoped threads or on the worker
+    /// pool — parallel output is *identical* to serial output by
+    /// construction (the same invariant discipline as the linalg kernels).
+    ///
     /// # Errors
     ///
-    /// Propagates clustering failures and the same errors as
-    /// [`LocalSupervisionBuilder::build_from_partitions`].
+    /// Returns [`ConsensusError::BaseClusterer`] naming the failed
+    /// clusterer (the lowest-index failure when several fail), plus the
+    /// same errors as [`LocalSupervisionBuilder::build_from_partitions`].
     pub fn build_with_clusterers(
         &self,
         clusterers: &[Box<dyn Clusterer>],
@@ -232,10 +263,23 @@ impl LocalSupervisionBuilder {
         if clusterers.is_empty() {
             return Err(ConsensusError::NoPartitions);
         }
+        let sub_seeds: Vec<u64> = clusterers.iter().map(|_| rng.next_u64()).collect();
+        let results = crate::dispatch::run_indexed(clusterers.len(), &self.parallel, |i| {
+            let mut sub_rng = ChaCha8Rng::seed_from_u64(sub_seeds[i]);
+            clusterers[i].cluster(data, &mut sub_rng)
+        });
         let mut partitions = Vec::with_capacity(clusterers.len());
-        for clusterer in clusterers {
-            let assignment = clusterer.cluster(data, rng)?;
-            partitions.push(assignment.labels().to_vec());
+        for (index, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(assignment) => partitions.push(assignment.labels().to_vec()),
+                Err(source) => {
+                    return Err(ConsensusError::BaseClusterer {
+                        index,
+                        name: clusterers[index].name(),
+                        source,
+                    })
+                }
+            }
         }
         self.build_from_partitions(&partitions)
     }

@@ -7,8 +7,9 @@
 //! safe to use as pseudo-supervision inside CD learning. Majority voting and
 //! single-clusterer selection are provided for the ablation study.
 
-use crate::{alignment::align_partitions, ConsensusError, Result};
+use crate::{alignment::align_partitions_with, ConsensusError, Result};
 use serde::{Deserialize, Serialize};
+use sls_linalg::ParallelPolicy;
 use std::collections::BTreeMap;
 
 /// How the aligned base partitions are combined into local supervision.
@@ -43,6 +44,23 @@ pub fn integrate_partitions(
     partitions: &[Vec<usize>],
     policy: VotingPolicy,
 ) -> Result<Vec<Option<usize>>> {
+    integrate_partitions_with(partitions, policy, &ParallelPolicy::serial())
+}
+
+/// [`integrate_partitions`] under an explicit [`ParallelPolicy`]: the
+/// alignment step fans partitions out across threads
+/// ([`crate::align_partitions_with`]); the per-instance vote itself stays
+/// serial (a cheap counting pass). Output is identical to serial for every
+/// policy.
+///
+/// # Errors
+///
+/// Same as [`integrate_partitions`].
+pub fn integrate_partitions_with(
+    partitions: &[Vec<usize>],
+    policy: VotingPolicy,
+    parallel: &ParallelPolicy,
+) -> Result<Vec<Option<usize>>> {
     if partitions.is_empty() {
         return Err(ConsensusError::NoPartitions);
     }
@@ -51,7 +69,7 @@ pub fn integrate_partitions(
         return Ok(partition.iter().map(|&l| Some(l)).collect());
     }
 
-    let aligned = align_partitions(partitions)?;
+    let aligned = align_partitions_with(partitions, parallel)?;
     let n = aligned[0].len();
     let m = aligned.len();
     let mut consensus = Vec::with_capacity(n);

@@ -39,6 +39,8 @@ pub enum RbmError {
     Consensus(sls_consensus::ConsensusError),
     /// Propagated clustering error (base clusterers failed).
     Clustering(sls_clustering::ClusteringError),
+    /// Propagated dataset error (streaming ingestion failed).
+    Dataset(sls_datasets::DatasetError),
     /// A persisted artifact declares a schema version this build cannot read.
     UnsupportedSchemaVersion {
         /// Version found in the artifact file.
@@ -79,6 +81,7 @@ impl fmt::Display for RbmError {
             RbmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             RbmError::Consensus(e) => write!(f, "supervision construction failed: {e}"),
             RbmError::Clustering(e) => write!(f, "clustering failed: {e}"),
+            RbmError::Dataset(e) => write!(f, "ingestion failed: {e}"),
             RbmError::UnsupportedSchemaVersion { found, supported } => write!(
                 f,
                 "artifact schema version {found} is newer than the supported version {supported}"
@@ -98,6 +101,7 @@ impl std::error::Error for RbmError {
             RbmError::Linalg(e) => Some(e),
             RbmError::Consensus(e) => Some(e),
             RbmError::Clustering(e) => Some(e),
+            RbmError::Dataset(e) => Some(e),
             RbmError::Io(e) => Some(e),
             RbmError::Serde(e) => Some(e),
             _ => None,
@@ -120,6 +124,12 @@ impl From<sls_consensus::ConsensusError> for RbmError {
 impl From<sls_clustering::ClusteringError> for RbmError {
     fn from(e: sls_clustering::ClusteringError) -> Self {
         RbmError::Clustering(e)
+    }
+}
+
+impl From<sls_datasets::DatasetError> for RbmError {
+    fn from(e: sls_datasets::DatasetError) -> Self {
+        RbmError::Dataset(e)
     }
 }
 
@@ -182,6 +192,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: RbmError = sls_clustering::ClusteringError::EmptyData.into();
         assert!(e.source().is_some());
+        let e: RbmError = sls_datasets::DatasetError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("ingestion failed"));
         let e: RbmError = std::io::Error::other("x").into();
         assert!(e.source().is_some());
         assert!(RbmError::EmptyData.source().is_none());

@@ -68,6 +68,7 @@ mod model_io;
 mod pipeline;
 mod rbm;
 pub mod sls;
+mod stream;
 
 pub use artifact::{
     ClusterHead, FittedPipeline, FittedPreprocessor, ModelKind, PipelineArtifact,
@@ -81,11 +82,12 @@ pub use grbm::Grbm;
 pub use model::{BoltzmannMachine, RbmParams, VisibleKind};
 pub use model_io::{load_params_json, save_params_json};
 pub use pipeline::{
-    GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline, SlsPipelineConfig,
-    SlsRbmPipeline,
+    base_clusterers, GrbmPipeline, PipelineOutcome, Preprocessing, RbmPipeline, SlsGrbmPipeline,
+    SlsPipelineConfig, SlsRbmPipeline,
 };
 pub use rbm::Rbm;
 pub use sls::{SlsConfig, SlsGrbm, SlsRbm, SlsTrainer};
+pub use stream::{StreamLimit, StreamTrainer, TrainCheckpoint, CHECKPOINT_SCHEMA_VERSION};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RbmError>;

@@ -226,12 +226,22 @@ fn preprocess(
     Ok((fitted, transformed))
 }
 
-/// The paper's base clusterers (DP, K-means, AP) targeting `k` clusters.
-fn base_clusterers(k: usize) -> Vec<Box<dyn Clusterer>> {
+/// The paper's base clusterers (DP, K-means, AP) targeting `k` clusters,
+/// each with its distance inner loops routed through the pooled kernels of
+/// `parallel` (bitwise identical to serial for every policy).
+///
+/// Public so out-of-pipeline supervision construction (e.g. the streaming
+/// `retrain` path, which fits supervision on a leading sample) uses exactly
+/// the clusterer set the in-memory pipelines use.
+pub fn base_clusterers(k: usize, parallel: &ParallelPolicy) -> Vec<Box<dyn Clusterer>> {
     vec![
-        Box::new(DensityPeaks::new(k)),
-        Box::new(KMeans::new(k)),
-        Box::new(AffinityPropagation::default().with_target_clusters(k)),
+        Box::new(DensityPeaks::new(k).with_parallel(*parallel)),
+        Box::new(KMeans::new(k).with_parallel(*parallel)),
+        Box::new(
+            AffinityPropagation::default()
+                .with_target_clusters(k)
+                .with_parallel(*parallel),
+        ),
     ]
 }
 
@@ -264,9 +274,11 @@ macro_rules! sls_pipeline {
             pub fn run(&self, data: &Matrix, rng: &mut impl Rng) -> Result<PipelineOutcome> {
                 let (preprocessor, preprocessed) =
                     preprocess(data, self.config.preprocessing, &self.config.parallel)?;
-                let clusterers = base_clusterers(self.config.n_clusters);
+                let clusterers =
+                    base_clusterers(self.config.n_clusters, &self.config.parallel);
                 let supervision = LocalSupervisionBuilder::new(self.config.n_clusters)
                     .with_policy(self.config.voting)
+                    .with_parallel(self.config.parallel)
                     .build_with_clusterers(&clusterers, &preprocessed, rng)?;
                 let mut model =
                     <$model>::new(preprocessed.cols(), self.config.n_hidden, rng);

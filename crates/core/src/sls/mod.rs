@@ -39,3 +39,4 @@ pub use models::{SlsGrbm, SlsRbm};
 pub use trainer::SlsTrainer;
 
 pub(crate) use gradient::sls_batch_gradients;
+pub(crate) use trainer::clusters_in_batch;

@@ -175,7 +175,7 @@ impl SlsTrainer {
 }
 
 /// Groups the positions of `chunk` (batch row indices) by local cluster.
-fn clusters_in_batch(
+pub(crate) fn clusters_in_batch(
     chunk: &[usize],
     membership: &[Option<usize>],
     n_clusters: usize,

@@ -1,0 +1,494 @@
+//! Chunked (mini-batch) ingestion over CSV files and in-memory datasets.
+//!
+//! Streaming training never needs the whole corpus in memory at once: it
+//! consumes fixed-size row chunks, one at a time, possibly over several
+//! epochs. A [`ChunkSource`] provides random access to those chunks so an
+//! interrupted run can resume from a recorded `(epoch, chunk)` cursor and
+//! re-read exactly the rows it would have seen — the contract the
+//! checkpoint-resume machinery in `sls-rbm-core` relies on.
+//!
+//! Two implementations are provided:
+//!
+//! * [`ChunkedCsvReader`] — indexes the byte offsets of a CSV file's data
+//!   rows once at open time, then reads only the requested rows per chunk.
+//!   Row data is never held in memory beyond the current chunk.
+//! * [`InMemoryChunks`] — adapts an already-materialised feature matrix
+//!   (e.g. a generated UCI stand-in) to the same interface, so the training
+//!   driver is agnostic to where rows come from.
+
+use crate::{CsvOptions, Dataset, DatasetError, Result};
+use sls_linalg::Matrix;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Random access to fixed-size row chunks of a feature source.
+///
+/// Implementations must be deterministic: `read_chunk(i)` returns the same
+/// rows every time it is called, across passes and across process restarts,
+/// as long as the underlying source is unchanged.
+pub trait ChunkSource {
+    /// Human-readable name of the source (file name or dataset name).
+    fn name(&self) -> &str;
+
+    /// Number of feature columns per row.
+    fn n_features(&self) -> usize;
+
+    /// Total number of rows across all chunks.
+    fn n_instances(&self) -> usize;
+
+    /// Nominal rows per chunk (the final chunk may be shorter).
+    fn chunk_size(&self) -> usize;
+
+    /// Number of chunks in one full pass.
+    fn n_chunks(&self) -> usize {
+        let n = self.n_instances();
+        let c = self.chunk_size().max(1);
+        n.div_ceil(c)
+    }
+
+    /// Rows in chunk `index` (the final chunk absorbs the remainder).
+    fn rows_in_chunk(&self, index: usize) -> usize {
+        let n = self.n_instances();
+        let c = self.chunk_size().max(1);
+        let start = index * c;
+        n.saturating_sub(start).min(c)
+    }
+
+    /// Reads the rows of chunk `index` as a feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`DatasetError::ChunkOutOfRange`] if `index >= n_chunks()`.
+    /// * Parse or I/O errors from the underlying source.
+    fn read_chunk(&self, index: usize) -> Result<Matrix>;
+}
+
+/// Concatenates the leading chunks of `source` until at least `max_rows`
+/// rows are collected (or the source is exhausted), then truncates to
+/// exactly `max_rows`.
+///
+/// Used by the retrain pipeline to fit the preprocessor and run the
+/// consensus stage on a bounded sample without materialising the corpus.
+///
+/// # Errors
+///
+/// Propagates the source's read errors.
+pub fn leading_sample(source: &dyn ChunkSource, max_rows: usize) -> Result<Matrix> {
+    let max_rows = max_rows.max(1);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for index in 0..source.n_chunks() {
+        if rows.len() >= max_rows {
+            break;
+        }
+        let chunk = source.read_chunk(index)?;
+        for row in chunk.row_iter() {
+            if rows.len() >= max_rows {
+                break;
+            }
+            rows.push(row.to_vec());
+        }
+    }
+    if rows.is_empty() {
+        return Err(DatasetError::EmptyDataset);
+    }
+    Ok(Matrix::from_rows(&rows)?)
+}
+
+/// Chunked reader over a CSV file on disk.
+///
+/// Opening the reader makes one pass over the file to record the byte
+/// offset and line number of every data row (header and blank lines are
+/// skipped); `read_chunk` then seeks straight to the first row of the
+/// requested chunk and parses only its rows. Field values are validated at
+/// read time, so a malformed row deep in the file surfaces when its chunk
+/// is first read, with its 1-based line number.
+///
+/// The label column (first or last, per [`CsvOptions`]) is skipped — the
+/// streaming trainer is unsupervised and consumes features only.
+#[derive(Debug)]
+pub struct ChunkedCsvReader {
+    path: PathBuf,
+    options: CsvOptions,
+    chunk_size: usize,
+    /// `(byte_offset, 1-based line number)` of every data row, in order.
+    offsets: Vec<(u64, usize)>,
+    n_features: usize,
+}
+
+impl ChunkedCsvReader {
+    /// Indexes `path` and prepares chunked access with `chunk_size` rows per
+    /// chunk (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`DatasetError::Io`] if the file cannot be read.
+    /// * [`DatasetError::EmptyDataset`] if it contains no data rows.
+    /// * [`DatasetError::CsvParse`] if the first data row has fewer than two
+    ///   columns (one feature plus the label).
+    pub fn open(path: impl AsRef<Path>, options: &CsvOptions, chunk_size: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let mut reader = BufReader::new(file);
+        let mut offsets: Vec<(u64, usize)> = Vec::new();
+        let mut n_features: Option<usize> = None;
+        let mut offset = 0u64;
+        let mut line = String::new();
+        let mut line_no = 0usize;
+        loop {
+            line.clear();
+            let bytes = reader.read_line(&mut line)?;
+            if bytes == 0 {
+                break;
+            }
+            line_no += 1;
+            let is_header = options.has_header && line_no == 1;
+            let trimmed = line.trim();
+            if !is_header && !trimmed.is_empty() {
+                if n_features.is_none() {
+                    let fields = trimmed.split(options.delimiter).count();
+                    if fields < 2 {
+                        return Err(DatasetError::CsvParse {
+                            line: line_no,
+                            message: "a row needs at least one feature and a label".to_string(),
+                        });
+                    }
+                    n_features = Some(fields - 1);
+                }
+                offsets.push((offset, line_no));
+            }
+            offset += bytes as u64;
+        }
+        if offsets.is_empty() {
+            return Err(DatasetError::EmptyDataset);
+        }
+        Ok(Self {
+            path,
+            options: options.clone(),
+            chunk_size: chunk_size.max(1),
+            offsets,
+            n_features: n_features.expect("offsets is non-empty"),
+        })
+    }
+}
+
+impl ChunkSource for ChunkedCsvReader {
+    fn name(&self) -> &str {
+        &self.options.name
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_instances(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn read_chunk(&self, index: usize) -> Result<Matrix> {
+        if index >= self.n_chunks() {
+            return Err(DatasetError::ChunkOutOfRange {
+                index,
+                chunks: self.n_chunks(),
+            });
+        }
+        let start_row = index * self.chunk_size;
+        let rows_here = self.rows_in_chunk(index);
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(self.offsets[start_row].0))?;
+        let mut reader = BufReader::new(file);
+        let mut line = String::new();
+        let mut line_no = self.offsets[start_row].1;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(rows_here);
+        while rows.len() < rows_here {
+            line.clear();
+            let bytes = reader.read_line(&mut line)?;
+            if bytes == 0 {
+                // The file shrank since it was indexed.
+                return Err(DatasetError::CsvParse {
+                    line: line_no,
+                    message: "unexpected end of file (source changed since indexing?)".to_string(),
+                });
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                rows.push(parse_feature_row(
+                    trimmed,
+                    line_no,
+                    self.n_features,
+                    &self.options,
+                )?);
+            }
+            line_no += 1;
+        }
+        Ok(Matrix::from_rows(&rows)?)
+    }
+}
+
+/// Parses the feature fields of one data row, skipping the label column.
+fn parse_feature_row(
+    trimmed: &str,
+    line_no: usize,
+    n_features: usize,
+    options: &CsvOptions,
+) -> Result<Vec<f64>> {
+    let fields: Vec<&str> = trimmed.split(options.delimiter).map(str::trim).collect();
+    if fields.len() != n_features + 1 {
+        return Err(DatasetError::CsvRaggedRow {
+            line: line_no,
+            expected: n_features + 1,
+            found: fields.len(),
+        });
+    }
+    let feature_fields = if options.label_last {
+        &fields[..n_features]
+    } else {
+        &fields[1..]
+    };
+    feature_fields
+        .iter()
+        .map(|f| {
+            f.parse::<f64>().map_err(|_| DatasetError::CsvParse {
+                line: line_no,
+                message: format!("cannot parse feature value '{f}' as a number"),
+            })
+        })
+        .collect()
+}
+
+/// Chunked view over an already-materialised feature matrix.
+#[derive(Debug, Clone)]
+pub struct InMemoryChunks {
+    features: Matrix,
+    chunk_size: usize,
+    name: String,
+}
+
+impl InMemoryChunks {
+    /// Wraps `features` with `chunk_size` rows per chunk (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::EmptyDataset`] if `features` has no rows.
+    pub fn new(features: Matrix, chunk_size: usize, name: impl Into<String>) -> Result<Self> {
+        if features.rows() == 0 {
+            return Err(DatasetError::EmptyDataset);
+        }
+        Ok(Self {
+            features,
+            chunk_size: chunk_size.max(1),
+            name: name.into(),
+        })
+    }
+
+    /// Chunked view over a dataset's feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::EmptyDataset`] if the dataset has no rows.
+    pub fn from_dataset(dataset: &Dataset, chunk_size: usize) -> Result<Self> {
+        Self::new(
+            dataset.features().clone(),
+            chunk_size,
+            dataset.spec().name.clone(),
+        )
+    }
+}
+
+impl ChunkSource for InMemoryChunks {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    fn n_instances(&self) -> usize {
+        self.features.rows()
+    }
+
+    fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    fn read_chunk(&self, index: usize) -> Result<Matrix> {
+        if index >= self.n_chunks() {
+            return Err(DatasetError::ChunkOutOfRange {
+                index,
+                chunks: self.n_chunks(),
+            });
+        }
+        let start = index * self.chunk_size;
+        let rows: Vec<Vec<f64>> = (start..start + self.rows_in_chunk(index))
+            .map(|i| self.features.row(i).to_vec())
+            .collect();
+        Ok(Matrix::from_rows(&rows)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+1.0,2.0,a
+1.5,2.5,a
+
+8.0,9.0,b
+8.5,9.5,b
+3.0,4.0,a
+";
+
+    fn temp_csv(name: &str, content: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sls_datasets_chunk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn csv_reader_indexes_and_reads_chunks() {
+        let path = temp_csv("basic.csv", SAMPLE);
+        let reader = ChunkedCsvReader::open(&path, &CsvOptions::default(), 2).unwrap();
+        assert_eq!(reader.n_instances(), 5);
+        assert_eq!(reader.n_features(), 2);
+        assert_eq!(reader.n_chunks(), 3);
+        assert_eq!(reader.rows_in_chunk(0), 2);
+        assert_eq!(reader.rows_in_chunk(2), 1);
+
+        let c0 = reader.read_chunk(0).unwrap();
+        assert_eq!(c0.shape(), (2, 2));
+        assert_eq!(c0.row(0), &[1.0, 2.0]);
+        // Chunk 1 starts after the blank line.
+        let c1 = reader.read_chunk(1).unwrap();
+        assert_eq!(c1.row(0), &[8.0, 9.0]);
+        let c2 = reader.read_chunk(2).unwrap();
+        assert_eq!(c2.shape(), (1, 2));
+        assert_eq!(c2.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_chunks_concatenate_to_the_full_parse() {
+        let path = temp_csv("concat.csv", SAMPLE);
+        let full = crate::parse_csv_dataset(SAMPLE, &CsvOptions::default()).unwrap();
+        for chunk_size in [1, 2, 3, 5, 100] {
+            let reader = ChunkedCsvReader::open(&path, &CsvOptions::default(), chunk_size).unwrap();
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for i in 0..reader.n_chunks() {
+                let chunk = reader.read_chunk(i).unwrap();
+                rows.extend(chunk.row_iter().map(<[f64]>::to_vec));
+            }
+            let joined = Matrix::from_rows(&rows).unwrap();
+            assert_eq!(joined.as_slice(), full.features().as_slice());
+        }
+    }
+
+    #[test]
+    fn csv_reader_respects_header_and_label_first() {
+        let content = "class,f1,f2\npos,1.0,2.0\nneg,3.0,4.0\n";
+        let path = temp_csv("header.csv", content);
+        let options = CsvOptions {
+            has_header: true,
+            label_last: false,
+            ..CsvOptions::default()
+        };
+        let reader = ChunkedCsvReader::open(&path, &options, 10).unwrap();
+        assert_eq!(reader.n_instances(), 2);
+        let chunk = reader.read_chunk(0).unwrap();
+        assert_eq!(chunk.row(0), &[1.0, 2.0]);
+        assert_eq!(chunk.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bad_rows_error_with_absolute_line_numbers() {
+        let content = "1.0,2.0,a\n1.0,oops,a\n";
+        let path = temp_csv("bad.csv", content);
+        let reader = ChunkedCsvReader::open(&path, &CsvOptions::default(), 1).unwrap();
+        assert!(reader.read_chunk(0).is_ok());
+        let err = reader.read_chunk(1).unwrap_err();
+        assert!(
+            matches!(err, DatasetError::CsvParse { line: 2, .. }),
+            "{err}"
+        );
+
+        let ragged = "1.0,2.0,a\n1.0,a\n";
+        let path = temp_csv("ragged.csv", ragged);
+        let reader = ChunkedCsvReader::open(&path, &CsvOptions::default(), 2).unwrap();
+        let err = reader.read_chunk(0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DatasetError::CsvRaggedRow {
+                    line: 2,
+                    expected: 3,
+                    found: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_and_out_of_range_are_rejected() {
+        let path = temp_csv("empty.csv", "\n\n");
+        assert!(matches!(
+            ChunkedCsvReader::open(&path, &CsvOptions::default(), 2),
+            Err(DatasetError::EmptyDataset)
+        ));
+
+        let path = temp_csv("small.csv", "1.0,a\n");
+        let reader = ChunkedCsvReader::open(&path, &CsvOptions::default(), 2).unwrap();
+        let err = reader.read_chunk(1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DatasetError::ChunkOutOfRange {
+                    index: 1,
+                    chunks: 1
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn in_memory_chunks_match_source_rows() {
+        let features = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+            vec![9.0, 10.0],
+        ])
+        .unwrap();
+        let chunks = InMemoryChunks::new(features.clone(), 2, "mem").unwrap();
+        assert_eq!(chunks.n_chunks(), 3);
+        assert_eq!(chunks.read_chunk(2).unwrap().row(0), &[9.0, 10.0]);
+        assert!(matches!(
+            chunks.read_chunk(3),
+            Err(DatasetError::ChunkOutOfRange { .. })
+        ));
+        assert!(matches!(
+            InMemoryChunks::new(Matrix::zeros(0, 3), 2, "empty"),
+            Err(DatasetError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn leading_sample_collects_and_truncates() {
+        let features =
+            Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]]).unwrap();
+        let chunks = InMemoryChunks::new(features, 2, "mem").unwrap();
+        let sample = leading_sample(&chunks, 3).unwrap();
+        assert_eq!(sample.shape(), (3, 1));
+        assert_eq!(sample.row(2), &[3.0]);
+        let all = leading_sample(&chunks, 100).unwrap();
+        assert_eq!(all.shape(), (5, 1));
+    }
+}

@@ -30,6 +30,13 @@ pub enum DatasetError {
         /// Found column count.
         found: usize,
     },
+    /// A chunk index beyond the end of a chunked source was requested.
+    ChunkOutOfRange {
+        /// Requested chunk index.
+        index: usize,
+        /// Number of chunks the source actually has.
+        chunks: usize,
+    },
     /// Underlying I/O failure while reading a file.
     Io(std::io::Error),
     /// Propagated linear-algebra error.
@@ -57,6 +64,12 @@ impl fmt::Display for DatasetError {
                 f,
                 "CSV line {line} has {found} columns, expected {expected}"
             ),
+            DatasetError::ChunkOutOfRange { index, chunks } => {
+                write!(
+                    f,
+                    "chunk {index} requested but the source has {chunks} chunks"
+                )
+            }
             DatasetError::Io(e) => write!(f, "I/O error: {e}"),
             DatasetError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }

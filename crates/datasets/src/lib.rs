@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod chunk;
 mod csv;
 mod dataset;
 mod error;
@@ -31,6 +32,7 @@ mod spec;
 mod synth;
 mod uci;
 
+pub use chunk::{leading_sample, ChunkSource, ChunkedCsvReader, InMemoryChunks};
 pub use csv::{load_csv_dataset, parse_csv_dataset, CsvOptions};
 pub use dataset::Dataset;
 pub use error::DatasetError;

@@ -61,7 +61,9 @@ mod vector;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
-pub use norms::{euclidean_distance, pairwise_distances, squared_euclidean_distance};
+pub use norms::{
+    euclidean_distance, pairwise_distances, pairwise_distances_with, squared_euclidean_distance,
+};
 pub use parallel::{
     ParallelPolicy, DEFAULT_MIN_ROWS_PER_THREAD, ENV_MIN_ROWS, ENV_POOL, ENV_SIMD, ENV_THREADS,
 };

@@ -5,7 +5,7 @@
 //! These helpers centralise that logic so every clusterer measures distance
 //! identically.
 
-use crate::{vector, Matrix};
+use crate::{vector, Matrix, ParallelPolicy};
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
@@ -42,6 +42,24 @@ pub fn pairwise_distances(data: &Matrix) -> Matrix {
         }
     }
     d
+}
+
+/// Policy-aware variant of [`pairwise_distances`]: every output row is
+/// computed independently through the pooled row kernel.
+///
+/// Each ordered pair is evaluated from scratch (the parallel version does
+/// twice the arithmetic of the serial half-matrix fill), but the coordinate
+/// sum `Σ (xᵢ - yᵢ)²` is symmetric in its arguments, so the result is
+/// bitwise identical to [`pairwise_distances`].
+pub fn pairwise_distances_with(data: &Matrix, policy: &ParallelPolicy) -> Matrix {
+    let n = data.rows();
+    data.map_rows_with(n, policy, |i, row, out| {
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j != i {
+                *slot = euclidean_distance(row, data.row(j));
+            }
+        }
+    })
 }
 
 impl Matrix {
@@ -101,6 +119,28 @@ mod tests {
         assert_eq!(d[(0, 1)], 5.0);
         assert_eq!(d[(0, 2)], 10.0);
         assert_eq!(d[(1, 2)], 5.0);
+    }
+
+    #[test]
+    fn pairwise_with_matches_serial_bitwise() {
+        let data = Matrix::from_rows(&[
+            vec![0.1, -0.7, 2.3],
+            vec![3.0, 4.0, -1.5],
+            vec![6.0, 8.0, 0.25],
+            vec![-2.0, 0.0, 1.0 / 3.0],
+            vec![0.1, -0.7, 2.3],
+        ])
+        .unwrap();
+        let serial = pairwise_distances(&data);
+        for threads in [1, 2, 4, 8] {
+            for pool in [false, true] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool);
+                let parallel = pairwise_distances_with(&data, &policy);
+                assert_eq!(serial.as_slice(), parallel.as_slice());
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`client`] — a blocking client for the same API ([`Client`] per-request
 //!   connections, [`Connection`] keep-alive reuse), used by the integration
 //!   tests and the `loadgen` benchmark binary in `sls-bench`.
+//! * [`retrain`] — the one-command retrain path: chunked CSV ingestion →
+//!   consensus supervision on a leading sample → checkpoint-resumable
+//!   streaming training → artifact export into the watched directory, which
+//!   the live layer then hot-swaps into serving.
 //! * [`http`] — the shared minimal HTTP/1.1 framing.
 //! * [`api`] — the JSON request/response body types.
 //! * [`stats`] — latency percentile summaries for load tooling.
@@ -82,6 +86,7 @@ mod error;
 pub mod http;
 pub mod live;
 pub mod registry;
+pub mod retrain;
 pub mod server;
 pub mod stats;
 
@@ -94,6 +99,7 @@ pub use client::{Client, Connection};
 pub use error::ServeError;
 pub use live::{LiveRegistry, RegistryGeneration, ReloadOutcome};
 pub use registry::{ModelRegistry, ServingModel};
+pub use retrain::{retrain, write_synthetic_csv, RetrainOptions, RetrainOutcome};
 pub use server::{
     route, route_live, route_with, route_with_batcher, ServeOptions, Server, ServerHandle,
 };

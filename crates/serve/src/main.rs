@@ -55,8 +55,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
 use sls_linalg::{ParallelPolicy, SimdPolicy};
-use sls_rbm_core::{ModelKind, PipelineArtifact, SlsPipelineConfig};
-use sls_serve::{BatchConfig, LiveRegistry, ServeOptions, Server};
+use sls_rbm_core::{ModelKind, PipelineArtifact, SlsConfig, SlsPipelineConfig};
+use sls_serve::{BatchConfig, LiveRegistry, RetrainOptions, ServeOptions, Server};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -66,20 +66,30 @@ use std::time::Duration;
 const ENV_COMPACT: &str = "SLS_COMPACT";
 
 const USAGE: &str = "usage:
-  sls-serve export --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
-                   [--instances N] [--dims N] [--clusters N] [--seed N]
-                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
-  sls-serve serve  --dir DIR [--addr HOST:PORT] [--workers N]
-                   [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
-                   [--keep-alive 0|1] [--keepalive-timeout-ms N]
-                   [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
-                   [--batch-window-us N] [--batch-max-rows N]
-                   [--compact 0|1] [--watch-interval-ms N]";
+  sls-serve export  --out DIR [--name NAME] [--model rbm|grbm|sls-rbm|sls-grbm]
+                    [--instances N] [--dims N] [--clusters N] [--seed N]
+                    [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
+  sls-serve synth   --out FILE [--instances N] [--dims N] [--clusters N]
+                    [--separation X] [--seed N]
+  sls-serve retrain --data FILE --out DIR [--name NAME]
+                    [--model rbm|grbm|sls-rbm|sls-grbm] [--hidden N] [--clusters N]
+                    [--chunk-size N] [--sample-rows N] [--epochs N] [--batch-size N]
+                    [--learning-rate X] [--eta X] [--seed N]
+                    [--checkpoint FILE] [--stop-after-epochs N] [--has-header 0|1]
+                    [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
+  sls-serve serve   --dir DIR [--addr HOST:PORT] [--workers N]
+                    [--threads N] [--min-par-rows N] [--pool 0|1] [--simd 0|1]
+                    [--keep-alive 0|1] [--keepalive-timeout-ms N]
+                    [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
+                    [--batch-window-us N] [--batch-max-rows N]
+                    [--compact 0|1] [--watch-interval-ms N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("export") => run_export(&args[1..]),
+        Some("synth") => run_synth(&args[1..]),
+        Some("retrain") => run_retrain(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -279,6 +289,168 @@ fn run_export(args: &[String]) -> Result<(), String> {
         sizes,
         path.display()
     );
+    Ok(())
+}
+
+fn run_synth(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--out",
+            "--instances",
+            "--dims",
+            "--clusters",
+            "--separation",
+            "--seed",
+        ],
+    )?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .ok_or_else(|| format!("synth needs --out FILE\n{USAGE}"))?;
+    let instances = parsed(&flags, "instances", 2000usize)?;
+    let dims = parsed(&flags, "dims", 8usize)?;
+    let clusters = parsed(&flags, "clusters", 3usize)?;
+    let separation = parsed(&flags, "separation", 5.0f64)?;
+    let seed = parsed(&flags, "seed", 2023u64)?;
+    sls_serve::write_synthetic_csv(&out, instances, dims, clusters, separation, seed)
+        .map_err(|e| format!("writing {out} failed: {e}"))?;
+    eprintln!(
+        "wrote {instances}x{dims} synthetic blobs ({clusters} clusters, seed {seed}) to {out}"
+    );
+    Ok(())
+}
+
+fn run_retrain(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--data",
+            "--out",
+            "--name",
+            "--model",
+            "--hidden",
+            "--clusters",
+            "--chunk-size",
+            "--sample-rows",
+            "--epochs",
+            "--batch-size",
+            "--learning-rate",
+            "--eta",
+            "--seed",
+            "--checkpoint",
+            "--stop-after-epochs",
+            "--has-header",
+            "--threads",
+            "--min-par-rows",
+            "--pool",
+            "--simd",
+        ],
+    )?;
+    let data = flags
+        .get("data")
+        .cloned()
+        .ok_or_else(|| format!("retrain needs --data FILE\n{USAGE}"))?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "artifacts".to_string());
+    let mut options = RetrainOptions::new(&data, &out);
+    if let Some(name) = flags.get("name") {
+        options.name = name.clone();
+    }
+    if let Some(kind_name) = flags.get("model") {
+        options.model_kind = ModelKind::parse(kind_name).ok_or_else(|| {
+            format!("unknown model kind `{kind_name}` (rbm|grbm|sls-rbm|sls-grbm)")
+        })?;
+    }
+    if let Some(raw) = flags.get("has-header") {
+        options.csv.has_header = ParallelPolicy::parse_bool(raw).ok_or_else(|| {
+            format!("invalid value `{raw}` for --has-header (use 0/1/true/false)")
+        })?;
+    }
+    options.n_hidden = parsed(&flags, "hidden", options.n_hidden)?;
+    options.n_clusters = parsed(&flags, "clusters", options.n_clusters)?;
+    options.chunk_size = parsed(&flags, "chunk-size", options.chunk_size)?;
+    options.sample_rows = parsed(&flags, "sample-rows", options.sample_rows)?;
+    options.train = options
+        .train
+        .with_epochs(parsed(&flags, "epochs", options.train.epochs)?)
+        .with_batch_size(parsed(&flags, "batch-size", options.train.batch_size)?)
+        .with_learning_rate(parsed(
+            &flags,
+            "learning-rate",
+            options.train.learning_rate,
+        )?);
+    options.sls = SlsConfig::new(parsed(&flags, "eta", options.sls.eta)?);
+    options.seed = parsed(&flags, "seed", options.seed)?;
+    if let Some(path) = flags.get("checkpoint") {
+        options.checkpoint = path.into();
+    }
+    if let Some(raw) = flags.get("stop-after-epochs") {
+        let epochs: usize = raw
+            .parse()
+            .map_err(|_| format!("invalid value `{raw}` for --stop-after-epochs"))?;
+        options.stop_after_epochs = Some(epochs);
+    }
+    options.parallel = parallel_policy(&flags, false)?;
+    options.trained_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .map(|d| iso8601_utc(d.as_secs()));
+    options.source = Some(format!(
+        "sls-serve retrain --data {data} --model {} --seed {}",
+        options.model_kind.as_str(),
+        options.seed
+    ));
+
+    eprintln!(
+        "retraining {} from {data} (chunks of {}, {} sample rows, seed {}, {} linalg thread(s))...",
+        options.model_kind.as_str(),
+        options.chunk_size,
+        options.sample_rows,
+        options.seed,
+        options.parallel.threads
+    );
+    let outcome = sls_serve::retrain(&options).map_err(|e| format!("retrain failed: {e}"))?;
+    if let Some(summary) = &outcome.supervision {
+        eprintln!(
+            "supervision: {} credible clusters covering {:.1}% of the sample",
+            summary.n_clusters,
+            summary.coverage * 100.0
+        );
+    }
+    for stats in &outcome.history.epochs {
+        eprintln!(
+            "epoch {:>3}: reconstruction error {:.6}",
+            stats.epoch, stats.reconstruction_error
+        );
+    }
+    eprintln!(
+        "{} after {}/{} epoch(s){}; checkpoint at {}",
+        if outcome.completed {
+            "complete"
+        } else {
+            "stopped"
+        },
+        outcome.epochs_done,
+        outcome.epochs_total,
+        if outcome.resumed {
+            " (resumed from checkpoint)"
+        } else {
+            ""
+        },
+        outcome.checkpoint_path.display()
+    );
+    match &outcome.artifact_path {
+        Some(path) => eprintln!(
+            "exported {} to {} — a watching `sls-serve serve` instance picks it up on its next \
+             poll, or immediately via POST /admin/reload",
+            options.name,
+            path.display()
+        ),
+        None => eprintln!("no artifact exported yet; rerun the same command to resume"),
+    }
     Ok(())
 }
 
