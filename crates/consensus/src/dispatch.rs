@@ -16,11 +16,15 @@ use sls_linalg::{ParallelPolicy, WorkerPool};
 
 /// Runs `task(0..n)` under `policy` and returns the results in index order.
 ///
-/// Dispatch mirrors the linalg kernels: inline when the policy is serial (or
-/// when already on a pool worker — nested dispatch runs inline), otherwise
-/// contiguous index bands on the persistent [`WorkerPool`] (`policy.pool`)
-/// or on fresh scoped threads. The submitter processes the first band itself
-/// on the pool path.
+/// Dispatch mirrors the linalg kernels: inline when the policy is serial, or
+/// when already inside a pool job — nested dispatch runs inline regardless of
+/// the nested policy's `pool` flag, so a spawn-path policy invoked from a
+/// worker cannot stack fresh scoped threads on an already-saturated machine.
+/// Otherwise the pool path spawns *one job per task*: tasks are few and
+/// heavy (whole clusterers, whole alignments) with very unequal runtimes, so
+/// per-task granularity lets the pool's work-stealing rebalance stragglers
+/// instead of pinning a fixed band to each thread. The spawn path keeps
+/// contiguous index bands — fresh threads are too expensive per task.
 pub(crate) fn run_indexed<T, F>(n: usize, policy: &ParallelPolicy, task: F) -> Vec<T>
 where
     T: Send,
@@ -31,7 +35,7 @@ where
     } else {
         policy.threads.max(1).min(n)
     };
-    if threads > 1 && policy.pool && WorkerPool::on_worker_thread() {
+    if threads > 1 && WorkerPool::on_worker_thread() {
         threads = 1;
     }
     if threads <= 1 {
@@ -40,33 +44,41 @@ where
 
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let base = n / threads;
-    let extra = n % threads;
-    let mut bands = Vec::with_capacity(threads);
-    let mut rest = slots.as_mut_slice();
-    let mut start = 0;
-    for t in 0..threads {
-        let len = base + usize::from(t < extra);
-        let (band, tail) = rest.split_at_mut(len);
-        rest = tail;
-        bands.push((start, band));
-        start += len;
-    }
-    let work = |start: usize, band: &mut [Option<T>]| {
-        for (offset, slot) in band.iter_mut().enumerate() {
-            *slot = Some(task(start + offset));
-        }
-    };
     if policy.pool {
         WorkerPool::global().scope(|scope| {
-            let mut bands = bands.into_iter();
-            let (first_start, first_band) = bands.next().expect("threads >= 2 bands");
-            for (band_start, band) in bands {
-                scope.spawn(move || work(band_start, band));
+            let mut rest = slots.as_mut_slice();
+            let mut first = None;
+            for i in 0..n {
+                let (slot, tail) = rest.split_first_mut().expect("n slots");
+                rest = tail;
+                if i == 0 {
+                    first = Some(slot);
+                } else {
+                    let task = &task;
+                    scope.spawn(move || *slot = Some(task(i)));
+                }
             }
-            work(first_start, first_band);
+            // The submitter runs task 0 itself, then helps drain the rest.
+            *first.expect("n >= 2 tasks") = Some(task(0));
         });
     } else {
+        let base = n / threads;
+        let extra = n % threads;
+        let mut bands = Vec::with_capacity(threads);
+        let mut rest = slots.as_mut_slice();
+        let mut start = 0;
+        for t in 0..threads {
+            let len = base + usize::from(t < extra);
+            let (band, tail) = rest.split_at_mut(len);
+            rest = tail;
+            bands.push((start, band));
+            start += len;
+        }
+        let work = |start: usize, band: &mut [Option<T>]| {
+            for (offset, slot) in band.iter_mut().enumerate() {
+                *slot = Some(task(start + offset));
+            }
+        };
         std::thread::scope(|scope| {
             for (band_start, band) in bands {
                 scope.spawn(move || work(band_start, band));
@@ -75,7 +87,7 @@ where
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every band slot is filled"))
+        .map(|slot| slot.expect("every task slot is filled"))
         .collect()
 }
 

@@ -219,6 +219,7 @@ mod tests {
         min_rows_per_thread: 64,
         pool: false,
         simd: sls_linalg::SimdPolicy::Lanes4,
+        chunk_rows: 0,
     };
 
     fn setup() -> (RbmParams, Matrix, Vec<Vec<usize>>) {

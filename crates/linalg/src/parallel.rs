@@ -60,6 +60,10 @@ pub const ENV_MIN_ROWS: &str = "SLS_PARALLEL_MIN_ROWS";
 /// policy (`1`/`true` to enable, `0`/`false` to disable).
 pub const ENV_POOL: &str = "SLS_PARALLEL_POOL";
 
+/// Environment variable overriding the global pooled-dispatch chunk size
+/// (rows per chunk; `0` = adaptive — see [`ParallelPolicy::chunk_rows`]).
+pub const ENV_CHUNK_ROWS: &str = "SLS_PARALLEL_CHUNK_ROWS";
+
 /// Environment variable selecting the SIMD execution layer for the global
 /// policy (`1`/`true` for the unrolled 4-lane inner loops — the default —
 /// `0`/`false` for the scalar fallback). Outputs are bitwise identical
@@ -71,6 +75,7 @@ static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);
 static GLOBAL_MIN_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_MIN_ROWS_PER_THREAD);
 static GLOBAL_POOL: AtomicBool = AtomicBool::new(false);
 static GLOBAL_SIMD: AtomicBool = AtomicBool::new(true);
+static GLOBAL_CHUNK_ROWS: AtomicUsize = AtomicUsize::new(0);
 
 /// How (and whether) the matrix kernels fan work out across threads.
 ///
@@ -95,17 +100,27 @@ pub struct ParallelPolicy {
     /// scalar fallback. Both compute the same canonical reduction order, so
     /// outputs are bitwise identical either way.
     pub simd: SimdPolicy,
+    /// Rows per chunk for pooled dispatch; `0` (the default) sizes chunks
+    /// adaptively from the row count and a per-row cost hint (see
+    /// [`ParallelPolicy::chunk_rows`]). Pooled kernel calls are split into
+    /// *more chunks than threads* so the pool's work-stealing can rebalance
+    /// ragged per-row costs; the chunk size only reorders *when* a row is
+    /// computed, never its accumulation order, so every value is bitwise
+    /// identical for every chunk size.
+    pub chunk_rows: usize,
 }
 
 // Hand-written (de)serialisation instead of the derive: `ParallelPolicy`
-// has been a public `Serialize`/`Deserialize` type since before the `pool`
-// and `simd` fields existed, so policy JSON persisted by earlier builds
-// lacks them. The vendored derive treats every named field as required (it
-// skips attributes, so `#[serde(default)]` would be silently ignored);
-// these impls accept a missing `pool` as `false` — the exact behaviour of
-// the builds that wrote such documents — and a missing `simd` as enabled,
-// the crate-wide default (safe because the SIMD layer never changes an
-// output bit, unlike `pool = true` which would change *which threads* run).
+// has been a public `Serialize`/`Deserialize` type since before the `pool`,
+// `simd` and `chunk_rows` fields existed, so policy JSON persisted by
+// earlier builds lacks them. The vendored derive treats every named field
+// as required (it skips attributes, so `#[serde(default)]` would be
+// silently ignored); these impls accept a missing `pool` as `false` — the
+// exact behaviour of the builds that wrote such documents — a missing
+// `simd` as enabled, and a missing `chunk_rows` as adaptive (`0`), the
+// crate-wide defaults (safe because neither the SIMD layer nor the chunk
+// size ever changes an output bit, unlike `pool = true` which would change
+// *which threads* run).
 impl serde::Serialize for ParallelPolicy {
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
@@ -116,6 +131,7 @@ impl serde::Serialize for ParallelPolicy {
             ),
             ("pool".to_string(), self.pool.to_value()),
             ("simd".to_string(), self.simd.is_enabled().to_value()),
+            ("chunk_rows".to_string(), self.chunk_rows.to_value()),
         ])
     }
 }
@@ -133,6 +149,10 @@ impl serde::Deserialize for ParallelPolicy {
             Some((_, v)) => SimdPolicy::from_enabled(serde::Deserialize::from_value(v)?),
             None => SimdPolicy::default(),
         };
+        let chunk_rows = match entries.iter().find(|(name, _)| name == "chunk_rows") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => 0,
+        };
         Ok(Self {
             threads: serde::Deserialize::from_value(serde::field(entries, "threads")?)?,
             min_rows_per_thread: serde::Deserialize::from_value(serde::field(
@@ -141,6 +161,7 @@ impl serde::Deserialize for ParallelPolicy {
             )?)?,
             pool,
             simd,
+            chunk_rows,
         })
     }
 }
@@ -160,6 +181,7 @@ impl ParallelPolicy {
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
             pool: false,
             simd: SimdPolicy::default(),
+            chunk_rows: 0,
         }
     }
 
@@ -171,6 +193,7 @@ impl ParallelPolicy {
             min_rows_per_thread: DEFAULT_MIN_ROWS_PER_THREAD,
             pool: false,
             simd: SimdPolicy::default(),
+            chunk_rows: 0,
         }
     }
 
@@ -201,6 +224,15 @@ impl ParallelPolicy {
         self
     }
 
+    /// Fixes the pooled-dispatch chunk size to `chunk_rows` rows per chunk
+    /// (`0` restores the adaptive default). Results are bitwise identical
+    /// for every chunk size — the knob only trades scheduling overhead
+    /// against stealing granularity.
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows;
+        self
+    }
+
     /// Parses the boolean spellings accepted wherever a pool flag is read —
     /// the `SLS_PARALLEL_POOL` environment variable and CLI `--pool` flags:
     /// `1`/`true` and `0`/`false`, case-insensitively, ignoring surrounding
@@ -221,11 +253,53 @@ impl ParallelPolicy {
 
     /// Number of threads a kernel producing `rows` output rows should use
     /// under this policy: capped by the thread budget and by the cutover
-    /// (`rows / min_rows_per_thread`), never below 1.
+    /// (`rows / min_rows_per_thread`), never below 1. The result is already
+    /// clamped to `[1, rows]` (for `rows >= 1`), so callers need no further
+    /// clamping.
     pub fn effective_threads(&self, rows: usize) -> usize {
         let per_thread = self.min_rows_per_thread.max(1);
         self.threads.max(1).min(rows / per_thread).max(1)
     }
+
+    /// Rows per chunk a pooled kernel call producing `rows` output rows
+    /// should be split into, given `threads` participating threads and a
+    /// per-row cost hint (`row_cost`, roughly the number of f64 operations
+    /// one output row performs).
+    ///
+    /// A fixed `chunk_rows` (set via [`ParallelPolicy::with_chunk_rows`] or
+    /// `SLS_PARALLEL_CHUNK_ROWS`) wins outright. The adaptive default aims
+    /// for [`Self::CHUNKS_PER_THREAD`] chunks per thread — enough slack for
+    /// the pool's work-stealing to pull a straggling band apart — floored so
+    /// one chunk still carries at least [`Self::MIN_CHUNK_ROW_OPS`] worth of
+    /// row work (so tiny rows don't drown in scheduling overhead), and
+    /// capped at one equal band per thread (chunking must never *reduce*
+    /// the parallelism an equal split would get).
+    ///
+    /// Chunk boundaries never split a row, so every chunk size — adaptive,
+    /// forced tiny, or forced band-sized — produces bitwise identical
+    /// output; only the straggler behaviour changes.
+    pub fn chunk_rows(&self, rows: usize, row_cost: usize, threads: usize) -> usize {
+        let band = rows.div_ceil(threads.max(1)).max(1);
+        if self.chunk_rows > 0 {
+            return self.chunk_rows.min(rows).max(1);
+        }
+        let by_split = rows
+            .div_ceil(threads.max(1) * Self::CHUNKS_PER_THREAD)
+            .max(1);
+        let by_cost = Self::MIN_CHUNK_ROW_OPS.div_ceil(row_cost.max(1)).max(1);
+        by_split.max(by_cost).min(band)
+    }
+
+    /// Adaptive chunking targets this many chunks per participating thread:
+    /// enough over-partitioning that stealing can rebalance a band that
+    /// turns out ~8x heavier than its peers, small enough that per-chunk
+    /// dispatch stays negligible against real row work.
+    pub const CHUNKS_PER_THREAD: usize = 4;
+
+    /// Adaptive chunking keeps at least this many estimated f64 operations
+    /// per chunk, so narrow rows get grouped until a chunk is worth
+    /// dispatching (~a few microseconds of work).
+    pub const MIN_CHUNK_ROW_OPS: usize = 16 * 1024;
 
     /// The process-wide default policy consulted by the plain (`_with`-less)
     /// kernel methods.
@@ -233,9 +307,10 @@ impl ParallelPolicy {
     /// On first use it is initialised from the environment: `SLS_PARALLEL_THREADS`
     /// (`0` = one thread per core), `SLS_PARALLEL_MIN_ROWS`,
     /// `SLS_PARALLEL_POOL` (`1`/`true` routes kernels through the
-    /// persistent worker pool) and `SLS_SIMD` (`0`/`false` selects the
+    /// persistent worker pool), `SLS_PARALLEL_CHUNK_ROWS` (rows per pooled
+    /// chunk; `0` = adaptive) and `SLS_SIMD` (`0`/`false` selects the
     /// scalar fallback inner loops; default on). Without those variables
-    /// the default is serial with SIMD enabled.
+    /// the default is serial with SIMD enabled and adaptive chunking.
     ///
     /// # Panics
     ///
@@ -249,6 +324,7 @@ impl ParallelPolicy {
             min_rows_per_thread: GLOBAL_MIN_ROWS.load(Ordering::Relaxed),
             pool: GLOBAL_POOL.load(Ordering::Relaxed),
             simd: SimdPolicy::from_enabled(GLOBAL_SIMD.load(Ordering::Relaxed)),
+            chunk_rows: GLOBAL_CHUNK_ROWS.load(Ordering::Relaxed),
         }
     }
 
@@ -265,6 +341,7 @@ impl ParallelPolicy {
         GLOBAL_MIN_ROWS.store(policy.min_rows_per_thread.max(1), Ordering::Relaxed);
         GLOBAL_POOL.store(policy.pool, Ordering::Relaxed);
         GLOBAL_SIMD.store(policy.simd.is_enabled(), Ordering::Relaxed);
+        GLOBAL_CHUNK_ROWS.store(policy.chunk_rows, Ordering::Relaxed);
     }
 }
 
@@ -293,6 +370,9 @@ fn init_global_from_env() {
         if let Some(simd) = read_env_bool(ENV_SIMD) {
             GLOBAL_SIMD.store(simd, Ordering::Relaxed);
         }
+        if let Some(chunk_rows) = read_env_usize(ENV_CHUNK_ROWS) {
+            GLOBAL_CHUNK_ROWS.store(chunk_rows, Ordering::Relaxed);
+        }
     });
 }
 
@@ -320,58 +400,84 @@ fn read_env_bool(name: &str) -> Option<bool> {
 
 /// Splits `out` into contiguous row blocks and runs `work` on each block
 /// under `policy` — inline when the effective thread count is 1, otherwise
-/// on scoped threads (spawn-per-call) or the persistent [`WorkerPool`].
+/// on scoped threads (spawn-per-call, one equal band per thread) or the
+/// persistent [`WorkerPool`] (chunked, see below).
 ///
 /// `work` receives the half-open range of row indices it owns and the
-/// mutable storage of exactly those rows. Blocks differ in size by at most
-/// one row. On the pool path the calling thread executes the first block
-/// itself, so `threads` bands use the submitter plus `threads - 1` workers.
+/// mutable storage of exactly those rows. `row_cost` is the kernel's
+/// estimate of f64 operations per output row — the cost hint adaptive
+/// chunking sizes chunks with.
 ///
-/// When already executing a pool job (a nested pooled kernel inside a row
-/// closure — whether that closure runs on a worker thread or on a scope
-/// waiter's help path), the work runs inline instead: the pool's
-/// help-while-wait scheduling makes nested dispatch deadlock-free
-/// regardless, but skipping the queue round-trip is cheaper and the inline
-/// result is bitwise identical anyway.
+/// On the pool path the call is split into *more chunks than threads*
+/// ([`ParallelPolicy::chunk_rows`]): equal row counts are not equal costs
+/// once per-row work is ragged, and over-partitioning plus the pool's
+/// steal-half scheduling keeps every thread busy until the last chunk
+/// retires instead of idling behind one straggling band. Chunk boundaries
+/// never split a row's accumulation, so output is bitwise identical for
+/// every chunk size, thread count and dispatch mode. The calling thread
+/// executes the first chunk itself, then drains its scope's remaining
+/// chunks through the pool's help path.
+///
+/// When already executing a pool job (a nested kernel inside a row closure
+/// — whether that closure runs on a worker thread or on a scope waiter's
+/// help path), the work runs inline *regardless of the nested policy's
+/// `pool` flag*: a nested pooled call would round-trip the queues for no
+/// win, and a nested spawn-path call would stack fresh scoped threads on
+/// top of already-busy workers — every pool thread is computing, so inline
+/// is both the cheapest and the only non-oversubscribing choice. The
+/// inline result is bitwise identical anyway.
 fn for_each_row_block(
     out: &mut [f64],
     rows: usize,
     row_width: usize,
+    row_cost: usize,
     policy: &ParallelPolicy,
     work: &(impl Fn(Range<usize>, &mut [f64]) + Sync),
 ) {
-    let mut threads = policy.effective_threads(rows).min(rows).max(1);
-    if threads > 1 && policy.pool && WorkerPool::on_worker_thread() {
+    let mut threads = policy.effective_threads(rows);
+    if threads > 1 && WorkerPool::on_worker_thread() {
         threads = 1;
     }
     if threads == 1 {
         work(0..rows, out);
         return;
     }
-    let base = rows / threads;
-    let extra = rows % threads;
-    let mut blocks = Vec::with_capacity(threads);
-    let mut rest = out;
-    let mut start = 0;
-    for t in 0..threads {
-        let block_rows = base + usize::from(t < extra);
-        let (block, tail) = rest.split_at_mut(block_rows * row_width);
-        rest = tail;
-        blocks.push((start..start + block_rows, block));
-        start += block_rows;
-    }
     if policy.pool {
+        let chunk_rows = policy.chunk_rows(rows, row_cost, threads);
+        let mut blocks = Vec::with_capacity(rows.div_ceil(chunk_rows));
+        let mut rest = out;
+        let mut start = 0;
+        while start < rows {
+            let block_rows = chunk_rows.min(rows - start);
+            let (block, tail) = rest.split_at_mut(block_rows * row_width);
+            rest = tail;
+            blocks.push((start..start + block_rows, block));
+            start += block_rows;
+        }
         WorkerPool::global().scope(|scope| {
             let mut blocks = blocks.into_iter();
-            let (first_range, first_block) = blocks.next().expect("threads >= 2 blocks");
+            let (first_range, first_block) = blocks.next().expect("rows >= 1 chunk");
             for (range, block) in blocks {
                 scope.spawn(move || work(range, block));
             }
             // The submitter is a full participant: it processes the first
-            // band while the workers process the rest.
+            // chunk while the workers process (and steal) the rest, then
+            // helps drain this scope's remaining chunks.
             work(first_range, first_block);
         });
     } else {
+        let base = rows / threads;
+        let extra = rows % threads;
+        let mut blocks = Vec::with_capacity(threads);
+        let mut rest = out;
+        let mut start = 0;
+        for t in 0..threads {
+            let block_rows = base + usize::from(t < extra);
+            let (block, tail) = rest.split_at_mut(block_rows * row_width);
+            rest = tail;
+            blocks.push((start..start + block_rows, block));
+            start += block_rows;
+        }
         std::thread::scope(|scope| {
             for (range, block) in blocks {
                 scope.spawn(move || work(range, block));
@@ -402,19 +508,27 @@ impl Matrix {
             return Ok(out);
         }
         let simd = policy.simd;
-        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
-            // i-p-j order keeps the inner loop contiguous over `other`'s rows
-            // and the output row; the inner axpy is element-wise, so the
-            // SIMD layer never changes its accumulation order. No zero-skip
-            // on `a_ip`: `0.0 × NaN` must produce NaN (IEEE), so a diverged
-            // operand is never masked.
-            for (i, out_row) in range.zip(block.chunks_mut(m)) {
-                let a_row = self.row(i);
-                for (p, &a_ip) in a_row.iter().enumerate() {
-                    simd::axpy(a_ip, other.row(p), out_row, simd);
+        let row_cost = self.cols().saturating_mul(m);
+        for_each_row_block(
+            out.as_mut_slice(),
+            n,
+            m,
+            row_cost,
+            policy,
+            &|range, block| {
+                // i-p-j order keeps the inner loop contiguous over `other`'s rows
+                // and the output row; the inner axpy is element-wise, so the
+                // SIMD layer never changes its accumulation order. No zero-skip
+                // on `a_ip`: `0.0 × NaN` must produce NaN (IEEE), so a diverged
+                // operand is never masked.
+                for (i, out_row) in range.zip(block.chunks_mut(m)) {
+                    let a_row = self.row(i);
+                    for (p, &a_ip) in a_row.iter().enumerate() {
+                        simd::axpy(a_ip, other.row(p), out_row, simd);
+                    }
                 }
-            }
-        });
+            },
+        );
         Ok(out)
     }
 
@@ -482,17 +596,25 @@ impl Matrix {
         }
         let tile = tile_rows.clamp(1, m);
         let simd = policy.simd;
-        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
-            for j0 in (0..m).step_by(tile) {
-                let j1 = (j0 + tile).min(m);
-                for (i, out_row) in range.clone().zip(block.chunks_mut(m)) {
-                    let a_row = self.row(i);
-                    for (j, out_val) in (j0..j1).zip(out_row[j0..j1].iter_mut()) {
-                        *out_val = simd::dot(a_row, other.row(j), simd);
+        let row_cost = m.saturating_mul(self.cols());
+        for_each_row_block(
+            out.as_mut_slice(),
+            n,
+            m,
+            row_cost,
+            policy,
+            &|range, block| {
+                for j0 in (0..m).step_by(tile) {
+                    let j1 = (j0 + tile).min(m);
+                    for (i, out_row) in range.clone().zip(block.chunks_mut(m)) {
+                        let a_row = self.row(i);
+                        for (j, out_val) in (j0..j1).zip(out_row[j0..j1].iter_mut()) {
+                            *out_val = simd::dot(a_row, other.row(j), simd);
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
         Ok(out)
     }
 
@@ -523,23 +645,31 @@ impl Matrix {
             return Ok(out);
         }
         let simd = policy.simd;
-        for_each_row_block(out.as_mut_slice(), n, m, policy, &|range, block| {
-            // p-outer order keeps `other`'s rows streaming through cache;
-            // each thread touches only its own band of output rows. The
-            // per-element accumulation order (ascending p) matches serial
-            // exactly, and the inner axpy is element-wise so the SIMD layer
-            // preserves it. No zero-skip (IEEE NaN propagation, see
-            // `matmul_with`).
-            for p in 0..k {
-                let a_row = self.row(p);
-                let b_row = other.row(p);
-                for (local, i) in range.clone().enumerate() {
-                    let a_pi = a_row[i];
-                    let out_row = &mut block[local * m..(local + 1) * m];
-                    simd::axpy(a_pi, b_row, out_row, simd);
+        let row_cost = k.saturating_mul(m);
+        for_each_row_block(
+            out.as_mut_slice(),
+            n,
+            m,
+            row_cost,
+            policy,
+            &|range, block| {
+                // p-outer order keeps `other`'s rows streaming through cache;
+                // each thread touches only its own band of output rows. The
+                // per-element accumulation order (ascending p) matches serial
+                // exactly, and the inner axpy is element-wise so the SIMD layer
+                // preserves it. No zero-skip (IEEE NaN propagation, see
+                // `matmul_with`).
+                for p in 0..k {
+                    let a_row = self.row(p);
+                    let b_row = other.row(p);
+                    for (local, i) in range.clone().enumerate() {
+                        let a_pi = a_row[i];
+                        let out_row = &mut block[local * m..(local + 1) * m];
+                        simd::axpy(a_pi, b_row, out_row, simd);
+                    }
                 }
-            }
-        });
+            },
+        );
         Ok(out)
     }
 
@@ -560,11 +690,21 @@ impl Matrix {
         if n == 0 || out_cols == 0 {
             return out;
         }
-        for_each_row_block(out.as_mut_slice(), n, out_cols, policy, &|range, block| {
-            for (i, out_row) in range.zip(block.chunks_mut(out_cols)) {
-                f(i, self.row(i), out_row);
-            }
-        });
+        // The closure's cost is opaque; reading the input row and writing the
+        // output row is the floor, so use that as the hint.
+        let row_cost = self.cols().saturating_add(out_cols);
+        for_each_row_block(
+            out.as_mut_slice(),
+            n,
+            out_cols,
+            row_cost,
+            policy,
+            &|range, block| {
+                for (i, out_row) in range.zip(block.chunks_mut(out_cols)) {
+                    f(i, self.row(i), out_row);
+                }
+            },
+        );
         out
     }
 
@@ -580,7 +720,7 @@ impl Matrix {
         if n == 0 {
             return out;
         }
-        for_each_row_block(&mut out, n, 1, policy, &|range, block| {
+        for_each_row_block(&mut out, n, 1, self.cols(), policy, &|range, block| {
             for (i, slot) in range.zip(block.iter_mut()) {
                 *slot = f(i, self.row(i));
             }

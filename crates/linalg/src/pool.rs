@@ -1,12 +1,33 @@
-//! A persistent worker pool for the parallel kernels.
+//! A persistent work-stealing worker pool for the parallel kernels.
 //!
 //! The scoped-thread dispatch in [`crate::ParallelPolicy`]'s kernels spawns
 //! OS threads on every call (~10–50 µs each), which erases the multi-core
 //! win exactly where it matters most: small serving micro-batches, where the
 //! kernel itself runs for comparable time. [`WorkerPool`] removes that cost
-//! by parking N long-lived workers on a shared injector queue
+//! by parking N long-lived workers on per-worker deques
 //! ([`std::sync::Mutex`] + [`std::sync::Condvar`], no new dependencies) and
-//! handing them row-band tasks through [`WorkerPool::scope`].
+//! handing them row-chunk tasks through [`WorkerPool::scope`].
+//!
+//! ## Work-stealing scheduling
+//!
+//! Submitted tasks are distributed round-robin across **per-worker deques**.
+//! A worker pops its own deque from the front; when it runs dry it *steals
+//! half* of another worker's deque from the back, so an unlucky initial
+//! distribution — or a deque stuck behind one long-running chunk — rebalances
+//! itself instead of leaving workers idle behind a straggler. The kernels
+//! exploit this by splitting each call into more chunks than threads
+//! (see `for_each_row_block` in [`crate::ParallelPolicy`]'s module): equal
+//! *row counts* are not equal *costs* once sparsity is ragged or scopes of
+//! very different sizes share the pool, and stealing is what keeps every
+//! core busy until the last chunk retires. Chunks only reorder *when* a row
+//! is computed, never the accumulation order inside a row, so stolen-chunk
+//! output stays bitwise identical to serial.
+//!
+//! A task may be queued in two places at once (a worker deque and its
+//! scope's help list, below); execution is made exactly-once by a claim
+//! step — the task's closure is `take()`-n under a lock, and whoever gets
+//! `Some` runs it. A popped entry whose closure is already gone is stale
+//! and simply discarded.
 //!
 //! ## Borrowed-closure dispatch
 //!
@@ -30,19 +51,21 @@
 //! ## Deadlock safety and help scheduling
 //!
 //! A thread waiting on a scope does not merely sleep: it *helps*, draining
-//! its own scope's queued jobs until the scope completes. A nested `scope`
+//! its own scope's queued tasks until the scope completes. A nested `scope`
 //! on a pool worker — or a pooled kernel reached through an intermediate
-//! spawn-path scoped thread — therefore executes its jobs itself rather
+//! spawn-path scoped thread — therefore executes its tasks itself rather
 //! than waiting for a worker that is blocked further up the same call
 //! stack, so no nesting shape can deadlock the pool. Helping is bounded to
-//! the waiting scope's *own* jobs: a small serving scope never gets stuck
-//! executing an unrelated scope's long-running band (say, a large training
-//! job) before it can observe its own completion. Once none of its jobs
-//! remain queued, the stragglers are already running on other threads and
-//! the waiter sleeps on the scope's latch.
+//! the waiting scope's *own* tasks: each scope's latch keeps its own list of
+//! still-queued tasks, so the help loop pops from that list in O(1) per task
+//! — it never scans (or even locks) the pool's shared queues, and a small
+//! serving scope can never get stuck executing an unrelated scope's
+//! long-running chunk (say, a large training job) before it can observe its
+//! own completion. Once its own list is empty, the stragglers are already
+//! running on other threads and the waiter sleeps on the scope's latch.
 //!
-//! Every pool job — whether picked up by a worker or executed by a helping
-//! waiter — runs with a thread-local flag set
+//! Every pool task — whether picked up by a worker, stolen, or executed by a
+//! helping waiter — runs with a thread-local flag set
 //! ([`WorkerPool::on_worker_thread`]) that lets the kernels skip the queue
 //! entirely for nested dispatch and run inline — bitwise identical, and
 //! cheaper than help-routing.
@@ -52,69 +75,132 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
-/// A queued unit of work: a type-erased closure tagged with the identity of
-/// the scope it belongs to, so helping threads can pick out their own
-/// scope's jobs from the shared queue.
-struct Job {
-    /// Address of the owning scope's [`Latch`] — used purely as an
-    /// identity, never dereferenced. It cannot dangle-and-collide while the
-    /// job is queued: the job's closure holds an `Arc` to that latch, so
-    /// the allocation outlives the job.
-    scope: usize,
-    run: Box<dyn FnOnce() + Send + 'static>,
+/// A queued unit of work. The closure is claimed (`take`-n) by exactly one
+/// executor; the same `Arc<Task>` may sit in a worker deque *and* in its
+/// scope's help list, and whichever pops it second finds the closure gone
+/// and discards the stale entry.
+struct Task {
+    /// The scope this task belongs to — executing threads decrement its
+    /// latch; the help path drains the latch's own-task list.
+    latch: Arc<Latch>,
+    /// The actual work, present until claimed.
+    run: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
 }
 
 thread_local! {
     /// `true` on threads owned by any [`WorkerPool`], and on any thread for
-    /// the duration of a pool job it executes on the help path.
+    /// the duration of a pool task it executes on the help path.
     static ON_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Executes a job with the pool flag raised, restoring the caller's flag
-/// state afterwards. Kernels consult the flag to run nested dispatch
-/// inline, and that must hold on the help path exactly as it does on a
-/// worker thread. The job's own wrapper already catches user panics; the
-/// nested catch here exists for one exotic escape: a caught panic payload
-/// whose *own destructor* panics when dropped. The payload is dropped by
-/// the inner `drop`, inside the outer catch, so even that cannot kill a
-/// worker thread or double-panic a helping caller's unwind.
-fn run_flagged(run: Box<dyn FnOnce() + Send>) {
-    let was = ON_POOL_WORKER.with(|flag| flag.replace(true));
-    let _ = catch_unwind(AssertUnwindSafe(move || {
-        drop(catch_unwind(AssertUnwindSafe(run)));
-    }));
-    ON_POOL_WORKER.with(|flag| flag.set(was));
-}
-
 /// Locks a mutex, recovering from poisoning: the pool's shared state is a
-/// plain job queue whose invariants hold between every two statements, and
-/// user panics are caught before they can unwind through a held guard, so a
-/// poisoned lock only ever means "some unrelated thread panicked" — refusing
-/// to continue would turn one propagated panic into a deadlocked pool.
+/// plain set of task queues whose invariants hold between every two
+/// statements, and user panics are caught before they can unwind through a
+/// held guard, so a poisoned lock only ever means "some unrelated thread
+/// panicked" — refusing to continue would turn one propagated panic into a
+/// deadlocked pool.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// The injector queue shared by all workers of one pool.
-struct Shared {
-    queue: Mutex<Injector>,
-    /// Signalled when a job is pushed or shutdown begins.
-    work_ready: Condvar,
+/// Claims and executes `task` if its closure has not been claimed yet.
+/// Returns `false` for a stale entry (already claimed elsewhere).
+///
+/// The closure runs with the pool flag raised (restoring the caller's flag
+/// state afterwards — kernels consult the flag to run nested dispatch
+/// inline, and that must hold on the help path exactly as it does on a
+/// worker thread), with its panic caught and recorded on the scope's latch.
+fn run_task(task: &Task) -> bool {
+    let Some(run) = lock(&task.run).take() else {
+        return false;
+    };
+    let was = ON_POOL_WORKER.with(|flag| flag.replace(true));
+    let panic = catch_unwind(AssertUnwindSafe(run)).err();
+    ON_POOL_WORKER.with(|flag| flag.set(was));
+    task.latch.finish_task(panic);
+    true
 }
 
-struct Injector {
-    jobs: VecDeque<Job>,
+/// One worker's deque. The owner pops from the front; thieves take half
+/// from the back, so the owner keeps the cache-warm oldest chunks while a
+/// straggling backlog migrates wholesale to an idle worker.
+struct WorkerQueue {
+    deque: Mutex<VecDeque<Arc<Task>>>,
+}
+
+/// State shared by all workers of one pool.
+struct Shared {
+    /// One deque per worker thread.
+    workers: Vec<WorkerQueue>,
+    /// Sleep/shutdown coordination (see [`worker_loop`] for the protocol).
+    state: Mutex<PoolState>,
+    /// Signalled when a task is pushed or shutdown begins.
+    work_ready: Condvar,
+    /// Round-robin cursor for task injection.
+    next_worker: AtomicUsize,
+}
+
+struct PoolState {
+    /// Total tasks ever pushed — the monotonic counter workers use to
+    /// detect "something arrived between my empty scan and my sleep".
+    pushes: u64,
     shutdown: bool,
 }
 
+impl Shared {
+    /// Pushes a task onto the next deque in round-robin order and wakes one
+    /// sleeping worker. The push lands in the deque *before* the counter
+    /// increment, which is what makes the workers' scan-then-recheck sleep
+    /// protocol lossless.
+    fn push(&self, task: Arc<Task>) {
+        let at = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        lock(&self.workers[at].deque).push_back(task);
+        lock(&self.state).pushes += 1;
+        self.work_ready.notify_one();
+    }
+
+    /// Pops the calling worker's own deque, or steals half of the first
+    /// non-empty victim deque (from the back). Returns `None` only when
+    /// every deque was observed empty.
+    fn next_task(&self, me: usize) -> Option<Arc<Task>> {
+        if let Some(task) = lock(&self.workers[me].deque).pop_front() {
+            return Some(task);
+        }
+        let n = self.workers.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            let stolen = {
+                let mut victim_queue = lock(&self.workers[victim].deque);
+                let keep = victim_queue.len() / 2;
+                if victim_queue.len() == keep {
+                    continue; // empty: len 0, keep 0
+                }
+                victim_queue.split_off(keep)
+            };
+            let mut stolen = stolen.into_iter();
+            let first = stolen.next();
+            let mut mine = lock(&self.workers[me].deque);
+            mine.extend(stolen);
+            return first;
+        }
+        None
+    }
+}
+
 /// Completion latch of one [`PoolScope`]: how many spawned tasks are still
-/// running, plus the first panic payload any of them raised.
+/// running, the first panic payload any of them raised, and the scope's own
+/// still-queued tasks (the help list).
 struct Latch {
     state: Mutex<LatchState>,
     all_done: Condvar,
+    /// This scope's still-queued tasks, in spawn order. The help path pops
+    /// from here — O(1) per task, no shared-pool lock — so helping can never
+    /// execute another scope's work nor serialize unrelated submitters.
+    own: Mutex<VecDeque<Arc<Task>>>,
 }
 
 struct LatchState {
@@ -130,6 +216,7 @@ impl Latch {
                 panic: None,
             }),
             all_done: Condvar::new(),
+            own: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -143,11 +230,22 @@ impl Latch {
     fn finish_task(&self, panic: Option<Box<dyn Any + Send>>) {
         let mut state = lock(&self.state);
         state.pending -= 1;
-        if state.panic.is_none() {
+        let leftover = if state.panic.is_none() {
             state.panic = panic;
-        }
+            None
+        } else {
+            panic
+        };
         if state.pending == 0 {
             self.all_done.notify_all();
+        }
+        drop(state);
+        // A second (or later) panic payload is dropped here, outside the
+        // lock and inside a catch: one exotic escape is a payload whose
+        // *own destructor* panics when dropped, and even that must not kill
+        // a worker thread or double-panic a helping caller's unwind.
+        if let Some(payload) = leftover {
+            let _ = catch_unwind(AssertUnwindSafe(move || drop(payload)));
         }
     }
 
@@ -158,9 +256,10 @@ impl Latch {
 }
 
 /// A fixed-size pool of persistent worker threads executing borrowed
-/// closures submitted through [`WorkerPool::scope`].
+/// closures submitted through [`WorkerPool::scope`], scheduled by
+/// work-stealing across per-worker deques.
 ///
-/// Dropping the pool shuts it down cleanly: the workers finish every job
+/// Dropping the pool shuts it down cleanly: the workers finish every task
 /// already queued (there can be none unless a scope is still waiting on
 /// them), then exit and are joined.
 ///
@@ -193,22 +292,28 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Starts a pool with `workers` persistent threads (clamped to at
-    /// least 1 — a pool with no workers could never run a queued job).
+    /// least 1 — a pool with no workers could never run a queued task).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Injector {
-                jobs: VecDeque::new(),
+            workers: (0..workers)
+                .map(|_| WorkerQueue {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            state: Mutex::new(PoolState {
+                pushes: 0,
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            next_worker: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|id| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("sls-pool-worker-{id}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, id))
                     .expect("spawning a pool worker thread")
             })
             .collect();
@@ -221,14 +326,17 @@ impl WorkerPool {
     }
 
     /// `true` when called from a thread owned by any [`WorkerPool`], or
-    /// while the calling thread is executing a pool job on the help path
-    /// (a scope waiter draining its own jobs — see [`WorkerPool::scope`]).
+    /// while the calling thread is executing a pool task on the help path
+    /// (a scope waiter draining its own tasks — see [`WorkerPool::scope`]).
     ///
     /// Kernels use this to short-circuit nested dispatch: a task already
-    /// executing on behalf of the pool runs nested row bands inline instead
-    /// of round-tripping them through the queue. This is an optimisation,
-    /// not the liveness guarantee — waiting scopes help drain the queue, so
-    /// even un-flagged nesting cannot deadlock.
+    /// executing on behalf of the pool runs nested row chunks inline instead
+    /// of round-tripping them through the queues — and that holds for *any*
+    /// nested policy, pooled or spawn-path, because spawning fresh scoped
+    /// threads from inside a pool task would oversubscribe the machine just
+    /// the same. This is an optimisation, not the liveness guarantee —
+    /// waiting scopes help drain their own tasks, so even un-flagged nesting
+    /// cannot deadlock.
     pub fn on_worker_thread() -> bool {
         ON_POOL_WORKER.with(Cell::get)
     }
@@ -238,7 +346,7 @@ impl WorkerPool {
     ///
     /// Lazily started on first use with one worker per available core minus
     /// one (at least one) — the submitting thread always executes one row
-    /// band itself, so workers + submitter together saturate the machine.
+    /// chunk itself, so workers + submitter together saturate the machine.
     /// The pool lives for the rest of the process; it is an execution
     /// resource, never part of any serialized artifact.
     pub fn global() -> &'static WorkerPool {
@@ -256,8 +364,9 @@ impl WorkerPool {
     /// spawned task has finished.
     ///
     /// The calling thread is expected to do a share of the work itself
-    /// inside `f` (the kernels run their first row band inline) — `scope`
-    /// only sleeps once `f` returns and tasks are still in flight.
+    /// inside `f` (the kernels run their first row chunk inline) — `scope`
+    /// only sleeps once `f` returns, its own queued tasks are drained, and
+    /// tasks are still in flight on other threads.
     ///
     /// # Panics
     ///
@@ -281,20 +390,16 @@ impl WorkerPool {
         /// caller's closure unwinding: the lifetime-erasure safety argument
         /// requires that no task can outlive this stack frame.
         struct WaitGuard<'a> {
-            pool: &'a WorkerPool,
             latch: &'a Latch,
         }
         impl Drop for WaitGuard<'_> {
             fn drop(&mut self) {
-                self.pool.help_until_done(self.latch);
+                help_until_done(self.latch);
             }
         }
 
         let result = {
-            let _guard = WaitGuard {
-                pool: self,
-                latch: &latch,
-            };
+            let _guard = WaitGuard { latch: &latch };
             f(&scope)
         };
         if let Some(payload) = latch.take_panic() {
@@ -302,58 +407,57 @@ impl WorkerPool {
         }
         result
     }
+}
 
-    /// Blocks until `latch` has counted every task of one scope as
-    /// finished, executing that scope's still-queued jobs while waiting.
-    ///
-    /// The helping is what makes `scope` deadlock-free under *any* nesting:
-    /// a scope waited on from a pool worker (re-entrant `scope`), or from a
-    /// thread a pool worker is itself blocked on (a pooled kernel reached
-    /// through an intermediate spawn-path scoped thread), drains its own
-    /// jobs instead of waiting for a worker that will never come.
-    ///
-    /// Help is bounded to the waiting scope's own jobs on purpose: popping
-    /// arbitrary queue entries would let a thread waiting on a small
-    /// serving scope get stuck under an unrelated scope's long-running band
-    /// (unbounded added tail latency for pooled micro-batch requests under
-    /// mixed training+serving load). Liveness does not need cross-scope
-    /// help — unrelated queued jobs are drained by the workers and by their
-    /// *own* waiting submitters.
-    ///
-    /// Once none of this scope's jobs remain queued, every remaining task
-    /// is already running on some other thread, so a plain condvar wait
-    /// cannot strand work. That rests on an invariant the borrow checker
-    /// enforces: spawning onto a scope ends when its closure returns,
-    /// because [`PoolScope::spawn`] bounds tasks by `'env` (stricter than
-    /// [`std::thread::scope`]'s `'scope`), so a task can never capture the
-    /// scope handle and spawn siblings later — the attempt is a compile
-    /// error (`E0521`, borrowed data escapes the closure).
-    fn help_until_done(&self, latch: &Latch) {
-        let own = latch as *const Latch as usize;
-        loop {
-            if lock(&latch.state).pending == 0 {
-                return;
+/// Blocks until `latch` has counted every task of one scope as finished,
+/// executing that scope's still-queued tasks while waiting.
+///
+/// The helping is what makes `scope` deadlock-free under *any* nesting: a
+/// scope waited on from a pool worker (re-entrant `scope`), or from a
+/// thread a pool worker is itself blocked on (a pooled kernel reached
+/// through an intermediate spawn-path scoped thread), drains its own tasks
+/// instead of waiting for a worker that will never come.
+///
+/// Help is bounded to the waiting scope's own tasks on purpose: executing
+/// arbitrary queued work would let a thread waiting on a small serving
+/// scope get stuck under an unrelated scope's long-running chunk (unbounded
+/// added tail latency for pooled micro-batch requests under mixed
+/// training+serving load). The bound is structural, not a filter: the help
+/// list lives on the scope's own latch, so each pop is O(1) and touches no
+/// shared pool state — with many scopes in flight, helpers cannot serialize
+/// each other the way the old scan-the-global-injector help path did.
+/// Liveness does not need cross-scope help — unrelated queued tasks are
+/// drained by the workers and by their *own* waiting submitters.
+///
+/// Once the scope's own list is empty, every remaining task is either
+/// already running on some other thread or claimed-and-stale, so a plain
+/// condvar wait cannot strand work. That rests on an invariant the borrow
+/// checker enforces: spawning onto a scope ends when its closure returns,
+/// because [`PoolScope::spawn`] bounds tasks by `'env` (stricter than
+/// [`std::thread::scope`]'s `'scope`), so a task can never capture the
+/// scope handle and spawn siblings later — the attempt is a compile error
+/// (`E0521`, borrowed data escapes the closure).
+fn help_until_done(latch: &Latch) {
+    loop {
+        if lock(&latch.state).pending == 0 {
+            return;
+        }
+        let task = lock(&latch.own).pop_front();
+        match task {
+            // A stale entry (claimed by a worker or thief) just pops off;
+            // the next iteration re-checks pending.
+            Some(task) => {
+                run_task(&task);
             }
-            let job = {
-                let mut queue = lock(&self.shared.queue);
-                queue
-                    .jobs
-                    .iter()
-                    .position(|job| job.scope == own)
-                    .and_then(|at| queue.jobs.remove(at))
-            };
-            match job {
-                Some(job) => run_flagged(job.run),
-                None => {
-                    let mut state = lock(&latch.state);
-                    while state.pending > 0 {
-                        state = latch
-                            .all_done
-                            .wait(state)
-                            .unwrap_or_else(PoisonError::into_inner);
-                    }
-                    return;
+            None => {
+                let mut state = lock(&latch.state);
+                while state.pending > 0 {
+                    state = latch
+                        .all_done
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
+                return;
             }
         }
     }
@@ -361,10 +465,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut queue = lock(&self.shared.queue);
-            queue.shutdown = true;
-        }
+        lock(&self.shared.state).shutdown = true;
         self.shared.work_ready.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -404,57 +505,69 @@ impl<'env> PoolScope<'_, 'env> {
     /// fully supported).
     pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
         self.latch.add_task();
-        let latch = Arc::clone(&self.latch);
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(task);
         // SAFETY: the closure only has to live for the duration of the
         // enclosing `WorkerPool::scope` call, because `scope` blocks (on the
         // latch this task was just registered with) until the task has
         // finished — on the normal path and, via `WaitGuard`, when
-        // unwinding. Erasing the lifetime to `'static` therefore never lets
-        // the task observe a dead borrow; the transmute only changes the
-        // trait object's lifetime bound, not its layout.
+        // unwinding. An unclaimed closure keeps the latch pending, so the
+        // wait also covers every entry still sitting in a deque. Erasing the
+        // lifetime to `'static` therefore never lets the task observe a dead
+        // borrow; the transmute only changes the trait object's lifetime
+        // bound, not its layout.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
         };
-        let job = Job {
-            scope: Arc::as_ptr(&self.latch) as usize,
-            run: Box::new(move || {
-                let panic = catch_unwind(AssertUnwindSafe(task)).err();
-                latch.finish_task(panic);
-            }),
-        };
-        let mut queue = lock(&self.pool.shared.queue);
-        queue.jobs.push_back(job);
-        drop(queue);
-        self.pool.shared.work_ready.notify_one();
+        let task = Arc::new(Task {
+            latch: Arc::clone(&self.latch),
+            run: Mutex::new(Some(task)),
+        });
+        lock(&self.latch.own).push_back(Arc::clone(&task));
+        self.pool.shared.push(task);
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// The worker main loop: drain own deque from the front, steal half from a
+/// victim's back when dry, and sleep only after an empty scan that no
+/// concurrent push raced with.
+///
+/// The sleep protocol is scan-then-recheck against the shared `pushes`
+/// counter: a push lands in a deque *before* incrementing the counter, so
+/// if the counter is unchanged between the pre-scan read and the
+/// under-lock recheck, every task pushed before the recheck was already
+/// visible to the scan — an empty scan plus an unchanged counter means
+/// there is genuinely nothing to do, and the condvar wait cannot lose a
+/// wakeup (the notify happens after the increment, under no lock, but the
+/// recheck holds the state lock the incrementer also takes).
+fn worker_loop(shared: &Shared, me: usize) {
     ON_POOL_WORKER.with(|flag| flag.set(true));
     loop {
-        let job = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(job) = queue.jobs.pop_front() {
-                    break job;
-                }
-                // Drain-then-exit ordering: shutdown is only honoured once
-                // the queue is empty, so a dropping pool never strands a
-                // queued job (and with it a waiting scope).
-                if queue.shutdown {
-                    return;
-                }
-                queue = shared
-                    .work_ready
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        // `run_flagged` re-raises the (already set) worker flag around the
-        // job and, belt-and-braces, keeps the worker alive even if a panic
-        // payload's own destructor panics.
-        run_flagged(job.run);
+        let seen = lock(&shared.state).pushes;
+        let mut ran_any = false;
+        while let Some(task) = shared.next_task(me) {
+            // Stale entries (claimed by a helping waiter) pop and discard.
+            run_task(&task);
+            ran_any = true;
+        }
+        if ran_any {
+            continue;
+        }
+        let state = lock(&shared.state);
+        if state.pushes != seen {
+            continue;
+        }
+        // Drain-then-exit ordering: shutdown is only honoured once every
+        // deque is empty (the scan above), so a dropping pool never strands
+        // a queued task (and with it a waiting scope).
+        if state.shutdown {
+            return;
+        }
+        drop(
+            shared
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
     }
 }
 
@@ -585,7 +698,7 @@ mod tests {
     #[test]
     fn reentrant_scope_on_a_pool_worker_completes() {
         // A task running on the pool's only worker opens a nested scope on
-        // the same pool: the nested jobs can never be picked up by a free
+        // the same pool: the nested tasks can never be picked up by a free
         // worker, so the waiting task must drain them itself
         // (help-while-wait). Before that scheduling, this test deadlocked.
         let pool = WorkerPool::new(1);
@@ -626,5 +739,101 @@ mod tests {
         });
         drop(pool);
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_straggler_backlog() {
+        // Two workers. The round-robin injector alternates tasks between
+        // their deques; the first task on worker 0's deque blocks until
+        // every other task has run. If worker 1 (and the helping submitter)
+        // could not steal from worker 0's deque, the tasks queued behind
+        // the blocker would never run and this test would deadlock.
+        let pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        const OTHERS: usize = 31;
+        pool.scope(|scope| {
+            let done = &done;
+            scope.spawn(move || {
+                while done.load(Ordering::SeqCst) < OTHERS {
+                    std::thread::yield_now();
+                }
+            });
+            for _ in 0..OTHERS {
+                scope.spawn(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), OTHERS);
+    }
+
+    #[test]
+    fn steal_half_takes_the_back_half() {
+        // Directly exercise the steal arithmetic: victim with 5 entries
+        // keeps the front 2 (it owns the oldest), the thief gets 3 from the
+        // back and runs the first of them.
+        let shared = Shared {
+            workers: (0..2)
+                .map(|_| WorkerQueue {
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            state: Mutex::new(PoolState {
+                pushes: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            next_worker: AtomicUsize::new(0),
+        };
+        let latch = Arc::new(Latch::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5usize {
+            latch.add_task();
+            let latch_for_task = Arc::clone(&latch);
+            let order = Arc::clone(&order);
+            let run: Box<dyn FnOnce() + Send> = Box::new(move || {
+                lock(&order).push(i);
+                drop(latch_for_task); // keep the latch alive like a real task
+            });
+            lock(&shared.workers[0].deque).push_back(Arc::new(Task {
+                latch: Arc::clone(&latch),
+                run: Mutex::new(Some(run)),
+            }));
+        }
+        // Worker 1 is empty: next_task must steal from worker 0's back.
+        let stolen = shared.next_task(1).expect("steals a task");
+        assert!(run_task(&stolen));
+        assert_eq!(*lock(&order), vec![2], "thief runs the first stolen task");
+        assert_eq!(
+            lock(&shared.workers[0].deque).len(),
+            2,
+            "victim keeps front"
+        );
+        assert_eq!(lock(&shared.workers[1].deque).len(), 2, "thief keeps rest");
+        // Owner still pops its front in order.
+        let own = shared.next_task(0).expect("owner pops front");
+        assert!(run_task(&own));
+        assert_eq!(*lock(&order), vec![2, 0]);
+    }
+
+    #[test]
+    fn stale_entries_are_discarded_not_rerun() {
+        // A task claimed through one queue must be a no-op when its other
+        // queue entry is popped: run_task returns false and the closure
+        // never runs twice.
+        let latch = Arc::new(Latch::new());
+        latch.add_task();
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs_in_task = Arc::clone(&runs);
+        let task = Arc::new(Task {
+            latch: Arc::clone(&latch),
+            run: Mutex::new(Some(Box::new(move || {
+                runs_in_task.fetch_add(1, Ordering::SeqCst);
+            }))),
+        });
+        assert!(run_task(&task), "first pop claims and runs");
+        assert!(!run_task(&task), "second pop is stale");
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(lock(&latch.state).pending, 0, "finish counted exactly once");
     }
 }

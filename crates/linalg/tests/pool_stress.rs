@@ -270,6 +270,137 @@ fn pooled_kernel_panic_propagates_and_the_global_pool_survives() {
     assert!(bitwise_eq(&doubled, &m.scale(2.0)));
 }
 
+#[test]
+fn many_concurrent_scopes_help_without_scanning_each_other() {
+    // The O(queue²) regression shape: before jobs were indexed per scope,
+    // every helped job re-scanned the entire shared queue under the global
+    // lock, so many concurrent scopes × many chunks serialized all
+    // submitters. With per-latch job lists this load — 16 submitters × 25
+    // scopes × 64 jobs against 2 workers, far more jobs than the pool can
+    // drain, so nearly all of them retire through the submitters' help
+    // paths — completes quickly and correctly; under the old scan it
+    // visibly crawled. Correctness (no lost, double-run, or cross-scope
+    // job) is asserted exactly.
+    let pool = WorkerPool::new(2);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for submitter in 0..16usize {
+            let pool = &pool;
+            let total = &total;
+            s.spawn(move || {
+                for _ in 0..25usize {
+                    let scope_sum = AtomicUsize::new(0);
+                    pool.scope(|scope| {
+                        for job in 0..64usize {
+                            let scope_sum = &scope_sum;
+                            scope.spawn(move || {
+                                scope_sum.fetch_add(submitter * 1000 + job, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    let expected: usize = (0..64).map(|job| submitter * 1000 + job).sum();
+                    assert_eq!(scope_sum.load(Ordering::Relaxed), expected);
+                    total.fetch_add(64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 25 * 64);
+}
+
+#[test]
+fn skewed_scopes_stay_isolated_under_stealing() {
+    // Work-stealing moves *chunks between workers*, never *across scopes on
+    // a waiting submitter*: while one submitter runs long heavy-row scopes,
+    // other submitters' small scopes must still execute only on pool
+    // workers or their own submitting thread. This is the straggler shape
+    // chunking exists for — if stealing had been implemented by letting
+    // waiters pull from a shared queue, the heavy scope's chunks would leak
+    // onto the small scopes' waiters and trip the thread-identity check.
+    let pool = WorkerPool::new(2);
+    std::thread::scope(|s| {
+        // One heavy submitter: scopes whose jobs spin long enough to overlap
+        // the small scopes' waits.
+        let heavy_pool = &pool;
+        s.spawn(move || {
+            for _ in 0..30 {
+                heavy_pool.scope(|scope| {
+                    for _ in 0..8 {
+                        scope.spawn(|| {
+                            std::hint::black_box((0..20_000).fold(0u64, |a, x| a ^ x));
+                        });
+                    }
+                });
+            }
+        });
+        for _ in 0..6 {
+            let pool = &pool;
+            s.spawn(move || {
+                let submitter = std::thread::current().id();
+                for _ in 0..60 {
+                    pool.scope(|scope| {
+                        for _ in 0..3 {
+                            scope.spawn(move || {
+                                let current = std::thread::current();
+                                let on_pool_worker = current
+                                    .name()
+                                    .is_some_and(|name| name.starts_with("sls-pool-worker-"));
+                                assert!(
+                                    on_pool_worker || current.id() == submitter,
+                                    "a small scope's chunk ran on a foreign thread: {:?}",
+                                    current.name()
+                                );
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ragged_row_costs_are_bitwise_identical_across_dispatch_and_chunking() {
+    // Ragged per-row work (each row's closure cost scales with the row
+    // index, so early chunks are light and late chunks are heavy) across
+    // {serial, spawn, pool} × threads {1,2,4,8} × chunk sizes {adaptive, 1,
+    // 3, 64}: stealing may reorder *when* rows run, but every row's
+    // accumulation order is fixed, so outputs must match serial bit for
+    // bit.
+    let mut rng = rand_seed();
+    let data = Matrix::random_normal(96, 10, 0.0, 1.0, &mut rng);
+    let ragged = |i: usize, row: &[f64], out: &mut [f64]| {
+        // Cost grows with the row index: a late row re-accumulates its
+        // values many more times than an early one (serial accumulation
+        // order within the row regardless).
+        let reps = 1 + (i * 7) % 40;
+        for slot in out.iter_mut() {
+            *slot = 0.0;
+        }
+        for _ in 0..reps {
+            for (slot, &x) in out.iter_mut().zip(row) {
+                *slot += x;
+            }
+        }
+    };
+    let reference = data.map_rows_with(10, &ParallelPolicy::serial(), ragged);
+    for threads in [1usize, 2, 4, 8] {
+        for pool in [false, true] {
+            for chunk_rows in [0usize, 1, 3, 64] {
+                let policy = ParallelPolicy::new(threads)
+                    .with_min_rows_per_thread(1)
+                    .with_pool(pool)
+                    .with_chunk_rows(chunk_rows);
+                let out = data.map_rows_with(10, &policy, ragged);
+                assert!(
+                    bitwise_eq(&out, &reference),
+                    "threads {threads} pool {pool} chunk_rows {chunk_rows}"
+                );
+            }
+        }
+    }
+}
+
 fn rand_seed() -> rand_chacha::ChaCha8Rng {
     use rand::SeedableRng;
     rand_chacha::ChaCha8Rng::seed_from_u64(2024)

@@ -45,19 +45,26 @@ fn large_matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
 /// boundaries (including `min_rows_per_thread` values that force serial
 /// execution for most shapes — the cutover itself is under test), both
 /// dispatch modes (spawn-per-call scoped threads and the persistent worker
-/// pool) and both SIMD arms (unrolled 4-lane and scalar fallback). Every
+/// pool), both SIMD arms (unrolled 4-lane and scalar fallback) and chunk
+/// sizes from adaptive through single-row to larger-than-any-shape. Every
 /// bitwise-identity property below therefore holds across the full
-/// {serial, spawn, pool} × {simd on, simd off} grid.
+/// {serial, spawn, pool} × {simd on, simd off} × chunking grid.
 fn policy_strategy() -> impl Strategy<Value = ParallelPolicy> {
-    (1..=8usize, 1..=9usize, 0..2usize, 0..2usize).prop_map(|(threads, min_rows, pool, simd)| {
-        // 9 maps to a cutover larger than any generated row count,
-        // forcing the serial path through the parallel entry points.
-        let min_rows = if min_rows == 9 { 64 } else { min_rows };
-        ParallelPolicy::new(threads)
-            .with_min_rows_per_thread(min_rows)
-            .with_pool(pool == 1)
-            .with_simd(SimdPolicy::from_enabled(simd == 1))
-    })
+    (1..=8usize, 1..=9usize, 0..2usize, 0..2usize, 0..4usize).prop_map(
+        |(threads, min_rows, pool, simd, chunk)| {
+            // 9 maps to a cutover larger than any generated row count,
+            // forcing the serial path through the parallel entry points.
+            let min_rows = if min_rows == 9 { 64 } else { min_rows };
+            // 0 = adaptive; the rest pin extreme chunk sizes (chunking must
+            // be bitwise inert, so any value is as good as any other).
+            let chunk_rows = [0, 1, 2, 64][chunk];
+            ParallelPolicy::new(threads)
+                .with_min_rows_per_thread(min_rows)
+                .with_pool(pool == 1)
+                .with_simd(SimdPolicy::from_enabled(simd == 1))
+                .with_chunk_rows(chunk_rows)
+        },
+    )
 }
 
 /// Operand pairs whose *inner* (dot/axpy) dimension is `16q + tail` with
@@ -90,6 +97,15 @@ fn policy_grid() -> Vec<ParallelPolicy> {
                     .with_simd(simd),
             );
         }
+        // Single-row chunks on the pool path maximise stealing and chunk
+        // reordering — the harshest test of chunking's bitwise inertness.
+        grid.push(
+            ParallelPolicy::new(4)
+                .with_min_rows_per_thread(1)
+                .with_pool(true)
+                .with_simd(simd)
+                .with_chunk_rows(1),
+        );
     }
     grid
 }

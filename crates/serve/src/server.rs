@@ -367,9 +367,51 @@ impl ServerHandle {
     }
 }
 
-/// One `(name, mtime, len)` triple per artifact file — cheap to compute and
-/// enough to notice exports, deletions and renames without hashing content.
-type DirFingerprint = Vec<(String, Option<SystemTime>, u64)>;
+/// One `(name, mtime, len, checksum)` entry per artifact file. Name, mtime
+/// and length alone miss a real case: a retrain exporting an equal-size
+/// artifact within the filesystem's mtime granularity (same second on many
+/// filesystems) looks identical and is silently never reloaded. The checksum
+/// closes that hole without hashing whole files — it folds the length plus
+/// the first and last [`FINGERPRINT_PROBE_BYTES`] of content through FNV-1a,
+/// and generation counters / trained weights live in exactly those regions
+/// of the JSON exports.
+type DirFingerprint = Vec<(String, Option<SystemTime>, u64, u64)>;
+
+/// How many bytes of head and of tail feed the fingerprint checksum.
+const FINGERPRINT_PROBE_BYTES: usize = 4096;
+
+/// FNV-1a over the file's length and its first/last
+/// [`FINGERPRINT_PROBE_BYTES`] bytes. Reads at most 8 KiB per artifact, so
+/// the poll stays cheap even for large exports.
+fn probe_checksum(path: &std::path::Path, len: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    fold(&len.to_le_bytes());
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return hash;
+    };
+    use std::io::{Read, Seek, SeekFrom};
+    let mut head = [0u8; FINGERPRINT_PROBE_BYTES];
+    if let Ok(read) = file.read(&mut head) {
+        fold(&head[..read]);
+    }
+    if len > FINGERPRINT_PROBE_BYTES as u64 {
+        let tail_start = len.saturating_sub(FINGERPRINT_PROBE_BYTES as u64);
+        let mut tail = [0u8; FINGERPRINT_PROBE_BYTES];
+        if file.seek(SeekFrom::Start(tail_start)).is_ok() {
+            if let Ok(read) = file.read(&mut tail) {
+                fold(&tail[..read]);
+            }
+        }
+    }
+    hash
+}
 
 fn dir_fingerprint(live: &LiveRegistry) -> DirFingerprint {
     let Some(dir) = live.source() else {
@@ -383,10 +425,12 @@ fn dir_fingerprint(live: &LiveRegistry) -> DirFingerprint {
         .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
         .map(|e| {
             let meta = e.metadata().ok();
+            let len = meta.as_ref().map_or(0, |m| m.len());
             (
                 e.file_name().to_string_lossy().into_owned(),
                 meta.as_ref().and_then(|m| m.modified().ok()),
-                meta.map_or(0, |m| m.len()),
+                len,
+                probe_checksum(&e.path(), len),
             )
         })
         .collect();

@@ -290,6 +290,70 @@ fn directory_watcher_swaps_without_an_admin_call() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A retrain that exports an equal-size artifact within the filesystem's
+/// mtime granularity must still be picked up. The old `(name, mtime, len)`
+/// fingerprint was blind to such a rewrite; the content checksum closes the
+/// hole. The test forces the worst case deterministically: both artifacts
+/// padded to the same byte length (JSON tolerates trailing whitespace) and
+/// the second write's mtime restored to the first's.
+#[test]
+fn watcher_detects_same_size_same_mtime_rewrite() {
+    let dir = unique_dir("samesize");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{MODEL}.json"));
+
+    // Two distinct generations, padded to identical byte length.
+    let staging = dir.join("staging.tmp");
+    train(1).save(&path).unwrap();
+    train(2).save(&staging).unwrap();
+    let mut v1 = std::fs::read(&path).unwrap();
+    let mut v2 = std::fs::read(&staging).unwrap();
+    std::fs::remove_file(&staging).unwrap();
+    let len = v1.len().max(v2.len());
+    v1.resize(len, b' ');
+    v2.resize(len, b' ');
+    assert_ne!(v1, v2, "the padded artifacts must differ in content");
+    std::fs::write(&path, &v1).unwrap();
+    let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+    let handle = Server::bind_live(
+        "127.0.0.1:0",
+        LiveRegistry::from_dir(&dir, false).expect("load artifact dir"),
+        2,
+    )
+    .expect("bind")
+    .with_watch(Some(Duration::from_millis(25)))
+    .start()
+    .expect("server starts");
+    let live = handle.live();
+    assert_eq!(live.generation(), 1);
+
+    // Same-size rewrite with the mtime pinned back to the first export's —
+    // every pre-checksum fingerprint component is now identical.
+    std::fs::write(&path, &v2).unwrap();
+    let file = std::fs::File::options().append(true).open(&path).unwrap();
+    file.set_modified(mtime).unwrap();
+    drop(file);
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().modified().unwrap(),
+        mtime,
+        "the rewrite must present the original mtime"
+    );
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while live.generation() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never noticed the same-size same-mtime rewrite"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(live.swaps(), 1);
+    assert_eq!(live.failed_reloads(), 0);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A compact registry serves every endpoint over HTTP within the documented
 /// error bound of the full-precision registry, and advertises itself in
 /// `/models`.
