@@ -185,6 +185,19 @@ impl Shared {
             let first = stolen.next();
             let mut mine = lock(&self.workers[me].deque);
             mine.extend(stolen);
+            let surplus = !mine.is_empty();
+            drop(mine);
+            // While the batch was in flight between the two deques, another
+            // worker's scan could have seen every deque empty and gone to
+            // sleep with work still outstanding. If the steal moved more
+            // than the one task we run ourselves, bump the counter (the
+            // surplus is already visible in our deque, preserving the
+            // deque-before-counter ordering) and wake a sleeper so it
+            // re-scans and can sub-steal instead of idling behind us.
+            if surplus {
+                lock(&self.state).pushes += 1;
+                self.work_ready.notify_one();
+            }
             return first;
         }
         None
@@ -440,7 +453,7 @@ impl WorkerPool {
 fn help_until_done(latch: &Latch) {
     loop {
         if lock(&latch.state).pending == 0 {
-            return;
+            break;
         }
         let task = lock(&latch.own).pop_front();
         match task {
@@ -457,10 +470,18 @@ fn help_until_done(latch: &Latch) {
                         .wait(state)
                         .unwrap_or_else(PoisonError::into_inner);
                 }
-                return;
+                break;
             }
         }
     }
+    // The scope is complete, but entries claimed by workers before this
+    // thread could pop them may still sit in `own` — and each holds an
+    // `Arc<Task>` whose task holds an `Arc` back to this latch. Left alone,
+    // that strong cycle would leak the latch, the task shells, and the
+    // deque on every scope whose workers out-raced the helping submitter
+    // (the common fast path). Nothing can be added to `own` once the scope
+    // closure has returned, so draining it here severs the cycle.
+    lock(&latch.own).clear();
 }
 
 impl Drop for WorkerPool {
@@ -814,6 +835,37 @@ mod tests {
         let own = shared.next_task(0).expect("owner pops front");
         assert!(run_task(&own));
         assert_eq!(*lock(&order), vec![2, 0]);
+    }
+
+    #[test]
+    fn scope_exit_breaks_the_latch_task_cycle() {
+        // Regression: `Latch.own` holds `Arc<Task>` and every task holds an
+        // `Arc<Latch>` back. When workers claim and finish tasks before the
+        // helping submitter pops the matching own-list entries (the common
+        // fast path), the scope used to exit with a non-empty own list and
+        // leak the whole latch+tasks cycle on every completed scope. The
+        // help loop must drain the list on exit so the latch is freed.
+        let pool = WorkerPool::new(2);
+        let mut leaked = Vec::new();
+        for _ in 0..32 {
+            let weak = pool.scope(|scope| {
+                for _ in 0..16 {
+                    scope.spawn(|| {});
+                }
+                Arc::downgrade(&scope.latch)
+            });
+            leaked.push(weak);
+        }
+        // A worker may still hold a stale `Arc<Task>` it popped moments
+        // ago; give the deques a bounded window to drain before asserting.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while leaked.iter().any(|weak| weak.upgrade().is_some())
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        let alive = leaked.iter().filter(|weak| weak.upgrade().is_some()).count();
+        assert_eq!(alive, 0, "every completed scope's latch must be freed");
     }
 
     #[test]

@@ -397,17 +397,32 @@ fn probe_checksum(path: &std::path::Path, len: u64) -> u64 {
         return hash;
     };
     use std::io::{Read, Seek, SeekFrom};
-    let mut head = [0u8; FINGERPRINT_PROBE_BYTES];
-    if let Ok(read) = file.read(&mut head) {
-        fold(&head[..read]);
+    // `read` may legally return fewer bytes than the buffer holds; a single
+    // call would make the checksum depend on how the kernel chunked the
+    // read, so the same unchanged file could hash differently across polls
+    // and trigger spurious reloads. Loop until the probe window is full or
+    // EOF.
+    fn read_probe(file: &mut std::fs::File, buf: &mut [u8]) -> usize {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        filled
     }
+    let mut head = [0u8; FINGERPRINT_PROBE_BYTES];
+    let read = read_probe(&mut file, &mut head);
+    fold(&head[..read]);
     if len > FINGERPRINT_PROBE_BYTES as u64 {
         let tail_start = len.saturating_sub(FINGERPRINT_PROBE_BYTES as u64);
         let mut tail = [0u8; FINGERPRINT_PROBE_BYTES];
         if file.seek(SeekFrom::Start(tail_start)).is_ok() {
-            if let Ok(read) = file.read(&mut tail) {
-                fold(&tail[..read]);
-            }
+            let read = read_probe(&mut file, &mut tail);
+            fold(&tail[..read]);
         }
     }
     hash
