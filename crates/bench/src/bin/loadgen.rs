@@ -28,6 +28,9 @@
 //! `--keep-alive 1` gives every worker one reused connection instead of a
 //! connection per request; `--batch-report 1` samples `GET /statz` around
 //! the run and prints what the server's cross-request micro-batcher did.
+//! `--v1 1` pins every request to the versioned `/v1/...` paths (the
+//! responses are byte-identical aliases), exercising the prefix the shard
+//! router and forward-compatible clients use.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -42,7 +45,7 @@ use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--model NAME] [--requests N] \
 [--concurrency N] [--rows N] [--mode features|assign|mix] [--seed N] \
-[--keep-alive 0|1] [--batch-report 0|1] [--artifact PATH] [--compact 0|1]";
+[--keep-alive 0|1] [--batch-report 0|1] [--artifact PATH] [--compact 0|1] [--v1 0|1]";
 
 /// How many distinct row batches the workers cycle through. Small enough to
 /// precompute references cheaply, large enough that concurrent in-flight
@@ -62,6 +65,8 @@ struct Options {
     artifact: Option<String>,
     /// Expected serving representation; `None` trusts the `/models` listing.
     compact: Option<bool>,
+    /// Pin requests to the versioned `/v1` path prefix.
+    v1: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -118,6 +123,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         batch_report: false,
         artifact: None,
         compact: None,
+        v1: false,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -152,6 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--batch-report" => options.batch_report = parse_bool(flag, value)?,
             "--artifact" => options.artifact = Some(value.clone()),
             "--compact" => options.compact = Some(parse_bool(flag, value)?),
+            "--v1" => options.v1 = parse_bool(flag, value)?,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -275,7 +282,10 @@ fn run(options: &Options) -> Result<(), String> {
         .map_err(|e| format!("cannot resolve `{}`: {e}", options.addr))?
         .next()
         .ok_or_else(|| format!("`{}` resolved to no address", options.addr))?;
-    let client = Client::new(addr).with_timeout(Duration::from_secs(30));
+    let client = Client::builder()
+        .timeout(Duration::from_secs(30))
+        .v1(options.v1)
+        .build(addr);
 
     let health = client
         .health()
@@ -325,10 +335,11 @@ fn run(options: &Options) -> Result<(), String> {
         }
     }
     println!(
-        "loadgen: {} requests x {} rows against http://{addr}/models/{} \
+        "loadgen: {} requests x {} rows against http://{addr}{}/models/{} \
          ({} healthy models, concurrency {}, visible width {}, keep-alive {}, {})",
         options.requests,
         options.rows,
+        if options.v1 { "/v1" } else { "" },
         options.model,
         health.models,
         options.concurrency,

@@ -864,7 +864,10 @@ mod tests {
         {
             std::thread::yield_now();
         }
-        let alive = leaked.iter().filter(|weak| weak.upgrade().is_some()).count();
+        let alive = leaked
+            .iter()
+            .filter(|weak| weak.upgrade().is_some())
+            .count();
         assert_eq!(alive, 0, "every completed scope's latch must be freed");
     }
 

@@ -117,11 +117,76 @@ pub struct ModelsResponse {
     pub models: Vec<ModelInfo>,
 }
 
+/// Stable machine-readable error codes carried in every
+/// [`ErrorResponse::code`]. Clients branch on these; the `error` string is
+/// for humans and may change wording between releases, the codes may not.
+pub mod code {
+    /// No route matches the request path.
+    pub const NOT_FOUND: &str = "not_found";
+    /// The path starts with a `/v{n}` prefix this server does not speak.
+    pub const UNSUPPORTED_API_VERSION: &str = "unsupported_api_version";
+    /// The path exists but not under this method.
+    pub const METHOD_NOT_ALLOWED: &str = "method_not_allowed";
+    /// The `{name}` path segment names no loaded model.
+    pub const MODEL_NOT_FOUND: &str = "model_not_found";
+    /// The request body is not valid JSON of the expected shape.
+    pub const INVALID_BODY: &str = "invalid_body";
+    /// The rows are empty, ragged, or not the model's visible width.
+    pub const BAD_ROW_WIDTH: &str = "bad_row_width";
+    /// `/assign` on a model whose artifact carries no cluster head.
+    pub const NO_CLUSTER_HEAD: &str = "no_cluster_head";
+    /// The model rejected a well-shaped batch at compute time.
+    pub const INFERENCE_FAILED: &str = "inference_failed";
+    /// The declared body exceeds the configured limit (413).
+    pub const BODY_TOO_LARGE: &str = "body_too_large";
+    /// The request could not be framed; the connection closes (400).
+    pub const MALFORMED_REQUEST: &str = "malformed_request";
+    /// The server is at its connection cap and shed this one (503).
+    pub const OVER_CAPACITY: &str = "over_capacity";
+    /// This node is draining: health checks fail while open connections
+    /// finish (503).
+    pub const DRAINING: &str = "draining";
+    /// Drain was requested on a server without drain support (routing over
+    /// a bare registry).
+    pub const DRAIN_UNAVAILABLE: &str = "drain_unavailable";
+    /// The router found no live replica to forward to (503).
+    pub const REPLICA_UNAVAILABLE: &str = "replica_unavailable";
+    /// A drain request named an address outside the replica set (404).
+    pub const REPLICA_NOT_FOUND: &str = "replica_not_found";
+    /// A drain request targeted the only replica still taking traffic (409).
+    pub const LAST_REPLICA: &str = "last_replica";
+    /// The server failed internally (500).
+    pub const INTERNAL: &str = "internal";
+}
+
 /// Body of every non-2xx response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrorResponse {
     /// Human-readable explanation of the failure.
     pub error: String,
+    /// Stable machine-readable failure class, one of the [`code`] constants.
+    /// Defaults to empty when decoding bodies from servers predating the
+    /// field.
+    pub code: String,
+}
+
+// Hand-written so `code` is optional on decode: bodies from servers
+// predating the field still parse (the vendored serde facade has no
+// `#[serde(default)]`).
+impl Deserialize for ErrorResponse {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::DeError::mismatch("object", value))?;
+        let error = String::from_value(serde::field(entries, "error")?)?;
+        let code = entries
+            .iter()
+            .find(|(key, _)| key == "code")
+            .map(|(_, v)| String::from_value(v))
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Self { error, code })
+    }
 }
 
 /// Body of `GET /statz`: the cross-request micro-batching configuration and
@@ -220,6 +285,126 @@ pub struct ReloadResponse {
     /// Per-artifact load results for the scanned directory.
     pub models: Vec<ModelLoadResult>,
     /// Overall failure explanation when rejected (`null` on success).
+    pub error: Option<String>,
+}
+
+/// Body of `POST /admin/drain` on a serving node: the node keeps answering
+/// requests on open connections but fails `/healthz` with 503 so routers
+/// and load balancers stop sending it new traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainResponse {
+    /// Always `"draining"` once the flag is set (drain is idempotent).
+    pub status: String,
+    /// `true` — the node now fails health checks.
+    pub draining: bool,
+}
+
+/// Body of `POST /admin/drain` on the **router**: names the replica to
+/// retire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainRequest {
+    /// Replica address exactly as configured (`host:port`).
+    pub replica: String,
+}
+
+/// Body of a successful router `POST /admin/drain`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterDrainResponse {
+    /// `"drained"` once in-flight forwards hit zero, `"draining"` if some
+    /// were still running when the bounded wait expired.
+    pub status: String,
+    /// The replica that was drained.
+    pub replica: String,
+    /// Forwards still in flight on the replica when the response was built.
+    pub in_flight: usize,
+    /// `true` when the replica itself acknowledged the forwarded drain (its
+    /// own `/healthz` now fails); `false` when it was unreachable.
+    pub node_drained: bool,
+}
+
+/// Body of router `GET /healthz`: replica availability in one glance.
+/// Decodes as a [`HealthResponse`] too (extra fields are ignored), so
+/// clients need not care whether they talk to a node or a router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterHealthResponse {
+    /// `"ok"` while at least one replica is routable.
+    pub status: String,
+    /// Models currently advertised (consistent across their owners).
+    pub models: usize,
+    /// Configured replica count, drained included.
+    pub replicas: usize,
+    /// Replicas that are healthy and not drained.
+    pub available: usize,
+}
+
+/// One replica's row inside router `GET /admin/statz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStatz {
+    /// Replica address.
+    pub addr: String,
+    /// Last health-check / forward outcome.
+    pub healthy: bool,
+    /// `true` once drained; a drained replica owns nothing.
+    pub drained: bool,
+    /// Registry generation the replica reported, `null` when drained or
+    /// unreachable.
+    pub generation: Option<u64>,
+    /// Forwards currently running against this replica.
+    pub in_flight: usize,
+    /// Requests forwarded to this replica over the router's lifetime.
+    pub forwards: u64,
+    /// Transport failures observed against this replica.
+    pub failures: u64,
+}
+
+/// Body of router `GET /admin/statz` (and its `/statz` alias).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterStatzResponse {
+    /// Replicas each model name is hashed onto.
+    pub replication: usize,
+    /// Generation shared by every reachable non-drained replica, `null`
+    /// while replicas disagree or none are reachable.
+    pub consistent_generation: Option<u64>,
+    /// Requests forwarded through the router.
+    pub forwards: u64,
+    /// Requests that succeeded only after retrying on another owner.
+    pub retried_requests: u64,
+    /// Requests answered 503 because no owner was reachable.
+    pub unrouted: u64,
+    /// Per-replica detail, in configuration order.
+    pub replicas: Vec<ReplicaStatz>,
+}
+
+/// One replica's outcome inside a router fan-out reload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReloadResult {
+    /// Replica address.
+    pub addr: String,
+    /// `false` when the replica could not be reached at all.
+    pub reachable: bool,
+    /// The replica's own [`ReloadResponse`] when reachable.
+    pub response: Option<ReloadResponse>,
+    /// Transport failure detail when unreachable.
+    pub error: Option<String>,
+}
+
+/// Body of router `POST /admin/reload`: the fan-out result. `200` only when
+/// **every** non-drained replica swapped onto the same generation; anything
+/// else is `409` with per-replica detail, and models whose owners disagree
+/// stop being advertised until generations re-align.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterReloadResponse {
+    /// `"swapped"`, `"rejected"` (every replica kept its old generation,
+    /// consistently), or `"inconsistent"` (outcomes diverged).
+    pub status: String,
+    /// `true` iff every replica swapped onto one shared generation.
+    pub swapped: bool,
+    /// The common generation when replicas agree, `null` otherwise.
+    pub generation: Option<u64>,
+    /// Per-replica outcomes, in configuration order (drained replicas are
+    /// skipped — they are no longer part of the serving set).
+    pub replicas: Vec<ReplicaReloadResult>,
+    /// Failure summary when not swapped (`null` on success).
     pub error: Option<String>,
 }
 
@@ -338,6 +523,72 @@ mod tests {
         assert_eq!(live.generation, 4);
         assert_eq!(live.registry_swaps, 3);
         assert_eq!(live.failed_reloads, 1);
+    }
+
+    #[test]
+    fn error_response_decodes_with_and_without_code() {
+        let modern: ErrorResponse =
+            serde_json::from_str("{\"error\":\"no model\",\"code\":\"model_not_found\"}").unwrap();
+        assert_eq!(modern.code, code::MODEL_NOT_FOUND);
+        // Bodies from servers predating the `code` field still decode.
+        let legacy: ErrorResponse = serde_json::from_str("{\"error\":\"no model\"}").unwrap();
+        assert_eq!(legacy.code, "");
+        assert_eq!(legacy.error, "no model");
+    }
+
+    #[test]
+    fn router_bodies_round_trip() {
+        let statz = RouterStatzResponse {
+            replication: 2,
+            consistent_generation: Some(3),
+            forwards: 10,
+            retried_requests: 1,
+            unrouted: 0,
+            replicas: vec![ReplicaStatz {
+                addr: "127.0.0.1:7891".into(),
+                healthy: true,
+                drained: false,
+                generation: Some(3),
+                in_flight: 0,
+                forwards: 10,
+                failures: 0,
+            }],
+        };
+        let back: RouterStatzResponse =
+            serde_json::from_str(&serde_json::to_string(&statz).unwrap()).unwrap();
+        assert_eq!(back, statz);
+
+        let reload = RouterReloadResponse {
+            status: "inconsistent".into(),
+            swapped: false,
+            generation: None,
+            replicas: vec![ReplicaReloadResult {
+                addr: "127.0.0.1:7891".into(),
+                reachable: false,
+                response: None,
+                error: Some("connection refused".into()),
+            }],
+            error: Some("1 replica unreachable".into()),
+        };
+        let back: RouterReloadResponse =
+            serde_json::from_str(&serde_json::to_string(&reload).unwrap()).unwrap();
+        assert_eq!(back, reload);
+    }
+
+    #[test]
+    fn router_health_decodes_as_plain_health() {
+        // A client pointed at the router through the plain typed helper must
+        // keep working: serde ignores the extra replica fields.
+        let body = serde_json::to_string(&RouterHealthResponse {
+            status: "ok".into(),
+            models: 2,
+            replicas: 3,
+            available: 2,
+        })
+        .unwrap();
+        let plain: HealthResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(plain.status, "ok");
+        assert_eq!(plain.models, 2);
     }
 
     #[test]

@@ -5,38 +5,89 @@
 //! [`Client`] opens a fresh connection per request (the conservative
 //! baseline); [`Connection`] (from [`Client::connect`]) keeps one socket
 //! alive across requests, reconnecting transparently when the server closes
-//! it (idle timeout, request cap, restart).
+//! it (idle timeout, request cap, restart). Both are configured through one
+//! [`ClientBuilder`] (`Client::builder().timeout(..).v1(..).build(addr)`),
+//! and every typed endpoint helper is implemented exactly once, on
+//! [`Connection`] — `Client` delegates through a single-shot connection.
 
 use crate::api::{
-    AssignResponse, BatchStatsResponse, FeaturesResponse, HealthResponse, ModelsResponse,
-    ReloadResponse, RowsRequest,
+    AssignResponse, BatchStatsResponse, DrainResponse, FeaturesResponse, HealthResponse,
+    ModelsResponse, ReloadResponse, RowsRequest,
 };
-use crate::http::{
-    read_response, read_response_meta, write_request, write_request_keep_alive, Response,
-};
+use crate::http::{read_response_meta, write_request_keep_alive, Response};
 use crate::{Result, ServeError};
+use serde::Deserialize;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A client bound to one server address. Cheap to clone; every request opens
+/// Configures a [`Client`] before binding it to an address.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientBuilder {
+    timeout: Duration,
+    v1: bool,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(30),
+            v1: false,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Sets the connect/read/write timeout (default 30 seconds).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Speak the versioned `/v1` API instead of the legacy unversioned
+    /// aliases. Responses are byte-identical either way; this only changes
+    /// the request paths of the non-admin typed helpers (`/admin/*` is
+    /// unversioned by design).
+    #[must_use]
+    pub fn v1(mut self, versioned: bool) -> Self {
+        self.v1 = versioned;
+        self
+    }
+
+    /// Binds the configuration to a server address.
+    pub fn build(self, addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: self.timeout,
+            prefix: if self.v1 { "/v1" } else { "" },
+        }
+    }
+}
+
+/// A client bound to one server address. Cheap to copy; every request opens
 /// a fresh connection and asks the server to close it (`Connection: close`).
 #[derive(Debug, Clone, Copy)]
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    prefix: &'static str,
 }
 
 impl Client {
-    /// Creates a client for `addr` with a 30-second I/O timeout.
+    /// Creates a client for `addr` with the default configuration (legacy
+    /// paths, 30-second I/O timeout). Use [`Client::builder`] for more.
     pub fn new(addr: SocketAddr) -> Self {
-        Self {
-            addr,
-            timeout: Duration::from_secs(30),
-        }
+        Self::builder().build(addr)
+    }
+
+    /// Starts a [`ClientBuilder`].
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
     }
 
     /// Overrides the connect/read/write timeout.
+    #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
@@ -53,26 +104,31 @@ impl Client {
         Connection {
             addr: self.addr,
             timeout: self.timeout,
+            prefix: self.prefix,
+            one_shot: false,
             stream: None,
             opened: 0,
             served_on_stream: 0,
         }
     }
 
+    /// A connection that advertises `Connection: close` and drops its socket
+    /// after each response — the transport behind every `Client` method.
+    fn once(&self) -> Connection {
+        Connection {
+            one_shot: true,
+            ..self.connect()
+        }
+    }
+
     /// Sends one request and reads the response, without interpreting the
-    /// status code.
+    /// status code. The path is sent verbatim (no version prefixing).
     ///
     /// # Errors
     ///
     /// Returns connection and framing errors.
     pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        let mut writer = stream.try_clone()?;
-        write_request(&mut writer, method, path, body)?;
-        read_response(&mut BufReader::new(stream))
+        self.once().request(method, path, body)
     }
 
     /// Like [`Self::request`], but treats non-2xx statuses as
@@ -82,22 +138,7 @@ impl Client {
     ///
     /// Everything [`Self::request`] returns, plus the status error.
     pub fn request_ok(&self, method: &str, path: &str, body: &str) -> Result<Response> {
-        let response = self.request(method, path, body)?;
-        if response.is_success() {
-            Ok(response)
-        } else {
-            Err(ServeError::Status {
-                status: response.status,
-                body: response.body,
-            })
-        }
-    }
-
-    fn post_rows(&self, path: &str, rows: &[Vec<f64>]) -> Result<String> {
-        let body = serde_json::to_string(&RowsRequest {
-            rows: rows.to_vec(),
-        })?;
-        Ok(self.request_ok("POST", path, &body)?.body)
+        self.once().request_ok(method, path, body)
     }
 
     /// `GET /healthz`.
@@ -106,9 +147,7 @@ impl Client {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn health(&self) -> Result<HealthResponse> {
-        Ok(serde_json::from_str(
-            &self.request_ok("GET", "/healthz", "")?.body,
-        )?)
+        self.once().health()
     }
 
     /// `GET /models`.
@@ -117,20 +156,16 @@ impl Client {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn models(&self) -> Result<ModelsResponse> {
-        Ok(serde_json::from_str(
-            &self.request_ok("GET", "/models", "")?.body,
-        )?)
+        self.once().models()
     }
 
-    /// `GET /statz`.
+    /// `GET /admin/statz`.
     ///
     /// # Errors
     ///
     /// Connection, framing, status and decoding errors.
     pub fn statz(&self) -> Result<BatchStatsResponse> {
-        Ok(serde_json::from_str(
-            &self.request_ok("GET", "/statz", "")?.body,
-        )?)
+        self.once().statz()
     }
 
     /// `POST /admin/reload`. Both outcomes decode to a [`ReloadResponse`]:
@@ -142,15 +177,17 @@ impl Client {
     /// Connection, framing and decoding errors, plus [`ServeError::Status`]
     /// for statuses other than 200/409.
     pub fn reload(&self) -> Result<ReloadResponse> {
-        let response = self.request("POST", "/admin/reload", "")?;
-        if response.is_success() || response.status == 409 {
-            Ok(serde_json::from_str(&response.body)?)
-        } else {
-            Err(ServeError::Status {
-                status: response.status,
-                body: response.body,
-            })
-        }
+        self.once().reload()
+    }
+
+    /// `POST /admin/drain`: flips the node into draining mode, so its
+    /// `/healthz` fails while open connections keep being served.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn drain(&self) -> Result<DrainResponse> {
+        self.once().drain()
     }
 
     /// `POST /models/{model}/features` for a batch of raw rows.
@@ -159,9 +196,7 @@ impl Client {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn features(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        let body = self.post_rows(&format!("/models/{model}/features"), rows)?;
-        let response: FeaturesResponse = serde_json::from_str(&body)?;
-        Ok(response.features)
+        self.once().features(model, rows)
     }
 
     /// `POST /models/{model}/assign` for a batch of raw rows.
@@ -170,9 +205,7 @@ impl Client {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn assign(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<usize>> {
-        let body = self.post_rows(&format!("/models/{model}/assign"), rows)?;
-        let response: AssignResponse = serde_json::from_str(&body)?;
-        Ok(response.assignments)
+        self.once().assign(model, rows)
     }
 }
 
@@ -191,6 +224,10 @@ struct Stream {
 pub struct Connection {
     addr: SocketAddr,
     timeout: Duration,
+    prefix: &'static str,
+    /// Advertise `Connection: close` and drop the socket after every
+    /// response — how [`Client`] reuses this type for its per-request mode.
+    one_shot: bool,
     stream: Option<Stream>,
     opened: usize,
     served_on_stream: usize,
@@ -206,6 +243,12 @@ impl Connection {
     /// request rode the same socket.
     pub fn connections_opened(&self) -> usize {
         self.opened
+    }
+
+    /// The typed-helper path for `suffix`: `/v1`-prefixed when the client
+    /// was built with [`ClientBuilder::v1`].
+    fn api_path(&self, suffix: &str) -> String {
+        format!("{}{suffix}", self.prefix)
     }
 
     fn dial(&mut self) -> Result<&mut Stream> {
@@ -228,13 +271,15 @@ impl Connection {
     }
 
     fn request_once(&mut self, method: &str, path: &str, body: &str) -> Result<Response> {
+        let keep_alive = !self.one_shot;
         let stream = self.dial()?;
-        write_request_keep_alive(&mut stream.writer, method, path, body, true)?;
+        write_request_keep_alive(&mut stream.writer, method, path, body, keep_alive)?;
         let (response, close) = read_response_meta(&mut stream.reader)?;
         self.served_on_stream += 1;
-        if close {
+        if close || self.one_shot {
             // The server announced it will close this socket (request cap,
-            // shutdown, error): drop our half so the next request redials.
+            // shutdown, error) or this connection is single-shot: drop our
+            // half so the next request redials.
             self.stream = None;
         }
         Ok(response)
@@ -284,6 +329,69 @@ impl Connection {
         }
     }
 
+    fn get_json<T: Deserialize>(&mut self, path: &str) -> Result<T> {
+        Ok(serde_json::from_str(
+            &self.request_ok("GET", path, "")?.body,
+        )?)
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn health(&mut self) -> Result<HealthResponse> {
+        let path = self.api_path("/healthz");
+        self.get_json(&path)
+    }
+
+    /// `GET /models`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn models(&mut self) -> Result<ModelsResponse> {
+        let path = self.api_path("/models");
+        self.get_json(&path)
+    }
+
+    /// `GET /admin/statz`.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn statz(&mut self) -> Result<BatchStatsResponse> {
+        self.get_json("/admin/statz")
+    }
+
+    /// `POST /admin/reload` — see [`Client::reload`].
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing and decoding errors, plus [`ServeError::Status`]
+    /// for statuses other than 200/409.
+    pub fn reload(&mut self) -> Result<ReloadResponse> {
+        let response = self.request("POST", "/admin/reload", "")?;
+        if response.is_success() || response.status == 409 {
+            Ok(serde_json::from_str(&response.body)?)
+        } else {
+            Err(ServeError::Status {
+                status: response.status,
+                body: response.body,
+            })
+        }
+    }
+
+    /// `POST /admin/drain` — see [`Client::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, status and decoding errors.
+    pub fn drain(&mut self) -> Result<DrainResponse> {
+        let response = self.request_ok("POST", "/admin/drain", "")?;
+        Ok(serde_json::from_str(&response.body)?)
+    }
+
     /// `POST /models/{model}/features` over the kept-alive socket.
     ///
     /// # Errors
@@ -304,11 +412,9 @@ impl Connection {
         model: &str,
         rows: &[Vec<f64>],
     ) -> Result<FeaturesResponse> {
-        let body = serde_json::to_string(&RowsRequest {
-            rows: rows.to_vec(),
-        })?;
-        let response = self.request_ok("POST", &format!("/models/{model}/features"), &body)?;
-        Ok(serde_json::from_str(&response.body)?)
+        let path = self.api_path(&format!("/models/{model}/features"));
+        let response = self.post_rows(&path, rows)?;
+        Ok(serde_json::from_str(&response)?)
     }
 
     /// `POST /models/{model}/assign` over the kept-alive socket.
@@ -327,10 +433,15 @@ impl Connection {
     ///
     /// Connection, framing, status and decoding errors.
     pub fn assign_response(&mut self, model: &str, rows: &[Vec<f64>]) -> Result<AssignResponse> {
+        let path = self.api_path(&format!("/models/{model}/assign"));
+        let response = self.post_rows(&path, rows)?;
+        Ok(serde_json::from_str(&response)?)
+    }
+
+    fn post_rows(&mut self, path: &str, rows: &[Vec<f64>]) -> Result<String> {
         let body = serde_json::to_string(&RowsRequest {
             rows: rows.to_vec(),
         })?;
-        let response = self.request_ok("POST", &format!("/models/{model}/assign"), &body)?;
-        Ok(serde_json::from_str(&response.body)?)
+        Ok(self.request_ok("POST", path, &body)?.body)
     }
 }

@@ -338,6 +338,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -629,6 +630,7 @@ mod tests {
             (200, "OK"),
             (400, "Bad Request"),
             (404, "Not Found"),
+            (409, "Conflict"),
             (413, "Payload Too Large"),
             (503, "Service Unavailable"),
         ] {

@@ -23,6 +23,11 @@
 //! * [`client`] — a blocking client for the same API ([`Client`] per-request
 //!   connections, [`Connection`] keep-alive reuse), used by the integration
 //!   tests and the `loadgen` benchmark binary in `sls-bench`.
+//! * [`router`] — the shard router (`sls-serve route`): rendezvous-hashes
+//!   model names across a static replica set, forwards inference over
+//!   pooled keep-alive connections with health-checked retry, fans
+//!   `/admin/reload` out generation-consistently, and drains replicas
+//!   without dropping a response.
 //! * [`retrain`] — the one-command retrain path: chunked CSV ingestion →
 //!   consensus supervision on a leading sample → checkpoint-resumable
 //!   streaming training → artifact export into the watched directory, which
@@ -87,19 +92,23 @@ pub mod http;
 pub mod live;
 pub mod registry;
 pub mod retrain;
+pub mod router;
 pub mod server;
 pub mod stats;
 
 pub use api::{
-    AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
-    ModelLoadResult, ModelsResponse, ReloadResponse, RowsRequest,
+    AssignResponse, BatchStatsResponse, DrainResponse, ErrorResponse, FeaturesResponse,
+    HealthResponse, ModelInfo, ModelLoadResult, ModelsResponse, ReloadResponse,
+    ReplicaReloadResult, ReplicaStatz, RouterDrainResponse, RouterHealthResponse,
+    RouterReloadResponse, RouterStatzResponse, RowsRequest,
 };
 pub use batch::{BatchConfig, BatchOutput, BatchStats, Batcher, Endpoint};
-pub use client::{Client, Connection};
+pub use client::{Client, ClientBuilder, Connection};
 pub use error::ServeError;
 pub use live::{LiveRegistry, RegistryGeneration, ReloadOutcome};
 pub use registry::{ModelRegistry, ServingModel};
 pub use retrain::{retrain, write_synthetic_csv, RetrainOptions, RetrainOutcome};
+pub use router::{replica_rank, Router, RouterConfig, RouterHandle};
 pub use server::{
     route, route_live, route_with, route_with_batcher, ServeOptions, Server, ServerHandle,
 };

@@ -11,6 +11,9 @@
 //!                  [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
 //!                  [--batch-window-us N] [--batch-max-rows N]
 //!                  [--compact 0|1] [--watch-interval-ms N]
+//! sls-serve route  --replicas HOST:PORT,HOST:PORT [--addr 127.0.0.1:7900]
+//!                  [--replication 2] [--health-interval-ms 250]
+//!                  [--upstream-timeout-ms 10000] [--workers 2] ...
 //! ```
 //!
 //! `--threads` sets the parallel linalg policy (`0` = one thread per core);
@@ -56,7 +59,9 @@ use rand_chacha::ChaCha8Rng;
 use sls_datasets::SyntheticBlobs;
 use sls_linalg::{ParallelPolicy, SimdPolicy};
 use sls_rbm_core::{ModelKind, PipelineArtifact, SlsConfig, SlsPipelineConfig};
-use sls_serve::{BatchConfig, LiveRegistry, RetrainOptions, ServeOptions, Server};
+use sls_serve::{
+    BatchConfig, LiveRegistry, RetrainOptions, Router, RouterConfig, ServeOptions, Server,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -82,7 +87,12 @@ const USAGE: &str = "usage:
                     [--keep-alive 0|1] [--keepalive-timeout-ms N]
                     [--max-conn-requests N] [--max-body-bytes N] [--max-conns N]
                     [--batch-window-us N] [--batch-max-rows N]
-                    [--compact 0|1] [--watch-interval-ms N]";
+                    [--compact 0|1] [--watch-interval-ms N]
+  sls-serve route   --replicas HOST:PORT[,HOST:PORT...] [--addr HOST:PORT]
+                    [--workers N] [--replication N] [--health-interval-ms N]
+                    [--upstream-timeout-ms N] [--keep-alive 0|1]
+                    [--keepalive-timeout-ms N] [--max-conn-requests N]
+                    [--max-body-bytes N] [--max-conns N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +101,7 @@ fn main() -> ExitCode {
         Some("synth") => run_synth(&args[1..]),
         Some("retrain") => run_retrain(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("route") => run_route(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -576,6 +587,95 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         }
     );
     let handle = server.start().map_err(|e| format!("start failed: {e}"))?;
+    handle.join();
+    Ok(())
+}
+
+fn run_route(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--replicas",
+            "--addr",
+            "--workers",
+            "--replication",
+            "--health-interval-ms",
+            "--upstream-timeout-ms",
+            "--keep-alive",
+            "--keepalive-timeout-ms",
+            "--max-conn-requests",
+            "--max-body-bytes",
+            "--max-conns",
+        ],
+    )?;
+    let raw_replicas = flags
+        .get("replicas")
+        .ok_or_else(|| format!("route needs --replicas HOST:PORT[,HOST:PORT...]\n{USAGE}"))?;
+    let mut replicas = Vec::new();
+    for entry in raw_replicas.split(',').filter(|s| !s.trim().is_empty()) {
+        use std::net::ToSocketAddrs;
+        let addr = entry
+            .trim()
+            .to_socket_addrs()
+            .map_err(|e| format!("invalid replica address `{entry}`: {e}"))?
+            .next()
+            .ok_or_else(|| format!("replica address `{entry}` resolved to nothing"))?;
+        replicas.push(addr);
+    }
+    if replicas.is_empty() {
+        return Err(format!("--replicas needs at least one HOST:PORT\n{USAGE}"));
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7900".to_string());
+    let workers = parsed(&flags, "workers", 2usize)?;
+    let replica_count = replicas.len();
+    let mut config = RouterConfig::new(replicas)
+        .with_replication(parsed(&flags, "replication", 2usize)?)
+        .with_health_interval(Duration::from_millis(parsed(
+            &flags,
+            "health-interval-ms",
+            250u64,
+        )?));
+    config = config.with_upstream_timeout(Duration::from_millis(parsed(
+        &flags,
+        "upstream-timeout-ms",
+        10_000u64,
+    )?));
+    let replication = config.replication.min(replica_count).max(1);
+    let mut options = ServeOptions::from_env();
+    if let Some(raw) = flags.get("keep-alive") {
+        options.keep_alive = ParallelPolicy::parse_bool(raw).ok_or_else(|| {
+            format!("invalid value `{raw}` for --keep-alive (use 0/1/true/false)")
+        })?;
+    }
+    options.idle_timeout = Duration::from_millis(parsed(
+        &flags,
+        "keepalive-timeout-ms",
+        options.idle_timeout.as_millis() as u64,
+    )?);
+    options.max_requests_per_connection = parsed(
+        &flags,
+        "max-conn-requests",
+        options.max_requests_per_connection,
+    )?;
+    options.max_body_bytes = parsed(&flags, "max-body-bytes", options.max_body_bytes)?;
+    options.max_connections = parsed(&flags, "max-conns", options.max_connections)?;
+    let router = Router::bind(addr.as_str(), config)
+        .map_err(|e| format!("bind failed: {e}"))?
+        .with_workers(workers)
+        .with_options(options);
+    let local = router
+        .local_addr()
+        .map_err(|e| format!("local address unavailable: {e}"))?;
+    eprintln!(
+        "routing on http://{local} across {replica_count} replica(s) ({raw_replicas}), \
+         replication {replication}, keep-alive {} \
+         (POST /admin/reload fans out, POST /admin/drain removes a replica, Ctrl-C to stop)",
+        if options.keep_alive { "on" } else { "off" },
+    );
+    let handle = router.start().map_err(|e| format!("start failed: {e}"))?;
     handle.join();
     Ok(())
 }

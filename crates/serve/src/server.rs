@@ -4,19 +4,25 @@
 //!
 //! ## Endpoints
 //!
-//! | Method | Path | Body | Success response |
-//! |--------|------|------|------------------|
-//! | `GET` | `/healthz` | — | `{"status":"ok","models":N}` |
-//! | `GET` | `/models` | — | `{"generation":G,"models":[{name, kind, ...}]}` |
-//! | `GET` | `/statz` | — | batching + registry counters, see [`BatchStatsResponse`] |
-//! | `POST` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"features":[[f64,...],...]}` |
-//! | `POST` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"assignments":[usize,...]}` |
-//! | `POST` | `/admin/reload` | — | [`ReloadResponse`] — `200` swapped, `409` rejected |
+//! The API is versioned under `/v1/`; the bare unversioned paths remain as
+//! byte-identical aliases. A `/v{n}` prefix other than `/v1` answers a
+//! structured `404`.
+//!
+//! | Method | Path (canonical) | Alias | Body | Success response |
+//! |--------|------------------|-------|------|------------------|
+//! | `GET` | `/v1/healthz` | `/healthz` | — | `{"status":"ok","models":N}` |
+//! | `GET` | `/v1/models` | `/models` | — | `{"generation":G,"models":[{name, kind, ...}]}` |
+//! | `POST` | `/v1/models/{name}/features` | `/models/{name}/features` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"features":[[f64,...],...]}` |
+//! | `POST` | `/v1/models/{name}/assign` | `/models/{name}/assign` | `{"rows":[[f64,...],...]}` | `{"model":name,"generation":G,"assignments":[usize,...]}` |
+//! | `GET` | `/admin/statz` | `/statz` (deprecated) | — | batching + registry counters, see [`BatchStatsResponse`] |
+//! | `POST` | `/admin/reload` | — | — | [`ReloadResponse`] — `200` swapped, `409` rejected |
+//! | `POST` | `/admin/drain` | — | — | [`DrainResponse`] — `/healthz` fails from now on |
 //!
 //! Unknown paths and model names answer `404`, malformed bodies and shape
 //! mismatches `400`, wrong methods on known paths `405`, oversized declared
 //! bodies `413` (rejected *before* buffering); every error body is
-//! `{"error": "..."}`.
+//! `{"error": "...", "code": "..."}` with a stable machine-readable code
+//! from [`crate::api::code`].
 //!
 //! ## Hot reload
 //!
@@ -44,8 +50,8 @@
 //! identical to serving them one by one (see [`crate::batch`]).
 
 use crate::api::{
-    AssignResponse, BatchStatsResponse, ErrorResponse, FeaturesResponse, HealthResponse, ModelInfo,
-    ModelsResponse, ReloadResponse, RowsRequest,
+    code, AssignResponse, BatchStatsResponse, DrainResponse, ErrorResponse, FeaturesResponse,
+    HealthResponse, ModelInfo, ModelsResponse, ReloadResponse, RowsRequest,
 };
 use crate::batch::{compute_direct, BatchConfig, BatchOutput, Batcher, Endpoint};
 use crate::http::{
@@ -70,7 +76,7 @@ const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How often an idle connection re-checks the shutdown flag while parked
 /// waiting for the next request.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+pub(crate) const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
 /// Environment variable overriding the request body size limit in bytes.
 pub const ENV_MAX_BODY_BYTES: &str = "SLS_MAX_BODY_BYTES";
@@ -244,37 +250,29 @@ impl Server {
     pub fn start(self) -> Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let listener = Arc::new(self.listener);
+        let core = Arc::new(ConnCore::new(self.options));
         let shared = Arc::new(Shared {
             live: self.live,
             parallel: self.parallel,
-            options: self.options,
             batcher: Batcher::new(self.batch),
-            shutdown: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
         });
-        let mut acceptors = Vec::with_capacity(self.workers);
-        for worker_id in 0..self.workers {
-            let listener = Arc::clone(&listener);
-            let shared = Arc::clone(&shared);
-            acceptors.push(
-                std::thread::Builder::new()
-                    .name(format!("sls-serve-accept-{worker_id}"))
-                    .spawn(move || acceptor_loop(&listener, &shared))?,
-            );
-        }
+        let acceptors = spawn_acceptors(&listener, &core, &shared, self.workers)?;
         let watcher = match self.watch {
             Some(interval) if shared.live.source().is_some() => {
-                let shared = Arc::clone(&shared);
+                let live = Arc::clone(&shared.live);
+                let core = Arc::clone(&core);
                 Some(
                     std::thread::Builder::new()
                         .name("sls-serve-watch".to_string())
-                        .spawn(move || watcher_loop(&shared, interval))?,
+                        .spawn(move || watcher_loop(&live, &core.shutdown, interval))?,
                 )
             }
             _ => None,
         };
         Ok(ServerHandle {
             addr,
+            core,
             shared,
             acceptors,
             watcher,
@@ -282,20 +280,62 @@ impl Server {
     }
 }
 
-/// State shared by the acceptors and every connection handler.
+/// Connection-handling state shared by every server-like frontend (the
+/// inference server and the shard router): the knobs, the shutdown flag and
+/// the live-connection count. Everything request-specific lives behind
+/// [`RequestHandler`].
+#[derive(Debug)]
+pub(crate) struct ConnCore {
+    pub(crate) options: ServeOptions,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active_connections: AtomicUsize,
+}
+
+impl ConnCore {
+    pub(crate) fn new(options: ServeOptions) -> Self {
+        Self {
+            options,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Answers one parsed request with `(status, body)`. Implemented by the
+/// inference server (route against the live registry) and the shard router
+/// (forward to an owning replica); both share the exact same keep-alive
+/// connection machinery around it.
+pub(crate) trait RequestHandler: Send + Sync + 'static {
+    fn handle(&self, request: &Request) -> (u16, String);
+}
+
+/// Inference state shared by every connection handler.
 #[derive(Debug)]
 struct Shared {
     live: Arc<LiveRegistry>,
     parallel: ParallelPolicy,
-    options: ServeOptions,
     batcher: Batcher,
-    shutdown: AtomicBool,
-    active_connections: AtomicUsize,
+    draining: AtomicBool,
+}
+
+impl RequestHandler for Shared {
+    fn handle(&self, request: &Request) -> (u16, String) {
+        let current: Arc<RegistryGeneration> = self.live.current();
+        route_inner(
+            &current.registry,
+            current.generation,
+            Some(&self.live),
+            request,
+            &self.parallel,
+            Some(&self.batcher),
+            Some(&self.draining),
+        )
+    }
 }
 
 /// Decrements the live-connection count when a handler thread exits on any
 /// path, including panics.
-struct ConnGuard(Arc<Shared>);
+struct ConnGuard(Arc<ConnCore>);
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
@@ -303,10 +343,62 @@ impl Drop for ConnGuard {
     }
 }
 
+/// Spawns `workers` acceptor threads over one listener, all driving the
+/// same handler.
+pub(crate) fn spawn_acceptors<H: RequestHandler>(
+    listener: &Arc<TcpListener>,
+    core: &Arc<ConnCore>,
+    handler: &Arc<H>,
+    workers: usize,
+) -> Result<Vec<JoinHandle<()>>> {
+    let mut acceptors = Vec::with_capacity(workers);
+    for worker_id in 0..workers {
+        let listener = Arc::clone(listener);
+        let core = Arc::clone(core);
+        let handler = Arc::clone(handler);
+        acceptors.push(
+            std::thread::Builder::new()
+                .name(format!("sls-serve-accept-{worker_id}"))
+                .spawn(move || acceptor_loop(&listener, &core, &handler))?,
+        );
+    }
+    Ok(acceptors)
+}
+
+/// Stops an acceptor pool: sets the shutdown flag, nudges each still-blocked
+/// acceptor with a wake-up connection until it exits, then waits (bounded)
+/// for live connections to observe the flag and drain.
+pub(crate) fn shutdown_acceptors(
+    addr: SocketAddr,
+    core: &ConnCore,
+    acceptors: Vec<JoinHandle<()>>,
+) {
+    core.shutdown.store(true, Ordering::SeqCst);
+    for acceptor in acceptors {
+        // An acceptor can be blocked in `accept` (the wake-up connection
+        // unblocks it) or mid-dispatch (it re-checks the flag right
+        // after); keep nudging until this acceptor is done, since
+        // another acceptor may have consumed an earlier wake-up.
+        while !acceptor.is_finished() {
+            let _ = TcpStream::connect(addr);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = acceptor.join();
+    }
+    // Idle keep-alive connections poll the flag every SHUTDOWN_POLL;
+    // give them a bounded window to drain instead of waiting forever on
+    // a connection wedged mid-request.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while core.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// A running server: the acceptor pool plus the shared shutdown flag.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    core: Arc<ConnCore>,
     shared: Arc<Shared>,
     acceptors: Vec<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
@@ -340,30 +432,12 @@ impl ServerHandle {
     /// acceptor with a wake-up connection until it exits, then waits
     /// (bounded) for live connections to observe the flag and drain.
     pub fn shutdown(self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.core.shutdown.store(true, Ordering::SeqCst);
         if let Some(watcher) = self.watcher {
             // The watcher polls the flag at least every SHUTDOWN_POLL.
             let _ = watcher.join();
         }
-        for acceptor in self.acceptors {
-            // An acceptor can be blocked in `accept` (the wake-up connection
-            // unblocks it) or mid-dispatch (it re-checks the flag right
-            // after); keep nudging until this acceptor is done, since
-            // another acceptor may have consumed an earlier wake-up.
-            while !acceptor.is_finished() {
-                let _ = TcpStream::connect(self.addr);
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            let _ = acceptor.join();
-        }
-        // Idle keep-alive connections poll the flag every SHUTDOWN_POLL;
-        // give them a bounded window to drain instead of waiting forever on
-        // a connection wedged mid-request.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        shutdown_acceptors(self.addr, &self.core, self.acceptors);
     }
 }
 
@@ -458,27 +532,31 @@ fn dir_fingerprint(live: &LiveRegistry) -> DirFingerprint {
 /// change. A rejected reload (e.g. a half-written artifact) is retried on
 /// the *next* change, not every tick, so a corrupt file does not spin the
 /// failure counter.
-fn watcher_loop(shared: &Shared, interval: Duration) {
-    let mut seen = dir_fingerprint(&shared.live);
+fn watcher_loop(live: &LiveRegistry, shutdown: &AtomicBool, interval: Duration) {
+    let mut seen = dir_fingerprint(live);
     loop {
         let deadline = Instant::now() + interval;
         while Instant::now() < deadline {
-            if shared.shutdown.load(Ordering::SeqCst) {
+            if shutdown.load(Ordering::SeqCst) {
                 return;
             }
             std::thread::sleep(
                 SHUTDOWN_POLL.min(deadline.saturating_duration_since(Instant::now())),
             );
         }
-        let now = dir_fingerprint(&shared.live);
+        let now = dir_fingerprint(live);
         if now != seen {
-            let _ = shared.live.reload();
+            let _ = live.reload();
             seen = now;
         }
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn acceptor_loop<H: RequestHandler>(
+    listener: &TcpListener,
+    core: &Arc<ConnCore>,
+    handler: &Arc<H>,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -488,32 +566,33 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 // accept fail immediately in a loop — back off briefly so
                 // the handlers draining existing connections can free
                 // descriptors instead of being starved by the spin.
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if core.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if core.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if shared.active_connections.load(Ordering::SeqCst) >= shared.options.max_connections {
+        if core.active_connections.load(Ordering::SeqCst) >= core.options.max_connections {
             // Over capacity: shed load with an immediate 503 instead of
             // queueing a connection no handler will reach.
             let mut stream = stream;
-            let (_, body) = error_body(503, "server at connection capacity");
+            let (_, body) = error_body(503, code::OVER_CAPACITY, "server at connection capacity");
             let _ = write_response(&mut stream, 503, &body);
             continue;
         }
-        shared.active_connections.fetch_add(1, Ordering::SeqCst);
-        let guard = ConnGuard(Arc::clone(shared));
+        core.active_connections.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(core));
+        let handler = Arc::clone(handler);
         let spawned = std::thread::Builder::new()
             .name("sls-serve-conn".to_string())
             .spawn(move || {
                 // A broken client connection must not take the server down;
                 // the error is simply dropped with the connection.
-                let _ = handle_connection(stream, &guard.0);
+                let _ = handle_connection(stream, &guard.0, handler.as_ref());
             });
         // Spawn failure drops the closure, whose guard decrements the
         // counter; nothing else to do beyond dropping the connection.
@@ -575,20 +654,24 @@ fn wait_for_request(
 
 /// Serves one connection: a keep-alive request loop with idle timeout,
 /// request cap, bounded body buffering and close-on-desync.
-fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
+fn handle_connection<H: RequestHandler + ?Sized>(
+    stream: TcpStream,
+    core: &ConnCore,
+    handler: &H,
+) -> Result<()> {
     // Nagle's algorithm batches small writes behind delayed ACKs; on a
     // keep-alive connection (no fresh-connection quick-ACK grace) that
     // turns every request/response exchange into a ~40ms stall.
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let options = &shared.options;
+    let options = &core.options;
     let limits = HttpLimits::new(options.max_body_bytes);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut served = 0usize;
     loop {
         if let IdleWait::Closed =
-            wait_for_request(&mut reader, options.idle_timeout, &shared.shutdown)
+            wait_for_request(&mut reader, options.idle_timeout, &core.shutdown)
         {
             return Ok(());
         }
@@ -599,16 +682,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
         served += 1;
         let may_keep_alive = options.keep_alive
             && served < options.max_requests_per_connection
-            && !shared.shutdown.load(Ordering::SeqCst);
+            && !core.shutdown.load(Ordering::SeqCst);
         match read_request_limited(&mut reader, &limits) {
             Ok(RequestRead::Complete { request, close }) => {
                 let keep = may_keep_alive && !close;
-                let (status, body) = route_live(
-                    &shared.live,
-                    &request,
-                    &shared.parallel,
-                    Some(&shared.batcher),
-                );
+                let (status, body) = handler.handle(&request);
                 write_response_keep_alive(&mut writer, status, &body, keep)?;
                 if !keep {
                     return Ok(());
@@ -625,6 +703,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
                 let keep = may_keep_alive && drained && !close;
                 let (status, body) = error_body(
                     413,
+                    code::BODY_TOO_LARGE,
                     format!(
                         "body of {declared} bytes exceeds the {}-byte limit",
                         options.max_body_bytes
@@ -639,7 +718,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
                 // Broken framing: answer 400 and close — after a framing
                 // error the stream position is untrusted, and serving more
                 // requests from it is the request-smuggling primitive.
-                let (status, body) = error_body(400, format!("malformed request: {e}"));
+                let (status, body) = error_body(
+                    400,
+                    code::MALFORMED_REQUEST,
+                    format!("malformed request: {e}"),
+                );
                 let _ = write_response_keep_alive(&mut writer, status, &body, false);
                 return Err(e);
             }
@@ -679,7 +762,7 @@ pub fn route_with_batcher(
     parallel: &ParallelPolicy,
     batcher: Option<&Batcher>,
 ) -> (u16, String) {
-    route_inner(registry, 1, None, request, parallel, batcher)
+    route_inner(registry, 1, None, request, parallel, batcher, None)
 }
 
 /// Routes one request against the current generation of a hot-swappable
@@ -699,9 +782,38 @@ pub fn route_live(
         request,
         parallel,
         batcher,
+        None,
     )
 }
 
+/// Strips the `/v1` API-version prefix off a segmented path. The bare
+/// unversioned path is the legacy alias, so both spell the same routes;
+/// any *other* `/v{n}` prefix is answered with a structured 404 instead of
+/// falling through to route matching (a `/v2` client must learn it speaks
+/// the wrong version, not chase phantom 404s per route).
+pub(crate) fn api_segments<'a>(
+    segments: &'a [&'a str],
+) -> std::result::Result<&'a [&'a str], (u16, String)> {
+    match segments.split_first() {
+        Some((&"v1", rest)) => Ok(rest),
+        Some((&first, _)) if is_version_prefix(first) => Err(error_body(
+            404,
+            code::UNSUPPORTED_API_VERSION,
+            format!("API version `{first}` is not supported; this server speaks `/v1`"),
+        )),
+        _ => Ok(segments),
+    }
+}
+
+/// `v` followed by only digits — `v1`, `v2`, `v99`. A path like `/verbose`
+/// is not a version prefix and falls through to normal route matching.
+fn is_version_prefix(segment: &str) -> bool {
+    segment.len() >= 2
+        && segment.starts_with('v')
+        && segment[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn route_inner(
     registry: &ModelRegistry,
     generation: u64,
@@ -709,17 +821,16 @@ fn route_inner(
     request: &Request,
     parallel: &ParallelPolicy,
     batcher: Option<&Batcher>,
+    draining: Option<&AtomicBool>,
 ) -> (u16, String) {
     let path = request.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => json_body(
-            200,
-            &HealthResponse {
-                status: "ok".to_string(),
-                models: registry.len(),
-            },
-        ),
+    let rest = match api_segments(&segments) {
+        Ok(rest) => rest,
+        Err(unsupported) => return unsupported,
+    };
+    match (request.method.as_str(), rest) {
+        ("GET", ["healthz"]) => health(registry, draining),
         ("GET", ["models"]) => json_body(
             200,
             &ModelsResponse {
@@ -730,7 +841,9 @@ fn route_inner(
                     .collect(),
             },
         ),
-        ("GET", ["statz"]) => {
+        // `/admin/statz` is canonical; top-level `/statz` is the deprecated
+        // pre-v1 alias, kept byte-identical.
+        ("GET", ["statz"] | ["admin", "statz"]) => {
             let (swaps, failed) = live.map_or((0, 0), |l| (l.swaps(), l.failed_reloads()));
             json_body(
                 200,
@@ -738,6 +851,7 @@ fn route_inner(
             )
         }
         ("POST", ["admin", "reload"]) => reload(generation, live),
+        ("POST", ["admin", "drain"]) => drain(draining),
         ("POST", ["models", name, "features"]) => infer(
             registry,
             generation,
@@ -756,12 +870,55 @@ fn route_inner(
             parallel,
             batcher,
         ),
-        (_, ["healthz" | "models" | "statz"] | ["admin", "reload"])
-        | (_, ["models", _, "features" | "assign"]) => {
-            error_body(405, format!("method {} not allowed here", request.method))
-        }
-        _ => error_body(404, format!("no route for `{path}`")),
+        (_, ["healthz" | "models" | "statz"] | ["admin", "reload" | "statz" | "drain"])
+        | (_, ["models", _, "features" | "assign"]) => error_body(
+            405,
+            code::METHOD_NOT_ALLOWED,
+            format!("method {} not allowed here", request.method),
+        ),
+        _ => error_body(404, code::NOT_FOUND, format!("no route for `{path}`")),
     }
+}
+
+/// `GET /healthz`: `200 ok` normally, `503 draining` once the node was
+/// drained — existing connections keep being served, but routers and load
+/// balancers must stop sending new traffic here.
+fn health(registry: &ModelRegistry, draining: Option<&AtomicBool>) -> (u16, String) {
+    if draining.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+        return error_body(
+            503,
+            code::DRAINING,
+            "node is draining: open connections finish, new traffic must go elsewhere",
+        );
+    }
+    json_body(
+        200,
+        &HealthResponse {
+            status: "ok".to_string(),
+            models: registry.len(),
+        },
+    )
+}
+
+/// `POST /admin/drain`: flip the node into draining mode (idempotent).
+/// Only a socket-backed server carries the flag; the in-process routing
+/// helpers answer 409.
+fn drain(draining: Option<&AtomicBool>) -> (u16, String) {
+    let Some(flag) = draining else {
+        return error_body(
+            409,
+            code::DRAIN_UNAVAILABLE,
+            "drain is not available: routing over a bare registry has no connection state",
+        );
+    };
+    flag.store(true, Ordering::SeqCst);
+    json_body(
+        200,
+        &DrainResponse {
+            status: "draining".to_string(),
+            draining: true,
+        },
+    )
 }
 
 /// `POST /admin/reload`: atomically swap in a new generation from the
@@ -815,27 +972,43 @@ fn infer(
 ) -> (u16, String) {
     let model = match registry.get(name) {
         Ok(model) => model,
-        Err(e) => return error_body(404, e.to_string()),
+        Err(e) => return error_body(404, code::MODEL_NOT_FOUND, e.to_string()),
     };
     let rows: RowsRequest = match serde_json::from_str(body) {
         Ok(rows) => rows,
-        Err(e) => return error_body(400, format!("invalid JSON body: {e}")),
+        Err(e) => return error_body(400, code::INVALID_BODY, format!("invalid JSON body: {e}")),
     };
     let matrix = match rows.to_matrix() {
         Ok(matrix) => matrix,
-        Err(message) => return error_body(400, message),
+        Err(message) => return error_body(400, code::BAD_ROW_WIDTH, message),
     };
-    // Only well-shaped requests enter the coalescing window: a doomed
-    // request must fail with exactly the error it would get alone, not
-    // poison a batch or inherit a batch's error. The generation rides in the
-    // batch key, so a swap mid-window never fuses two model versions.
-    let batchable = matrix.cols() == model.n_visible()
-        && (endpoint == Endpoint::Features || model.has_cluster_head());
+    // Doomed requests are rejected up front: they must fail with exactly
+    // the error they would get alone, not poison a batch or inherit a
+    // batch's error, and each failure class carries its own stable code.
+    if matrix.cols() != model.n_visible() {
+        return error_body(
+            400,
+            code::BAD_ROW_WIDTH,
+            format!(
+                "rows are {} wide but model `{name}` expects {} visible units",
+                matrix.cols(),
+                model.n_visible()
+            ),
+        );
+    }
+    if endpoint == Endpoint::Assign && !model.has_cluster_head() {
+        return error_body(
+            400,
+            code::NO_CLUSTER_HEAD,
+            format!("model `{name}` has no cluster head; `/assign` is unavailable"),
+        );
+    }
+    // Only well-shaped requests reach this point, so everything may enter
+    // the coalescing window. The generation rides in the batch key, so a
+    // swap mid-window never fuses two model versions.
     let result = match batcher {
-        Some(batcher) if batchable => {
-            batcher.submit(&model, name, generation, endpoint, &matrix, parallel)
-        }
-        _ => compute_direct(&model, endpoint, &matrix, parallel),
+        Some(batcher) => batcher.submit(&model, name, generation, endpoint, &matrix, parallel),
+        None => compute_direct(&model, endpoint, &matrix, parallel),
     };
     match result {
         Ok(BatchOutput::Features(features)) => json_body(
@@ -854,22 +1027,30 @@ fn infer(
                 assignments,
             },
         ),
-        Err(message) => error_body(400, message),
+        Err(message) => error_body(400, code::INFERENCE_FAILED, message),
     }
 }
 
-fn json_body<T: Serialize>(status: u16, value: &T) -> (u16, String) {
+pub(crate) fn json_body<T: Serialize>(status: u16, value: &T) -> (u16, String) {
     match serde_json::to_string(value) {
         Ok(body) => (status, body),
-        Err(e) => (500, format!("{{\"error\":\"serialisation failed: {e}\"}}")),
+        Err(e) => (
+            500,
+            format!("{{\"error\":\"serialisation failed: {e}\",\"code\":\"internal\"}}"),
+        ),
     }
 }
 
-fn error_body(status: u16, message: impl Into<String>) -> (u16, String) {
+pub(crate) fn error_body(
+    status: u16,
+    code: &'static str,
+    message: impl Into<String>,
+) -> (u16, String) {
     json_body(
         status,
         &ErrorResponse {
             error: message.into(),
+            code: code.to_string(),
         },
     )
 }

@@ -1,0 +1,212 @@
+//! Versioned-API compatibility suite: every legacy route must stay a
+//! byte-identical alias of its `/v1` twin, unknown version prefixes must
+//! fail with a structured 404, and every failure class must carry its
+//! stable machine-readable `code` so clients can branch without parsing
+//! human-facing messages.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sls_datasets::SyntheticBlobs;
+use sls_rbm_core::{ModelKind, PipelineArtifact, RbmParams, SlsPipelineConfig};
+use sls_serve::http::Request;
+use sls_serve::{route, ErrorResponse, ModelRegistry, ReloadResponse};
+
+const MODEL: &str = "demo";
+
+/// A trained model with a cluster head: both inference endpoints work.
+fn fitted_registry() -> ModelRegistry {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let ds = SyntheticBlobs::new(30, 4, 2)
+        .separation(6.0)
+        .generate(&mut rng);
+    let fitted = PipelineArtifact::fit(
+        ModelKind::Grbm,
+        SlsPipelineConfig::quick_demo()
+            .with_clusters(2)
+            .with_hidden(4),
+        ds.features(),
+        &mut rng,
+    )
+    .expect("training succeeds");
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL, fitted.artifact);
+    registry
+}
+
+/// Raw RBM parameters without a cluster head: `/assign` must refuse.
+fn headless_registry() -> ModelRegistry {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let artifact = PipelineArtifact::from_params(RbmParams::init(4, 2, &mut rng), ModelKind::Rbm);
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL, artifact);
+    registry
+}
+
+fn call(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> (u16, String) {
+    route(
+        registry,
+        &Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+        },
+    )
+}
+
+fn error_code(registry: &ModelRegistry, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, body) = call(registry, method, path, body);
+    let parsed: ErrorResponse = serde_json::from_str(&body).expect("error body parses");
+    assert!(!parsed.error.is_empty(), "error message must not be empty");
+    (status, parsed.code)
+}
+
+const GOOD_BODY: &str = r#"{"rows": [[0.1, -0.2, 0.3, 0.4], [0.0, 1.0, -1.0, 0.5]]}"#;
+
+#[test]
+fn every_legacy_route_matches_its_v1_twin_byte_for_byte() {
+    let registry = fitted_registry();
+    let twins: &[(&str, &str, &str, &str)] = &[
+        ("GET", "/healthz", "/v1/healthz", ""),
+        ("GET", "/models", "/v1/models", ""),
+        (
+            "POST",
+            "/models/demo/features",
+            "/v1/models/demo/features",
+            GOOD_BODY,
+        ),
+        (
+            "POST",
+            "/models/demo/assign",
+            "/v1/models/demo/assign",
+            GOOD_BODY,
+        ),
+        // Error paths must alias too: clients pinning /v1 see the same
+        // failure bytes as legacy clients.
+        (
+            "POST",
+            "/models/nope/features",
+            "/v1/models/nope/features",
+            GOOD_BODY,
+        ),
+        (
+            "POST",
+            "/models/demo/features",
+            "/v1/models/demo/features",
+            "{not json",
+        ),
+    ];
+    for &(method, legacy, v1, body) in twins {
+        let old = call(&registry, method, legacy, body);
+        let new = call(&registry, method, v1, body);
+        assert_eq!(old, new, "{method} {legacy} must alias {v1} byte-for-byte");
+    }
+}
+
+#[test]
+fn statz_is_aliased_under_admin() {
+    let registry = fitted_registry();
+    let legacy = call(&registry, "GET", "/statz", "");
+    let admin = call(&registry, "GET", "/admin/statz", "");
+    assert_eq!(legacy.0, 200);
+    assert_eq!(legacy, admin, "/statz must alias /admin/statz");
+}
+
+#[test]
+fn unknown_api_versions_fail_with_a_structured_404() {
+    let registry = fitted_registry();
+    for path in ["/v2/models", "/v0/healthz", "/v99/models/demo/features"] {
+        let (status, code) = error_code(&registry, "GET", path, "");
+        assert_eq!(status, 404, "{path} must 404");
+        assert_eq!(code, "unsupported_api_version", "{path}");
+    }
+    // `/vX` only matches whole numeric version segments: other `v...`
+    // prefixes fall through to the plain not-found class.
+    let (status, code) = error_code(&registry, "GET", "/vnext/models", "");
+    assert_eq!(status, 404);
+    assert_eq!(code, "not_found");
+}
+
+#[test]
+fn each_failure_class_has_a_stable_code() {
+    let registry = fitted_registry();
+    let cases: &[(&str, &str, &str, u16, &str)] = &[
+        (
+            "POST",
+            "/models/nope/features",
+            GOOD_BODY,
+            404,
+            "model_not_found",
+        ),
+        (
+            "POST",
+            "/models/demo/features",
+            "{not json",
+            400,
+            "invalid_body",
+        ),
+        (
+            "POST",
+            "/models/demo/features",
+            r#"{"rows": [[1.0, 2.0]]}"#,
+            400,
+            "bad_row_width",
+        ),
+        ("GET", "/nope", "", 404, "not_found"),
+        ("DELETE", "/models", "", 405, "method_not_allowed"),
+        ("POST", "/admin/drain", "", 409, "drain_unavailable"),
+    ];
+    for &(method, path, body, want_status, want_code) in cases {
+        let (status, code) = error_code(&registry, method, path, body);
+        assert_eq!(status, want_status, "{method} {path}");
+        assert_eq!(code, want_code, "{method} {path}");
+    }
+}
+
+#[test]
+fn assign_without_a_cluster_head_reports_no_cluster_head() {
+    let registry = headless_registry();
+    let (status, code) = error_code(&registry, "POST", "/models/demo/assign", GOOD_BODY);
+    assert_eq!(status, 400);
+    assert_eq!(code, "no_cluster_head");
+    // Features still work on the same model: only the assign head is gone.
+    let (status, _) = call(&registry, "POST", "/models/demo/features", GOOD_BODY);
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn reload_over_a_bare_registry_rejects_with_409() {
+    let registry = fitted_registry();
+    let (status, body) = call(&registry, "POST", "/admin/reload", "");
+    assert_eq!(status, 409);
+    let parsed: ReloadResponse = serde_json::from_str(&body).expect("reload body parses");
+    assert_eq!(parsed.status, "rejected");
+    assert!(!parsed.swapped);
+}
+
+#[test]
+fn error_bodies_keep_the_human_message_alongside_the_code() {
+    // The `error` string stays primary (older clients parse only it); `code`
+    // rides alongside. Check the 404 names the model and the 400 names the
+    // expected width, so messages stay actionable.
+    let registry = fitted_registry();
+    let (_, body) = call(&registry, "POST", "/models/nope/features", GOOD_BODY);
+    let parsed: ErrorResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        parsed.error.contains("nope"),
+        "message names the model: {}",
+        parsed.error
+    );
+    let (_, body) = call(
+        &registry,
+        "POST",
+        "/models/demo/features",
+        r#"{"rows": [[1.0]]}"#,
+    );
+    let parsed: ErrorResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        parsed.error.contains('4'),
+        "message names the width: {}",
+        parsed.error
+    );
+    assert_eq!(parsed.code, "bad_row_width");
+}
